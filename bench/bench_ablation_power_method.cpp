@@ -1,0 +1,73 @@
+// ABL2 — Power-methodology ablation: steady-state per-mode power (the
+// paper's Fig. 9 methodology) vs. utilization-aware energy accounting that
+// charges idle fill/drain cycles only for the clock they actually burn.
+//
+// DESIGN.md §7 and EXPERIMENTS.md explain why the steady-state model is the
+// one that reproduces the paper's bands; this bench makes the difference
+// between the two methodologies explicit instead of hiding it.
+
+#include <iostream>
+
+#include "arch/clocking.h"
+#include "arch/power_model.h"
+#include "nn/mapper.h"
+#include "nn/models.h"
+#include "sim/report.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace af;
+
+int main() {
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const arch::ArrayConfig cfg = arch::ArrayConfig::square(128);
+  const arch::SaPowerModel power(cfg, clock);
+
+  std::cout << "Ablation: two power-accounting methodologies on the same "
+               "workloads (128x128).\n\n";
+  std::cout << sim::banner("ArrayFlex-vs-conventional power ratio per layer");
+
+  Table table({"workload", "T", "k", "steady-state ratio",
+               "utilization-aware ratio", "util (conv)"});
+  table.set_align(0, Table::Align::kLeft);
+
+  struct Case {
+    const char* name;
+    gemm::GemmShape shape;
+    int k;
+  };
+  const std::vector<Case> cases = {
+      {"ConvNeXt stage-1 pw", {384, 96, 3136}, 1},
+      {"ResNet-34 layer 20", {256, 2304, 196}, 2},
+      {"ResNet-34 layer 28", {512, 2304, 49}, 4},
+      {"MobileNet fc (T=1)", {1000, 1024, 1}, 4},
+  };
+  for (const auto& c : cases) {
+    const arch::PowerResult ss_af = power.arrayflex(c.shape, c.k);
+    const arch::PowerResult ss_conv = power.conventional(c.shape);
+    const arch::PowerResult ua_af =
+        power.arrayflex_utilization_aware(c.shape, c.k);
+    const arch::PowerResult ua_conv =
+        power.conventional_utilization_aware(c.shape);
+    // Conventional-array utilization: useful MACs / (PEs x streaming cycles).
+    const double util =
+        static_cast<double>(c.shape.t) /
+        static_cast<double>(c.shape.t + cfg.rows + cfg.cols - 2);
+    table.add_row({c.name, std::to_string(c.shape.t), std::to_string(c.k),
+                   fixed(ss_af.power_mw() / ss_conv.power_mw(), 3),
+                   fixed(ua_af.power_mw() / ua_conv.power_mw(), 3),
+                   percent(util)});
+  }
+  std::cout << table;
+
+  std::cout
+      << "\nReading: under steady-state accounting every mode has one power "
+         "figure and\nshallow modes always save power (the paper's bars).  "
+         "Utilization-aware\naccounting instead rewards the conventional SA "
+         "on low-utilization layers\n(small T) because its idle cycles are "
+         "cheap, which flips small-T layers toward\nratios above 1.  The "
+         "paper's reported 13-23% savings are only consistent with\nthe "
+         "steady-state methodology, which is why it is the default "
+         "(EXPERIMENTS.md).\n";
+  return 0;
+}

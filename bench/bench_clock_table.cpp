@@ -1,0 +1,82 @@
+// CLK — The clock-frequency table of the paper's Section IV, regenerated
+// from three independent sources:
+//   * the silicon-calibrated table (2.0 GHz conventional; 1.8/1.7/1.4 GHz
+//     for ArrayFlex k = 1/2/4),
+//   * the Eq. 5 analytic model fitted to the published endpoints,
+//   * our own gate-level static timing analysis of generated PE netlists
+//     (Wallace multiplier + Kogge-Stone CPA + CSA/bypass chain), globally
+//     scaled so the conventional PE closes at the 2 GHz anchor.
+
+#include <iostream>
+
+#include "arch/clocking.h"
+#include "hw/builders/pe_datapath.h"
+#include "hw/netlist.h"
+#include "hw/sta.h"
+#include "sim/report.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace af;
+
+int main() {
+  std::cout << "Reproduces the Section IV clock table (DATE 2023).\n\n";
+
+  const arch::CalibratedClockModel cal = arch::CalibratedClockModel::date23();
+  const arch::AnalyticClockModel fit = arch::AnalyticClockModel::paper_fit();
+  std::cout << "running gate-level STA on generated PE netlists...\n\n";
+  const arch::StaClockModel sta(500.0);
+
+  std::cout << sim::banner("Clock frequency (GHz) per configuration");
+  Table table({"model", "conventional", "k=1", "k=2", "k=3", "k=4"});
+  table.set_align(0, Table::Align::kLeft);
+  const auto row = [&table](const std::string& name,
+                            const arch::ClockModel& m) {
+    table.add_row({name, fixed(m.conventional_frequency_ghz(), 2),
+                   fixed(m.frequency_ghz(1), 2), fixed(m.frequency_ghz(2), 2),
+                   fixed(m.frequency_ghz(3), 2), fixed(m.frequency_ghz(4), 2)});
+  };
+  table.add_row({"paper (28nm Cadence)", "2.00", "1.80", "1.70", "n/a", "1.40"});
+  table.add_separator();
+  row("calibrated table", cal);
+  row("Eq. 5 paper-fit", fit);
+  row("gate-level STA", sta);
+  std::cout << table;
+
+  std::cout << format(
+      "\nSTA delay scale factor: %.4f (unscaled conventional PE: %.0f ps)\n",
+      sta.delay_scale(), 500.0 / sta.delay_scale());
+  std::cout << format(
+      "Eq. 7 coefficients  — calibrated: base=%.1f ps, collapse=%.1f ps "
+      "(ratio %.1f)\n                      — STA:        base=%.1f ps, "
+      "collapse=%.1f ps (ratio %.1f)\n",
+      cal.base_delay_ps(), cal.collapse_delay_ps(),
+      cal.base_delay_ps() / cal.collapse_delay_ps(), sta.base_delay_ps(),
+      sta.collapse_delay_ps(), sta.base_delay_ps() / sta.collapse_delay_ps());
+
+  // Show the critical path of the k=2 collapsed column for flavor.
+  hw::Netlist nl;
+  hw::build_collapsed_column(nl, 2, true, {32, 64});
+  hw::Technology tech;
+  hw::Sta sta_engine(nl, tech);
+  sta_engine.set_input_arrival_ps(tech.scaled_clk_to_q_ps());
+  for (const auto& p : hw::collapsed_column_false_paths(2)) {
+    sta_engine.add_false_path_prefix(p);
+  }
+  const hw::TimingReport report = sta_engine.run();
+  std::cout << format("\nk=2 collapsed-column critical path (%zu stages, "
+                      "endpoint %s):\n",
+                      report.critical_path.size(), report.endpoint.c_str());
+  const std::size_t n = report.critical_path.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 6 && n > 12) {
+      std::cout << "  ...\n";
+      continue;
+    }
+    if (i > 6 && i + 6 < n) continue;
+    const auto& step = report.critical_path[i];
+    std::cout << format("  %-42s %-6s @ %7.1f ps\n", step.cell_name.c_str(),
+                        step.cell_type.c_str(), step.arrival_ps);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// FIG5 — Execution time vs. pipeline-collapse depth for ResNet-34 layers 20
+// and 28 on a 132x132 array (paper Fig. 5).
+//
+// Paper setup: (R, C) = (132, 132) so k in {1, 2, 3, 4} all divide the
+// geometry; layer 20 -> GEMM (M,N,T) = (256, 2304, 196); layer 28 ->
+// (512, 2304, 49).  The conventional (non-configurable) SA runs the normal
+// pipeline at the highest clock and appears as the flat reference line.
+// The paper reports the minimum at k = 2 for layer 20 (k = 3 within ~1.5%
+// under the Eq. 5 clock model — a documented near-tie) and k = 4 for
+// layer 28.
+
+#include <iostream>
+
+#include "arch/latency.h"
+#include "arch/optimizer.h"
+#include "nn/mapper.h"
+#include "nn/models.h"
+#include "sim/report.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace af;
+
+namespace {
+
+void run_layer(const std::string& title, const gemm::GemmShape& shape,
+               const arch::PipelineOptimizer& opt) {
+  std::cout << sim::banner(title);
+  std::cout << format("GEMM shape: M=%lld N=%lld T=%lld; tiles=%lld\n",
+                      static_cast<long long>(shape.m),
+                      static_cast<long long>(shape.n),
+                      static_cast<long long>(shape.t),
+                      static_cast<long long>(gemm::tile_count(shape, 132, 132)));
+
+  const arch::ModeDecision conv = opt.conventional(shape);
+  Table table({"config", "cycles", "clock (GHz)", "exec time", "vs conventional"});
+  table.set_align(0, Table::Align::kLeft);
+  table.add_row({"conventional SA", with_commas(conv.cycles),
+                 fixed(1e3 / conv.period_ps, 2), format_time_ps(conv.time_ps),
+                 "1.000x"});
+  table.add_separator();
+  for (const auto& entry : opt.sweep(shape)) {
+    const arch::ModeDecision& d = entry.decision;
+    table.add_row({format("ArrayFlex k=%d%s", d.k, entry.is_best ? " *" : ""),
+                   with_commas(d.cycles), fixed(1e3 / d.period_ps, 2),
+                   format_time_ps(d.time_ps),
+                   format("%.3fx", d.time_ps / conv.time_ps)});
+  }
+  std::cout << table;
+  const arch::ModeDecision best = opt.best_mode(shape);
+  std::cout << format(
+      "best mode: k=%d (continuous k-hat per Eq. 7: %.2f); savings vs "
+      "conventional: %s\n\n",
+      best.k, opt.continuous_k_hat(shape),
+      percent(1.0 - best.time_ps / conv.time_ps).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Eq. 5 clock scaling, anchored to the paper's frequency table (the paper
+  // never publishes a synthesized k = 3 clock; Fig. 5 scaled the clock per
+  // configuration, which is exactly the Eq. 5 analytic model).
+  const arch::AnalyticClockModel clock = arch::AnalyticClockModel::paper_fit();
+  const arch::ArrayConfig cfg =
+      arch::ArrayConfig::square_with_modes(132, {1, 2, 3, 4});
+  const arch::PipelineOptimizer opt(cfg, clock);
+
+  std::cout << "Reproduces paper Fig. 5 (DATE 2023).\n"
+            << "Array: " << cfg.to_string() << "\n\n";
+
+  // The shapes are taken from the model table and asserted against the
+  // paper's published numbers in tests/nn_test.cpp.
+  const nn::Model resnet = nn::resnet34();
+  run_layer("Fig. 5(a): ResNet-34 layer 20",
+            nn::gemm_shape(resnet.layers[19]), opt);
+  run_layer("Fig. 5(b): ResNet-34 layer 28",
+            nn::gemm_shape(resnet.layers[27]), opt);
+
+  std::cout << "Paper reference: layer 20 minimized at k=2 (k=3 near-tied);\n"
+               "layer 28 minimized at k=4; both beat the conventional SA.\n";
+  return 0;
+}

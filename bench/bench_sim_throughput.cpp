@@ -1,0 +1,125 @@
+// PERF — google-benchmark microbenchmarks of the cycle-accurate simulator
+// and the gate-level infrastructure (methodology sanity; not a paper
+// figure).  Useful for keeping the simulator fast enough for the
+// property-test sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/array.h"
+#include "arch/latency.h"
+#include "gemm/reference.h"
+#include "hw/builders/multiplier.h"
+#include "hw/netlist.h"
+#include "hw/netlist_sim.h"
+#include "hw/sta.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace af;
+
+arch::ArrayConfig config_for(int side) {
+  arch::ArrayConfig cfg;
+  cfg.rows = cfg.cols = side;
+  cfg.supported_k = {1, 2, 4};
+  cfg.validate();
+  return cfg;
+}
+
+void BM_TileSimulation(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const arch::ArrayConfig cfg = config_for(side);
+  arch::SystolicArray array(cfg);
+  Rng rng(1);
+  const std::int64_t t = 32;
+  const gemm::Mat32 a = gemm::random_matrix(rng, t, side, -100, 100);
+  const gemm::Mat32 b = gemm::random_matrix(rng, side, side, -100, 100);
+  std::int64_t macs = 0;
+  for (auto _ : state) {
+    gemm::Mat64 acc(t, side);
+    const arch::TileRunStats stats = array.run_tile(a, b, k, &acc);
+    macs += stats.activity.mult_ops;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(macs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TileSimulation)
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({64, 4});
+
+void BM_ReferenceGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  const gemm::Mat32 a = gemm::random_matrix(rng, 32, n, -100, 100);
+  const gemm::Mat32 b = gemm::random_matrix(rng, n, n, -100, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gemm::reference_gemm(a, b));
+  }
+}
+BENCHMARK(BM_ReferenceGemm)->Arg(64)->Arg(128);
+
+void BM_AnalyticLatencyModel(benchmark::State& state) {
+  const arch::ArrayConfig cfg = config_for(128);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (const int k : {1, 2, 4}) {
+      sink += arch::total_latency_cycles({512, 2304, 196}, cfg, k);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AnalyticLatencyModel);
+
+void BM_WallaceMultiplierBuild(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hw::Netlist nl;
+    const hw::Bus a = nl.new_bus(width);
+    const hw::Bus b = nl.new_bus(width);
+    benchmark::DoNotOptimize(hw::build_wallace_multiplier(nl, a, b));
+    state.counters["cells"] = static_cast<double>(nl.num_cells());
+  }
+}
+BENCHMARK(BM_WallaceMultiplierBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MultiplierNetlistSim(benchmark::State& state) {
+  hw::Netlist nl;
+  const hw::Bus a = nl.new_bus(32);
+  const hw::Bus b = nl.new_bus(32);
+  nl.bind_input("a", a);
+  nl.bind_input("b", b);
+  nl.bind_output("p", hw::build_wallace_multiplier(nl, a, b));
+  hw::NetlistSim sim(nl);
+  Rng rng(3);
+  for (auto _ : state) {
+    sim.set_input_u64("a", rng.next_u64() & 0xFFFFFFFFu);
+    sim.set_input_u64("b", rng.next_u64() & 0xFFFFFFFFu);
+    sim.eval();
+    benchmark::DoNotOptimize(sim.get_u64("p"));
+  }
+}
+BENCHMARK(BM_MultiplierNetlistSim);
+
+void BM_StaOnMultiplier(benchmark::State& state) {
+  hw::Netlist nl;
+  const hw::Bus a = nl.new_bus(32);
+  const hw::Bus b = nl.new_bus(32);
+  nl.bind_input("a", a);
+  nl.bind_input("b", b);
+  nl.bind_output("p", hw::build_wallace_multiplier(nl, a, b));
+  const hw::Technology tech;
+  for (auto _ : state) {
+    hw::Sta sta(nl, tech);
+    benchmark::DoNotOptimize(sta.run().min_period_ps);
+  }
+}
+BENCHMARK(BM_StaOnMultiplier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// A real convolution, end to end, through the cycle-accurate array:
+// float feature maps -> symmetric quantization -> im2col lowering -> tiled
+// weight-stationary execution on ArrayFlex -> dequantization, validated
+// against float convolution.  This is the "edge inference" scenario the
+// paper's introduction motivates (low-latency single-image processing).
+//
+//   $ ./conv_layer_sim
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "arch/array.h"
+#include "arch/clocking.h"
+#include "arch/optimizer.h"
+#include "gemm/quantize.h"
+#include "nn/mapper.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace af;
+
+int main() {
+  // A mid-network layer shape: 3x3 conv, 8 -> 12 channels on a 14x14 map.
+  const nn::Layer layer = nn::Layer::conv("conv", 8, 12, 3, 1, 1, 14, 14);
+  const gemm::GemmShape shape = nn::gemm_shape(layer);
+  std::cout << format("layer: %s %dx%d/%d, %d -> %d channels on %dx%d\n",
+                      nn::layer_kind_name(layer.kind), layer.kernel_h,
+                      layer.kernel_w, layer.stride, layer.in_channels,
+                      layer.out_channels, layer.in_h, layer.in_w);
+  std::cout << format("GEMM: M=%lld N=%lld T=%lld\n\n",
+                      static_cast<long long>(shape.m),
+                      static_cast<long long>(shape.n),
+                      static_cast<long long>(shape.t));
+
+  // Synthetic float data standing in for real feature maps/weights.
+  Rng rng(42);
+  const std::size_t in_elems = static_cast<std::size_t>(8 * 14 * 14);
+  const std::size_t w_elems = static_cast<std::size_t>(12 * 8 * 9);
+  std::vector<float> input_f(in_elems), weights_f(w_elems);
+  for (auto& v : input_f) v = static_cast<float>(rng.next_double() * 4.0 - 2.0);
+  for (auto& v : weights_f) v = static_cast<float>(rng.next_double() - 0.5);
+
+  // Quantize (the paper's SAs run on quantized integers).
+  const gemm::QuantParams qa = gemm::choose_symmetric_scale(input_f, 16);
+  const gemm::QuantParams qw = gemm::choose_symmetric_scale(weights_f, 16);
+  const gemm::Mat32 input_q = gemm::quantize_matrix(input_f, 8, 14 * 14, qa);
+  const gemm::Mat32 weights_q = gemm::quantize_matrix(weights_f, 12, 8 * 9, qw);
+
+  // Lower to GEMM and run on a 16x16 ArrayFlex in the optimizer's mode.
+  const gemm::Mat32 a = nn::im2col(layer, input_q);
+  const gemm::Mat32 b = nn::weights_to_matrix(layer, weights_q);
+
+  arch::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  cfg.supported_k = {1, 2, 4};
+  cfg.validate();
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const arch::PipelineOptimizer opt(cfg, clock);
+  const arch::ModeDecision mode = opt.best_mode(shape);
+  std::cout << format("chosen pipeline mode: k=%d (k-hat %.2f)\n", mode.k,
+                      opt.continuous_k_hat(shape));
+
+  arch::SystolicArray array(cfg);
+  gemm::Mat64 out_q;
+  const arch::TileRunStats stats = array.run_gemm(a, b, mode.k, &out_q);
+  std::cout << format("simulated %s cycles over %lld tiles (%s at %.2f GHz)\n",
+                      with_commas(stats.total_cycles).c_str(),
+                      static_cast<long long>(
+                          gemm::tile_count(shape, cfg.rows, cfg.cols)),
+                      format_time_ps(static_cast<double>(stats.total_cycles) *
+                                     mode.period_ps)
+                          .c_str(),
+                      1e3 / mode.period_ps);
+  std::cout << format("useful MACs: %s\n",
+                      with_commas(stats.activity.mult_ops).c_str());
+
+  // Dequantize and compare against float convolution.
+  const auto in_at = [&](int ch, int y, int x) {
+    return input_f[static_cast<std::size_t>(ch * 196 + y * 14 + x)];
+  };
+  double max_err = 0.0, max_mag = 0.0;
+  for (int oc = 0; oc < 12; ++oc) {
+    for (int oy = 0; oy < 14; ++oy) {
+      for (int ox = 0; ox < 14; ++ox) {
+        double acc = 0.0;
+        int widx = 0;
+        for (int ch = 0; ch < 8; ++ch) {
+          for (int ky = 0; ky < 3; ++ky) {
+            for (int kx = 0; kx < 3; ++kx, ++widx) {
+              const int iy = oy + ky - 1, ix = ox + kx - 1;
+              if (iy < 0 || iy >= 14 || ix < 0 || ix >= 14) continue;
+              acc += static_cast<double>(in_at(ch, iy, ix)) *
+                     weights_f[static_cast<std::size_t>(oc * 72 + widx)];
+            }
+          }
+        }
+        const double deq =
+            static_cast<double>(out_q.at(oy * 14 + ox, oc)) * qa.scale * qw.scale;
+        max_err = std::max(max_err, std::fabs(deq - acc));
+        max_mag = std::max(max_mag, std::fabs(acc));
+      }
+    }
+  }
+  std::cout << format(
+      "\nmax abs error vs float conv: %.3e (max output magnitude %.3f)\n",
+      max_err, max_mag);
+  std::cout << (max_err < 1e-2 ? "PASS: within 16-bit quantization noise\n"
+                               : "FAIL: error exceeds quantization budget\n");
+  return max_err < 1e-2 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// ResNet-34 single-batch inference on ArrayFlex (the paper's primary
+// evaluation workload): per-layer pipeline configuration, execution time,
+// power and the end-to-end comparison against a conventional fixed-pipeline
+// systolic array.
+//
+//   $ ./resnet34_inference [side]          (default 128)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/clocking.h"
+#include "nn/models.h"
+#include "nn/runner.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 128;
+  const arch::ArrayConfig cfg = arch::ArrayConfig::square(side);
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const nn::InferenceRunner runner(cfg, clock);
+
+  const nn::Model model = nn::resnet34();
+  const nn::ModelReport report = runner.run(model);
+
+  std::cout << "ResNet-34 (" << model.layers.size() << " counted conv layers, "
+            << with_commas(model.total_macs()) << " MACs) on "
+            << cfg.to_string() << "\n\n";
+
+  Table table({"layer", "GEMM (M,N,T)", "k-hat", "k", "ArrayFlex", "savings"});
+  table.set_align(0, Table::Align::kLeft);
+  table.set_align(1, Table::Align::kLeft);
+  for (const auto& l : report.layers) {
+    table.add_row({l.name,
+                   format("(%lld, %lld, %lld)", static_cast<long long>(l.shape.m),
+                          static_cast<long long>(l.shape.n),
+                          static_cast<long long>(l.shape.t)),
+                   fixed(l.k_hat, 2), std::to_string(l.arrayflex.k),
+                   format_time_ps(l.arrayflex.time_ps),
+                   percent(l.time_savings())});
+  }
+  std::cout << table;
+
+  const arch::EfficiencyComparison e = report.totals();
+  std::cout << format("\ninference latency : %s (ArrayFlex) vs %s (conventional)"
+                      "  -> %s faster\n",
+                      format_time_ps(report.arrayflex_time_ps).c_str(),
+                      format_time_ps(report.conventional_time_ps).c_str(),
+                      percent(e.latency_savings()).c_str());
+  std::cout << format("average power     : %.0f mW vs %.0f mW  -> %s lower\n",
+                      report.arrayflex_avg_power_mw(),
+                      report.conventional_avg_power_mw(),
+                      percent(e.power_savings()).c_str());
+  std::cout << format("energy-delay prod : %.2fx more efficient\n", e.edp_gain);
+
+  std::cout << "\nlayers per pipeline mode:";
+  for (const auto& [k, n] : report.mode_histogram()) {
+    std::cout << format("  k=%d: %d", k, n);
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "arch/activity.h"
+
+#include "util/math.h"
+#include "util/status.h"
+
+namespace af::arch {
+
+ActivityCounters predict_tile_activity(const ArrayConfig& config,
+                                       std::int64_t t, int k) {
+  config.validate();
+  AF_CHECK(config.supports(k), "mode k=" << k << " not supported");
+  AF_CHECK(t > 0, "tile T dimension must be positive");
+
+  const std::int64_t rows = config.rows;
+  const std::int64_t cols = config.cols;
+  const std::int64_t h_groups = cols / k;
+  const std::int64_t v_groups = rows / k;
+
+  ActivityCounters a;
+  a.mult_ops = t * rows * cols;
+  a.csa_ops = a.mult_ops;
+  a.cpa_ops = t * cols * v_groups;
+  a.hreg_writes = t * rows * (h_groups - 1);
+  a.vreg_writes = t * cols * (v_groups - 1);
+  a.acc_writes = t * cols;
+  a.wreg_writes = rows * rows * cols;
+  a.streaming_cycles = t + v_groups + h_groups - 2;
+  a.hreg_bypassed_bit_cycles =
+      rows * (cols - h_groups) * config.input_bits * a.streaming_cycles;
+  a.vreg_bypassed_bit_cycles =
+      cols * (rows - v_groups) * config.acc_bits * a.streaming_cycles;
+  return a;
+}
+
+ActivityCounters predict_gemm_activity(const gemm::GemmShape& shape,
+                                       const ArrayConfig& config, int k) {
+  const std::int64_t tiles =
+      gemm::tile_count(shape, config.rows, config.cols);
+  ActivityCounters per = predict_tile_activity(config, shape.t, k);
+  ActivityCounters out;
+  out.mult_ops = per.mult_ops * tiles;
+  out.csa_ops = per.csa_ops * tiles;
+  out.cpa_ops = per.cpa_ops * tiles;
+  out.hreg_writes = per.hreg_writes * tiles;
+  out.vreg_writes = per.vreg_writes * tiles;
+  out.wreg_writes = per.wreg_writes * tiles;
+  out.acc_writes = per.acc_writes * tiles;
+  out.hreg_bypassed_bit_cycles = per.hreg_bypassed_bit_cycles * tiles;
+  out.vreg_bypassed_bit_cycles = per.vreg_bypassed_bit_cycles * tiles;
+  out.streaming_cycles = per.streaming_cycles * tiles;
+  return out;
+}
+
+}  // namespace af::arch

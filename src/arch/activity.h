@@ -1,0 +1,39 @@
+// Closed-form activity model.
+//
+// For every counter the cycle-accurate simulator measures, this model gives
+// the exact expected value as a function of (R, C, T, k).  The two are
+// pinned against each other by property tests (tests/arch_activity_test.cpp)
+// over dozens of geometries, which is what licenses using the closed forms
+// to evaluate full CNNs on 128x128/256x256 arrays where cycle-by-cycle
+// simulation of trillions of MACs would be pointless work.
+//
+// Derivations (per T x R by R x C tile in mode k):
+//   mult/csa ops:  every (t, r, c) triple computes once          -> T*R*C
+//   cpa ops:       one resolve per (t, c, row-group)             -> T*C*R/k
+//   hreg writes:   each (t, r) value latches at group heads 1..C/k-1
+//                                                                -> T*R*(C/k - 1)
+//   vreg writes:   boundary latches below groups 0..R/k-2        -> T*C*(R/k - 1)
+//   acc writes:    one per output element                        -> T*C
+//   wreg writes:   R-cycle shift preload, all R*C regs latch     -> R^2*C
+//   streaming cycles:                        T + R/k + C/k - 2   (Eq. 3 - R)
+//   bypassed bit-cycles: transparent registers, per streaming cycle:
+//     horizontal R*(C - C/k)*input_bits, vertical C*(R - R/k)*acc_bits.
+
+#pragma once
+
+#include "arch/array.h"
+#include "arch/config.h"
+#include "gemm/tiling.h"
+
+namespace af::arch {
+
+// Expected counters for a single tile.
+ActivityCounters predict_tile_activity(const ArrayConfig& config,
+                                       std::int64_t t, int k);
+
+// Expected counters for a full tiled GEMM (per-tile counts scaled by
+// ceil(N/R) * ceil(M/C)).
+ActivityCounters predict_gemm_activity(const gemm::GemmShape& shape,
+                                       const ArrayConfig& config, int k);
+
+}  // namespace af::arch

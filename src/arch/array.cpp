@@ -1,0 +1,306 @@
+#include "arch/array.h"
+
+#include <memory>
+
+#include "arch/sparse.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace af::arch {
+namespace {
+
+// Modular 64-bit accumulate (matches the RTL adders).
+std::int64_t add_mod(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+struct Tagged32 {
+  std::int32_t value = 0;
+  std::int64_t tag = -1;
+};
+
+}  // namespace
+
+ActivityCounters& ActivityCounters::operator+=(const ActivityCounters& o) {
+  mult_ops += o.mult_ops;
+  csa_ops += o.csa_ops;
+  cpa_ops += o.cpa_ops;
+  hreg_writes += o.hreg_writes;
+  vreg_writes += o.vreg_writes;
+  wreg_writes += o.wreg_writes;
+  acc_writes += o.acc_writes;
+  hreg_bypassed_bit_cycles += o.hreg_bypassed_bit_cycles;
+  vreg_bypassed_bit_cycles += o.vreg_bypassed_bit_cycles;
+  streaming_cycles += o.streaming_cycles;
+  return *this;
+}
+
+TileRunStats& TileRunStats::operator+=(const TileRunStats& o) {
+  total_cycles += o.total_cycles;
+  preload_cycles += o.preload_cycles;
+  activity += o.activity;
+  return *this;
+}
+
+SystolicArray::SystolicArray(const ArrayConfig& config) : config_(config) {
+  config_.validate();
+}
+
+TileRunStats SystolicArray::run_tile(const gemm::Mat32& a,
+                                     const gemm::Mat32& b, int k,
+                                     gemm::Mat64* acc,
+                                     const CycleObserver& observer) {
+  AF_CHECK(config_.supports(k), "mode k=" << k << " not supported");
+  return run_tile_asym(a, b, k, k, acc, observer);
+}
+
+TileRunStats SystolicArray::run_tile_asym(const gemm::Mat32& a,
+                                          const gemm::Mat32& b, int k_v,
+                                          int k_h, gemm::Mat64* acc,
+                                          const CycleObserver& observer) {
+  const int rows = config_.rows;
+  const int cols = config_.cols;
+  AF_CHECK(k_v >= 1 && divides(k_v, rows),
+           "vertical collapse k_v=" << k_v << " must divide R=" << rows);
+  AF_CHECK(k_h >= 1 && divides(k_h, cols),
+           "horizontal collapse k_h=" << k_h << " must divide C=" << cols);
+  AF_CHECK(a.cols() == rows, "tile A must have R=" << rows << " columns, got "
+                                                   << a.cols());
+  AF_CHECK(b.rows() == rows && b.cols() == cols,
+           "tile B must be " << rows << "x" << cols << ", got " << b.rows()
+                             << "x" << b.cols());
+  const std::int64_t t_dim = a.rows();
+  AF_CHECK(t_dim > 0, "tile T dimension must be positive");
+  AF_CHECK(acc != nullptr && acc->rows() == t_dim && acc->cols() == cols,
+           "accumulator must be T x C");
+
+  TileRunStats stats;
+
+  // ---- Weight preload: one row of B enters the north edge per cycle and
+  // shifts down, so loading takes exactly R cycles (paper Section II).
+  gemm::Mat32 weight(rows, cols);
+  for (int cycle = 0; cycle < rows; ++cycle) {
+    for (int r = rows - 1; r >= 1; --r) {
+      for (int c = 0; c < cols; ++c) weight.at(r, c) = weight.at(r - 1, c);
+    }
+    for (int c = 0; c < cols; ++c) {
+      weight.at(0, c) = b.at(rows - 1 - cycle, c);
+    }
+    stats.activity.wreg_writes +=
+        static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols);
+  }
+  stats.preload_cycles = rows;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      AF_ASSERT(weight.at(r, c) == b.at(r, c), "weight preload misplaced B["
+                                                   << r << "][" << c << "]");
+    }
+  }
+
+  // ---- Streaming epoch.
+  const int h_groups = cols / k_h;  // column groups (broadcast width k_h)
+  const int v_groups = rows / k_v;  // row groups (collapse depth k_v)
+
+  // h_reg[r][g] is the registered value seen by column group g+1; the value
+  // at group 0 is the west input of the current cycle (launched by the
+  // feeder's own register).
+  std::vector<std::vector<Tagged32>> h_reg(
+      static_cast<std::size_t>(rows),
+      std::vector<Tagged32>(static_cast<std::size_t>(h_groups - 1)));
+  // v_reg[vg][c]: resolved partial sum latched at the boundary of row group
+  // vg, consumed by group vg+1 the next cycle.
+  std::vector<std::vector<Tagged64>> v_reg(
+      static_cast<std::size_t>(v_groups - 1),
+      std::vector<Tagged64>(static_cast<std::size_t>(cols)));
+
+  // Clock-gated (transparent) register bits, constant per streaming cycle:
+  // horizontal: each row has C-1 activation registers of which C/k - 1 stay
+  // active; vertical: each column has R psum registers of which R/k stay
+  // active.
+  const std::int64_t h_bypassed_bits =
+      static_cast<std::int64_t>(rows) *
+      (static_cast<std::int64_t>(cols) - h_groups) * config_.input_bits;
+  const std::int64_t v_bypassed_bits =
+      static_cast<std::int64_t>(cols) *
+      (static_cast<std::int64_t>(rows) - v_groups) * config_.acc_bits;
+
+  std::vector<std::int32_t> west(static_cast<std::size_t>(rows), 0);
+  std::vector<std::int64_t> west_tag(static_cast<std::size_t>(rows), -1);
+  std::vector<std::int64_t> south_values(static_cast<std::size_t>(cols), 0);
+  std::vector<std::uint8_t> south_valid(static_cast<std::size_t>(cols), 0);
+
+  std::int64_t outputs_written = 0;
+  const std::int64_t outputs_expected = t_dim * cols;
+  std::int64_t cycle = 0;
+
+  while (outputs_written < outputs_expected) {
+    // (1) West-edge injection: A[t][r] enters at relative cycle
+    //     t + floor(r/k) — "the first (and last) elements of matrix A
+    //     arrive in batches of k words" (paper Section III).
+    for (int r = 0; r < rows; ++r) {
+      const std::int64_t t = cycle - r / k_v;
+      if (t >= 0 && t < t_dim) {
+        west[static_cast<std::size_t>(r)] = a.at(t, r);
+        west_tag[static_cast<std::size_t>(r)] = t;
+      } else {
+        west[static_cast<std::size_t>(r)] = 0;
+        west_tag[static_cast<std::size_t>(r)] = -1;
+      }
+    }
+    std::fill(south_valid.begin(), south_valid.end(), 0);
+
+    // (2) Combinational propagate: each (column group, row group) cell of
+    //     the grid processes one tag this cycle.
+    std::vector<std::vector<Tagged64>> v_next = v_reg;
+    for (int cg = 0; cg < h_groups; ++cg) {
+      for (int vg = 0; vg < v_groups; ++vg) {
+        const std::int64_t tag = cycle - cg - vg;
+        const bool valid = tag >= 0 && tag < t_dim;
+        for (int c = cg * k_h; c < (cg + 1) * k_h; ++c) {
+          if (!valid) {
+            if (vg + 1 < v_groups) {
+              v_next[static_cast<std::size_t>(vg)][static_cast<std::size_t>(c)] =
+                  Tagged64{0, -1};
+            }
+            continue;
+          }
+          // Incoming partial sum: zero at the top group, otherwise the
+          // boundary register of the group above (resolved, carry = 0).
+          CsaPair pair;
+          if (vg > 0) {
+            const Tagged64& in =
+                v_reg[static_cast<std::size_t>(vg - 1)][static_cast<std::size_t>(c)];
+            AF_ASSERT(in.tag == tag, "psum tag skew: expected "
+                                         << tag << ", got " << in.tag
+                                         << " at vg=" << vg << " c=" << c);
+            pair.sum = in.value;
+          }
+          // Transparent reduction through the k rows of this group: one
+          // 3:2 compression per PE, single cycle.
+          for (int r = vg * k_v; r < (vg + 1) * k_v; ++r) {
+            const Tagged32 stream =
+                cg == 0 ? Tagged32{west[static_cast<std::size_t>(r)],
+                                   west_tag[static_cast<std::size_t>(r)]}
+                        : h_reg[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(cg - 1)];
+            AF_ASSERT(stream.tag == tag, "activation tag skew: expected "
+                                             << tag << ", got " << stream.tag
+                                             << " at r=" << r << " cg=" << cg);
+            pair = pe_compute(stream.value, weight.at(r, c), pair);
+            ++stats.activity.mult_ops;
+            ++stats.activity.csa_ops;
+          }
+          // Boundary PE resolves the redundant pair with its CPA.
+          const std::int64_t resolved = pair.resolve();
+          ++stats.activity.cpa_ops;
+          if (vg + 1 == v_groups) {
+            acc->at(tag, c) = add_mod(acc->at(tag, c), resolved);
+            ++stats.activity.acc_writes;
+            ++outputs_written;
+            south_values[static_cast<std::size_t>(c)] = resolved;
+            south_valid[static_cast<std::size_t>(c)] = 1;
+          } else {
+            v_next[static_cast<std::size_t>(vg)][static_cast<std::size_t>(c)] =
+                Tagged64{resolved, tag};
+            ++stats.activity.vreg_writes;
+          }
+        }
+      }
+    }
+
+    // (3) Horizontal register latch: group-head registers shift the stream
+    //     one group to the right.
+    for (int r = 0; r < rows; ++r) {
+      auto& regs = h_reg[static_cast<std::size_t>(r)];
+      for (int g = h_groups - 2; g >= 1; --g) {
+        regs[static_cast<std::size_t>(g)] = regs[static_cast<std::size_t>(g - 1)];
+        if (regs[static_cast<std::size_t>(g)].tag >= 0) {
+          ++stats.activity.hreg_writes;
+        }
+      }
+      if (h_groups >= 2) {
+        regs[0] = Tagged32{west[static_cast<std::size_t>(r)],
+                           west_tag[static_cast<std::size_t>(r)]};
+        if (regs[0].tag >= 0) ++stats.activity.hreg_writes;
+      }
+    }
+    v_reg = std::move(v_next);
+
+    stats.activity.hreg_bypassed_bit_cycles += h_bypassed_bits;
+    stats.activity.vreg_bypassed_bit_cycles += v_bypassed_bits;
+
+    if (observer) {
+      CycleSnapshot snap;
+      snap.relative_cycle = cycle;
+      snap.west_inputs = &west;
+      snap.south_values = &south_values;
+      snap.south_valid = &south_valid;
+      observer(snap);
+    }
+    ++cycle;
+    AF_ASSERT(cycle <= t_dim + rows + cols + 4,
+              "simulation failed to drain: cycle " << cycle);
+  }
+
+  stats.activity.streaming_cycles = cycle;
+  stats.total_cycles = stats.preload_cycles + cycle;
+  return stats;
+}
+
+namespace {
+
+// Shared tiled-execution loop; `skip_zero_tiles` implements the block-sparse
+// sequencer of Section V's future-work discussion.
+TileRunStats run_tiled(SystolicArray& array, const gemm::Mat32& a,
+                       const gemm::Mat32& b, int k, gemm::Mat64* out,
+                       bool skip_zero_tiles) {
+  AF_CHECK(a.cols() == b.rows(), "GEMM inner-dimension mismatch: "
+                                     << a.cols() << " vs " << b.rows());
+  AF_CHECK(out != nullptr, "output matrix required");
+  const ArrayConfig& config = array.config();
+  const gemm::GemmShape shape{b.cols(), a.cols(), a.rows()};
+  *out = gemm::Mat64(shape.t, shape.m);
+
+  std::unique_ptr<TileOccupancy> occupancy;
+  if (skip_zero_tiles) {
+    occupancy = std::make_unique<TileOccupancy>(
+        TileOccupancy::from_matrix(b, config.rows, config.cols));
+  }
+  const gemm::TileGrid grid(shape, config.rows, config.cols);
+  TileRunStats stats;
+  for (const gemm::TileCoord& tile : grid.tiles()) {
+    if (occupancy != nullptr &&
+        !occupancy->is_nonzero(tile.n0 / config.rows, tile.m0 / config.cols)) {
+      continue;  // all-zero weight tile: contributes nothing, costs nothing
+    }
+    const gemm::Mat32 a_block =
+        a.block_padded(0, tile.n0, shape.t, config.rows);
+    const gemm::Mat32 b_block =
+        b.block_padded(tile.n0, tile.m0, config.rows, config.cols);
+    gemm::Mat64 acc(shape.t, config.cols);
+    stats += array.run_tile(a_block, b_block, k, &acc);
+    for (std::int64_t t = 0; t < shape.t; ++t) {
+      for (std::int64_t m = 0; m < tile.m_extent; ++m) {
+        out->at(t, tile.m0 + m) =
+            add_mod(out->at(t, tile.m0 + m), acc.at(t, m));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+TileRunStats SystolicArray::run_gemm(const gemm::Mat32& a, const gemm::Mat32& b,
+                                     int k, gemm::Mat64* out) {
+  return run_tiled(*this, a, b, k, out, /*skip_zero_tiles=*/false);
+}
+
+TileRunStats SystolicArray::run_gemm_sparse(const gemm::Mat32& a,
+                                            const gemm::Mat32& b, int k,
+                                            gemm::Mat64* out) {
+  return run_tiled(*this, a, b, k, out, /*skip_zero_tiles=*/true);
+}
+
+}  // namespace af::arch

@@ -1,0 +1,70 @@
+#include "arch/config.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::arch {
+
+void ArrayConfig::validate() const {
+  AF_CHECK(rows > 0 && cols > 0, "array dimensions must be positive, got "
+                                     << rows << "x" << cols);
+  AF_CHECK(input_bits >= 2 && input_bits <= 32,
+           "input_bits must be in [2,32], got " << input_bits);
+  AF_CHECK(acc_bits >= 2 * input_bits && acc_bits <= 64,
+           "acc_bits must be in [2*input_bits, 64], got " << acc_bits);
+  AF_CHECK(!supported_k.empty(), "at least one pipeline mode is required");
+  AF_CHECK(std::find(supported_k.begin(), supported_k.end(), 1) !=
+               supported_k.end(),
+           "normal pipeline mode (k=1) must be supported");
+  for (const int k : supported_k) {
+    AF_CHECK(k >= 1, "pipeline mode must be >= 1, got " << k);
+    AF_CHECK(divides(k, rows) && divides(k, cols),
+             "collapse depth k=" << k << " must divide both R=" << rows
+                                 << " and C=" << cols);
+  }
+}
+
+bool ArrayConfig::supports(int k) const {
+  return std::find(supported_k.begin(), supported_k.end(), k) !=
+         supported_k.end();
+}
+
+int ArrayConfig::max_k() const {
+  return *std::max_element(supported_k.begin(), supported_k.end());
+}
+
+std::string ArrayConfig::to_string() const {
+  std::string modes;
+  for (const int k : supported_k) {
+    if (!modes.empty()) modes += ",";
+    modes += std::to_string(k);
+  }
+  return format("%dx%d SA (k in {%s}, %d-bit ops, %d-bit acc)", rows, cols,
+                modes.c_str(), input_bits, acc_bits);
+}
+
+ArrayConfig ArrayConfig::square(int side) {
+  ArrayConfig cfg;
+  cfg.rows = side;
+  cfg.cols = side;
+  cfg.supported_k.clear();
+  for (const int k : {1, 2, 4}) {
+    if (divides(k, side)) cfg.supported_k.push_back(k);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+ArrayConfig ArrayConfig::square_with_modes(int side, std::vector<int> modes) {
+  ArrayConfig cfg;
+  cfg.rows = side;
+  cfg.cols = side;
+  cfg.supported_k = std::move(modes);
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace af::arch

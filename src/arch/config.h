@@ -1,0 +1,41 @@
+// Array geometry and pipeline-mode configuration.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace af::arch {
+
+// Static description of an ArrayFlex systolic array instance.
+//
+// `supported_k` lists the pipeline-collapse depths the hardware can be
+// configured to; every entry must divide both `rows` and `cols` (paper,
+// Section IV: "collapsing three pipeline stages is not supported, since
+// three does not divide exactly with the size of the SA").  k = 1 (normal
+// pipeline) must always be supported.
+struct ArrayConfig {
+  int rows = 128;  // R
+  int cols = 128;  // C
+  int input_bits = 32;
+  int acc_bits = 64;
+  std::vector<int> supported_k = {1, 2, 4};
+
+  // Throws af::Error when the configuration is inconsistent.
+  void validate() const;
+
+  bool supports(int k) const;
+
+  // Largest supported collapse depth.
+  int max_k() const;
+
+  int num_pes() const { return rows * cols; }
+
+  std::string to_string() const;
+
+  // Convenience factories for the paper's evaluation setups.
+  static ArrayConfig square(int side);                    // {1,2,4} modes
+  static ArrayConfig square_with_modes(int side, std::vector<int> modes);
+};
+
+}  // namespace af::arch

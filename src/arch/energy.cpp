@@ -1,0 +1,21 @@
+#include "arch/energy.h"
+
+#include "util/status.h"
+
+namespace af::arch {
+
+EfficiencyComparison compare(const PowerResult& arrayflex,
+                             const PowerResult& conventional) {
+  AF_CHECK(conventional.time_ps > 0 && conventional.energy_pj > 0,
+           "conventional baseline must be non-degenerate");
+  AF_CHECK(arrayflex.time_ps > 0 && arrayflex.energy_pj > 0,
+           "arrayflex result must be non-degenerate");
+  EfficiencyComparison out;
+  out.time_ratio = arrayflex.time_ps / conventional.time_ps;
+  out.power_ratio = arrayflex.power_mw() / conventional.power_mw();
+  out.energy_ratio = arrayflex.energy_pj / conventional.energy_pj;
+  out.edp_gain = conventional.edp() / arrayflex.edp();
+  return out;
+}
+
+}  // namespace af::arch

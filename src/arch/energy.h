@@ -1,0 +1,24 @@
+// Energy-delay metrics and comparison helpers (the paper's headline
+// "1.4x-1.8x combined energy-delay-product efficiency").
+
+#pragma once
+
+#include "arch/power_model.h"
+
+namespace af::arch {
+
+struct EfficiencyComparison {
+  double time_ratio = 0.0;    // arrayflex / conventional (< 1 is a win)
+  double power_ratio = 0.0;   // arrayflex / conventional
+  double energy_ratio = 0.0;  // arrayflex / conventional
+  double edp_gain = 0.0;      // conventional EDP / arrayflex EDP (> 1 is a win)
+
+  double latency_savings() const { return 1.0 - time_ratio; }
+  double power_savings() const { return 1.0 - power_ratio; }
+};
+
+// Both results must describe the same workload.
+EfficiencyComparison compare(const PowerResult& arrayflex,
+                             const PowerResult& conventional);
+
+}  // namespace af::arch

@@ -1,0 +1,39 @@
+// Analytic latency model — Equations (1)-(4) of the paper.
+//
+// These closed forms are validated cycle-for-cycle against the
+// cycle-accurate simulator (tests/arch_array_test.cpp); the bench harness
+// uses them to evaluate full CNNs at 128x128/256x256 scale instantly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.h"
+#include "gemm/tiling.h"
+
+namespace af::arch {
+
+// Eq. (1)/(3): cycles to stream one T x R by R x C tile product through an
+// R x C array in collapse mode k (k must divide R and C; k = 1 reduces to
+// Eq. 1's 2R + C + T - 2).
+std::int64_t tile_latency_cycles(int rows, int cols, std::int64_t t, int k);
+
+// Asymmetric generalization (the PE's two config bits are independent,
+// paper Section III-B): vertical collapse k_v, horizontal collapse k_h:
+// L = R + R/k_v + C/k_h + T - 2.  Reduces to Eq. 3 when k_v == k_h.
+std::int64_t tile_latency_cycles_asym(int rows, int cols, std::int64_t t,
+                                      int k_v, int k_h);
+
+// Tiled total under asymmetric collapse (Eq. 4 structure).
+std::int64_t total_latency_cycles_asym(const gemm::GemmShape& shape,
+                                       const ArrayConfig& config, int k_v,
+                                       int k_h);
+
+// Eq. (2)/(4): cycles for the full tiled GEMM: L(k) * ceil(N/R) * ceil(M/C).
+std::int64_t total_latency_cycles(const gemm::GemmShape& shape,
+                                  const ArrayConfig& config, int k);
+
+// Eq. (6): absolute execution time in picoseconds given a clock period.
+double absolute_time_ps(std::int64_t cycles, double period_ps);
+
+}  // namespace af::arch

@@ -1,0 +1,24 @@
+#include "arch/pe.h"
+
+namespace af::arch {
+
+CsaPair csa_compress(std::int64_t addend, const CsaPair& in) {
+  const auto p = static_cast<std::uint64_t>(addend);
+  const auto s = static_cast<std::uint64_t>(in.sum);
+  const auto c = static_cast<std::uint64_t>(in.carry);
+  CsaPair out;
+  out.sum = static_cast<std::int64_t>(p ^ s ^ c);
+  out.carry = static_cast<std::int64_t>(((p & s) | (p & c) | (s & c)) << 1);
+  return out;
+}
+
+std::int64_t full_product(std::int32_t a, std::int32_t w) {
+  return static_cast<std::int64_t>(a) * static_cast<std::int64_t>(w);
+}
+
+CsaPair pe_compute(std::int32_t activation, std::int32_t weight,
+                   const CsaPair& psum_in) {
+  return csa_compress(full_product(activation, weight), psum_in);
+}
+
+}  // namespace af::arch

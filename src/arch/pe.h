@@ -1,0 +1,51 @@
+// Behavioural model of the enhanced, configurable PE (paper Fig. 3).
+//
+// Arithmetic is bit-faithful to the RTL: products are exact 64-bit values,
+// vertical accumulation flows in redundant carry-save form through collapsed
+// groups, and the carry-propagate resolution wraps modulo 2^64 exactly like
+// the RTL's 64-bit adders.
+
+#pragma once
+
+#include <cstdint>
+
+namespace af::arch {
+
+// Redundant carry-save representation: value == sum + carry (mod 2^64).
+// The carry word is stored pre-shifted (weight 1), i.e. immediately after a
+// compression it holds the full-adder carries moved one position left.
+struct CsaPair {
+  std::int64_t sum = 0;
+  std::int64_t carry = 0;
+
+  std::int64_t resolve() const {
+    // The carry-propagate adder of the group-boundary PE.
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(sum) +
+                                     static_cast<std::uint64_t>(carry));
+  }
+};
+
+// One 3:2 compression step: fold `addend` into the pair.  Bit i of the new
+// sum is the XOR of the three operands; the majority bits shift left one
+// position into the carry word (the top carry bit drops — modular
+// arithmetic, as in the RTL).
+CsaPair csa_compress(std::int64_t addend, const CsaPair& in);
+
+// Exact 64-bit product of two 32-bit operands.
+std::int64_t full_product(std::int32_t a, std::int32_t w);
+
+// Configuration bits of one PE (paper: two bits, independently controlling
+// the transparency of the horizontal and vertical pipeline registers).
+struct PeConfig {
+  bool horizontal_transparent = false;
+  bool vertical_transparent = false;
+};
+
+// A single PE's combinational function for one cycle: multiply the
+// activation with the stationary weight and compress into the incoming
+// redundant partial sum.  The caller owns register behaviour (latch vs.
+// bypass), which is what the array-level simulator models.
+CsaPair pe_compute(std::int32_t activation, std::int32_t weight,
+                   const CsaPair& psum_in);
+
+}  // namespace af::arch

@@ -1,0 +1,162 @@
+#include "arch/power_model.h"
+
+#include "util/math.h"
+#include "util/status.h"
+
+namespace af::arch {
+
+SaPowerModel::SaPowerModel(const ArrayConfig& config, const ClockModel& clock,
+                           const EnergyParams& params)
+    : config_(config), clock_(clock), params_(params) {
+  config_.validate();
+}
+
+double SaPowerModel::steady_cycle_energy_fj(bool arrayflex_hardware,
+                                            int k) const {
+  AF_CHECK(k >= 1, "mode must be >= 1");
+  AF_CHECK(divides(k, config_.rows) && divides(k, config_.cols),
+           "k=" << k << " must divide the array dimensions");
+  const double rows = config_.rows;
+  const double cols = config_.cols;
+  const double pes = rows * cols;
+  const double h_groups = cols / k;
+  const double v_groups = rows / k;
+  const double glitch =
+      arrayflex_hardware ? 1.0 + params_.glitch_per_stage * (k - 1) : 1.0;
+
+  double fj = 0.0;
+  // Datapath: every PE multiplies every cycle at full streaming rate.
+  fj += pes * params_.e_mult_fj * glitch;
+  if (arrayflex_hardware) {
+    fj += pes * params_.e_csa_fj * glitch;
+    fj += pes * params_.e_bypass_mux_fj;
+  }
+  // Only group-boundary rows resolve with their CPA.
+  fj += pes / k * params_.e_cpa_fj;
+
+  // Register data energy: active horizontal group-head registers and the
+  // vertical boundary registers (the bottom one feeds the accumulator).
+  const double h_active_bits = rows * (h_groups - 1) * config_.input_bits;
+  const double v_active_bits = cols * v_groups * config_.acc_bits;
+  fj += (h_active_bits + v_active_bits) * params_.e_reg_bit_fj;
+  fj += cols * params_.e_acc_fj;  // one output per column per cycle
+
+  // Clock tree: weight registers are gated once stationary (both designs);
+  // bypassed pipeline registers are gated with finite efficiency.
+  const double h_bits = rows * (cols - 1) * config_.input_bits;
+  const double v_bits = cols * rows * config_.acc_bits;
+  const double total_bits = h_bits + v_bits;
+  const double active_bits = h_active_bits + v_active_bits;
+  const double gated_bits = total_bits - active_bits;
+  const double leaf = active_bits + gated_bits * (1.0 - params_.clock_gate_efficiency);
+  fj += params_.e_clk_bit_fj * (params_.clock_trunk_fraction * total_bits +
+                                (1.0 - params_.clock_trunk_fraction) * leaf);
+  return fj;
+}
+
+double SaPowerModel::steady_power_arrayflex_mw(int k) const {
+  AF_CHECK(config_.supports(k), "mode k=" << k << " not supported");
+  // fJ / ps = mW.
+  return steady_cycle_energy_fj(/*arrayflex_hardware=*/true, k) /
+             clock_.period_ps(k) +
+         params_.leak_mw_per_pe * config_.num_pes();
+}
+
+double SaPowerModel::steady_power_conventional_mw() const {
+  return steady_cycle_energy_fj(/*arrayflex_hardware=*/false, 1) /
+             clock_.conventional_period_ps() +
+         params_.leak_mw_per_pe * config_.num_pes();
+}
+
+PowerResult SaPowerModel::arrayflex(const gemm::GemmShape& shape, int k) const {
+  PowerResult out;
+  out.time_ps = absolute_time_ps(total_latency_cycles(shape, config_, k),
+                                 clock_.period_ps(k));
+  out.energy_pj = steady_power_arrayflex_mw(k) * out.time_ps * 1e-3;
+  return out;
+}
+
+PowerResult SaPowerModel::conventional(const gemm::GemmShape& shape) const {
+  PowerResult out;
+  out.time_ps = absolute_time_ps(total_latency_cycles(shape, config_, 1),
+                                 clock_.conventional_period_ps());
+  out.energy_pj = steady_power_conventional_mw() * out.time_ps * 1e-3;
+  return out;
+}
+
+PowerResult SaPowerModel::from_counters(const ActivityCounters& activity,
+                                        std::int64_t total_cycles,
+                                        double period_ps,
+                                        bool arrayflex_hardware, int k) const {
+  AF_CHECK(k >= 1, "mode must be >= 1");
+  AF_CHECK(period_ps > 0, "period must be positive");
+
+  const double glitch =
+      arrayflex_hardware ? 1.0 + params_.glitch_per_stage * (k - 1) : 1.0;
+
+  double fj = 0.0;
+  // Datapath priced per actual (valid-data) operation.
+  fj += static_cast<double>(activity.mult_ops) * params_.e_mult_fj * glitch;
+  if (arrayflex_hardware) {
+    fj += static_cast<double>(activity.csa_ops) * params_.e_csa_fj * glitch;
+    fj += static_cast<double>(activity.mult_ops) * params_.e_bypass_mux_fj;
+  }
+  fj += static_cast<double>(activity.cpa_ops) * params_.e_cpa_fj;
+
+  // Register data energy (width-weighted).
+  fj += static_cast<double>(activity.hreg_writes) * config_.input_bits *
+        params_.e_reg_bit_fj;
+  fj += static_cast<double>(activity.vreg_writes) * config_.acc_bits *
+        params_.e_reg_bit_fj;
+  fj += static_cast<double>(activity.wreg_writes) * config_.input_bits *
+        params_.e_reg_bit_fj;
+  fj += static_cast<double>(activity.acc_writes) * params_.e_acc_fj;
+
+  // Clock tree burns every cycle, idle or not.
+  const std::int64_t rows = config_.rows;
+  const std::int64_t cols = config_.cols;
+  const std::int64_t h_bits = rows * (cols - 1) * config_.input_bits;
+  const std::int64_t v_bits = cols * rows * config_.acc_bits;
+  const std::int64_t w_bits = rows * cols * config_.input_bits;
+  const std::int64_t preload_cycles = total_cycles - activity.streaming_cycles;
+  const double total_bit_cycles =
+      static_cast<double>((h_bits + v_bits) * activity.streaming_cycles) +
+      static_cast<double>(w_bits * preload_cycles);
+  const double gated_bit_cycles =
+      static_cast<double>(activity.hreg_bypassed_bit_cycles +
+                          activity.vreg_bypassed_bit_cycles);
+  AF_ASSERT(gated_bit_cycles <= total_bit_cycles,
+            "gated bit-cycles exceed the clock total");
+  const double leaf =
+      (total_bit_cycles - gated_bit_cycles) +
+      gated_bit_cycles * (1.0 - params_.clock_gate_efficiency);
+  fj += params_.e_clk_bit_fj *
+        (params_.clock_trunk_fraction * total_bit_cycles +
+         (1.0 - params_.clock_trunk_fraction) * leaf);
+
+  PowerResult out;
+  out.time_ps = absolute_time_ps(total_cycles, period_ps);
+  // 1 mW = 1 fJ/ps.
+  fj += params_.leak_mw_per_pe * static_cast<double>(config_.num_pes()) *
+        out.time_ps;
+  out.energy_pj = fj * 1e-3;
+  return out;
+}
+
+PowerResult SaPowerModel::arrayflex_utilization_aware(
+    const gemm::GemmShape& shape, int k) const {
+  const ActivityCounters activity = predict_gemm_activity(shape, config_, k);
+  const std::int64_t cycles = total_latency_cycles(shape, config_, k);
+  return from_counters(activity, cycles, clock_.period_ps(k),
+                       /*arrayflex_hardware=*/true, k);
+}
+
+PowerResult SaPowerModel::conventional_utilization_aware(
+    const gemm::GemmShape& shape) const {
+  const ActivityCounters activity = predict_gemm_activity(shape, config_, 1);
+  const std::int64_t cycles = total_latency_cycles(shape, config_, 1);
+  return from_counters(activity, cycles, clock_.conventional_period_ps(),
+                       /*arrayflex_hardware=*/false, 1);
+}
+
+}  // namespace af::arch

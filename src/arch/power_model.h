@@ -1,0 +1,114 @@
+// Array-level energy/power model (reproduces Fig. 9).
+//
+// Primary model: STEADY-STATE PER-MODE POWER, matching the paper's
+// methodology — Fig. 9 shows "the power cost of each pipeline mode ...
+// separately", i.e. one power figure per configuration measured with the
+// array streaming at full rate, and the per-application average is the
+// execution-time-weighted mix of the per-mode figures.  Per cycle:
+//
+//   multiplier + CSA datapath  — all R*C PEs compute each cycle; scaled by a
+//        glitch factor growing with collapse depth (merging k stages
+//        lengthens combinational chains and spurious transitions propagate
+//        through the whole chain — the classic energy tax of transparent
+//        pipelining, paper refs [22][23]);
+//   bypass muxes               — ArrayFlex only, every mode (the paper puts
+//        them in series with the datapath permanently);
+//   CPA resolutions            — only group-boundary rows resolve (R*C/k);
+//   pipeline register writes   — only group-boundary registers latch;
+//   clock tree                 — an ungateable trunk share plus leaf shares;
+//        leaves of bypassed (transparent) registers are clock-gated with
+//        finite efficiency ("transparent registers remain clock-gated",
+//        paper Section I); weight registers are gated once stationary;
+//   accumulators, leakage.
+//
+// A second, utilization-aware model (from_counters) prices the exact
+// activity counters the cycle-accurate simulator reports — fill/drain
+// bubbles spend clock-but-no-datapath energy.  It is used for validation
+// and the methodology-ablation bench; the difference between the two is
+// documented in EXPERIMENTS.md.
+//
+// Calibration: EnergyParams::generic28nm is fixed ONCE so that (a) the
+// conventional-vs-ArrayFlex per-mode ratios land ArrayFlex normal mode
+// slightly above the conventional SA (paper Section IV-B) and (b) the
+// per-application aggregates land in Fig. 9's 13-15% / 17-23% bands.  The
+// same constants serve every CNN, both array sizes and every mode.
+
+#pragma once
+
+#include "arch/activity.h"
+#include "arch/clocking.h"
+#include "arch/config.h"
+#include "arch/latency.h"
+
+namespace af::arch {
+
+struct EnergyParams {
+  // Femtojoules per event.
+  double e_mult_fj = 420.0;       // 32x32 multiply
+  double e_csa_fj = 110.0;        // 64-bit 3:2 compression (ArrayFlex only)
+  double e_bypass_mux_fj = 35.0;  // bypass muxes crossed per op (ArrayFlex)
+  double e_cpa_fj = 110.0;        // 64-bit carry-propagate resolve
+  double e_reg_bit_fj = 1.4;      // data energy per latched register bit
+  double e_acc_fj = 150.0;        // accumulator read-modify-write
+  double e_clk_bit_fj = 2.0;      // clock tree + clock pin, per FF bit/cycle
+  // Clock distribution structure: `clock_trunk_fraction` of clock energy is
+  // spine/trunk buffering that cannot be gated per-register; gating a
+  // bypassed register's leaf saves `clock_gate_efficiency` of that leaf.
+  double clock_trunk_fraction = 0.25;
+  double clock_gate_efficiency = 0.85;
+  // Extra datapath switching per additional collapsed stage.
+  double glitch_per_stage = 0.12;
+  double leak_mw_per_pe = 0.012;
+
+  static EnergyParams generic28nm() { return EnergyParams{}; }
+};
+
+struct PowerResult {
+  double energy_pj = 0.0;
+  double time_ps = 0.0;
+  double power_mw() const { return time_ps > 0 ? energy_pj / time_ps * 1e3 : 0.0; }
+  double edp() const { return energy_pj * time_ps; }  // pJ*ps
+};
+
+class SaPowerModel {
+ public:
+  SaPowerModel(const ArrayConfig& config, const ClockModel& clock,
+               const EnergyParams& params = EnergyParams::generic28nm());
+
+  // --- steady-state per-mode power (the Fig. 9 bars) ---------------------
+
+  // ArrayFlex configured for mode k, streaming at full rate at Tclock(k).
+  double steady_power_arrayflex_mw(int k) const;
+
+  // Conventional fixed-pipeline SA at the conventional clock.
+  double steady_power_conventional_mw() const;
+
+  // --- per-workload results (per-mode power x Eq. 6 time) ----------------
+
+  PowerResult arrayflex(const gemm::GemmShape& shape, int k) const;
+  PowerResult conventional(const gemm::GemmShape& shape) const;
+
+  // --- utilization-aware alternative --------------------------------------
+
+  // Prices explicit activity counters (simulator-measured or closed-form);
+  // idle fill/drain cycles burn clock but no datapath energy.
+  PowerResult from_counters(const ActivityCounters& activity,
+                            std::int64_t total_cycles, double period_ps,
+                            bool arrayflex_hardware, int k) const;
+
+  PowerResult arrayflex_utilization_aware(const gemm::GemmShape& shape,
+                                          int k) const;
+  PowerResult conventional_utilization_aware(const gemm::GemmShape& shape) const;
+
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  // Steady-state energy per cycle for the whole array, femtojoules.
+  double steady_cycle_energy_fj(bool arrayflex_hardware, int k) const;
+
+  ArrayConfig config_;
+  const ClockModel& clock_;
+  EnergyParams params_;
+};
+
+}  // namespace af::arch

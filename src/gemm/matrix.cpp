@@ -1,0 +1,39 @@
+#include "gemm/matrix.h"
+
+#include "util/strings.h"
+
+namespace af::gemm {
+
+Mat32 random_matrix(af::Rng& rng, std::int64_t rows, std::int64_t cols,
+                    std::int32_t lo, std::int32_t hi) {
+  Mat32 out(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.at(r, c) = static_cast<std::int32_t>(rng.next_in(lo, hi));
+    }
+  }
+  return out;
+}
+
+std::string first_mismatch(const Mat64& a, const Mat64& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return format("shape mismatch: %lldx%lld vs %lldx%lld",
+                  static_cast<long long>(a.rows()),
+                  static_cast<long long>(a.cols()),
+                  static_cast<long long>(b.rows()),
+                  static_cast<long long>(b.cols()));
+  }
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      if (a.at(r, c) != b.at(r, c)) {
+        return format("(%lld,%lld): %lld vs %lld", static_cast<long long>(r),
+                      static_cast<long long>(c),
+                      static_cast<long long>(a.at(r, c)),
+                      static_cast<long long>(b.at(r, c)));
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace af::gemm

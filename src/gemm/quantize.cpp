@@ -1,0 +1,55 @@
+#include "gemm/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace af::gemm {
+
+QuantParams choose_symmetric_scale(const std::vector<float>& values, int bits) {
+  AF_CHECK(bits >= 2 && bits <= 32, "quantization bits must be in [2,32]");
+  double max_abs = 0.0;
+  for (const float v : values) max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+  QuantParams params;
+  params.bits = bits;
+  const double qmax = static_cast<double>((1LL << (bits - 1)) - 1);
+  params.scale = max_abs > 0.0 ? max_abs / qmax : 1.0;
+  return params;
+}
+
+std::int32_t quantize_value(float value, const QuantParams& params) {
+  const double qmax = static_cast<double>((1LL << (params.bits - 1)) - 1);
+  const double q = std::nearbyint(static_cast<double>(value) / params.scale);
+  return static_cast<std::int32_t>(std::clamp(q, -qmax, qmax));
+}
+
+float dequantize_value(std::int32_t q, const QuantParams& params) {
+  return static_cast<float>(q * params.scale);
+}
+
+Mat32 quantize_matrix(const std::vector<float>& values, std::int64_t rows,
+                      std::int64_t cols, const QuantParams& params) {
+  AF_CHECK(static_cast<std::int64_t>(values.size()) == rows * cols,
+           "buffer size " << values.size() << " != " << rows << "x" << cols);
+  Mat32 out(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.at(r, c) =
+          quantize_value(values[static_cast<std::size_t>(r * cols + c)], params);
+    }
+  }
+  return out;
+}
+
+double max_roundtrip_error(const std::vector<float>& values,
+                           const QuantParams& params) {
+  double worst = 0.0;
+  for (const float v : values) {
+    const float back = dequantize_value(quantize_value(v, params), params);
+    worst = std::max(worst, std::fabs(static_cast<double>(v - back)));
+  }
+  return worst;
+}
+
+}  // namespace af::gemm

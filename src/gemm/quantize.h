@@ -1,0 +1,35 @@
+// Symmetric linear quantization of floating-point tensors to the SA's
+// integer domain.  The paper runs "32-bit quantized inputs and weights";
+// this module provides the float -> intN -> float round trip the examples
+// use to feed realistic CNN data through the array.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/matrix.h"
+
+namespace af::gemm {
+
+struct QuantParams {
+  double scale = 1.0;  // real value = scale * quantized value
+  int bits = 32;
+};
+
+// Chooses the scale so the max-magnitude element maps to the edge of the
+// signed `bits`-bit range.  An all-zero input yields scale 1.
+QuantParams choose_symmetric_scale(const std::vector<float>& values, int bits);
+
+std::int32_t quantize_value(float value, const QuantParams& params);
+float dequantize_value(std::int32_t q, const QuantParams& params);
+
+// Quantize a row-major float buffer into a Mat32.
+Mat32 quantize_matrix(const std::vector<float>& values, std::int64_t rows,
+                      std::int64_t cols, const QuantParams& params);
+
+// Max absolute quantization error over a buffer (for tests/examples).
+double max_roundtrip_error(const std::vector<float>& values,
+                           const QuantParams& params);
+
+}  // namespace af::gemm

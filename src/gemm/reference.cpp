@@ -1,0 +1,23 @@
+#include "gemm/reference.h"
+
+#include "util/status.h"
+
+namespace af::gemm {
+
+Mat64 reference_gemm(const Mat32& a, const Mat32& b) {
+  AF_CHECK(a.cols() == b.rows(), "GEMM inner-dimension mismatch: "
+                                     << a.cols() << " vs " << b.rows());
+  Mat64 x(a.rows(), b.cols());
+  for (std::int64_t t = 0; t < a.rows(); ++t) {
+    for (std::int64_t m = 0; m < b.cols(); ++m) {
+      std::int64_t acc = 0;
+      for (std::int64_t n = 0; n < a.cols(); ++n) {
+        acc = mac_mod(acc, a.at(t, n), b.at(n, m));
+      }
+      x.at(t, m) = acc;
+    }
+  }
+  return x;
+}
+
+}  // namespace af::gemm

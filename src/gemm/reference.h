@@ -1,0 +1,31 @@
+// Reference GEMM used as the golden model for the cycle-accurate simulator.
+
+#pragma once
+
+#include "gemm/matrix.h"
+
+namespace af::gemm {
+
+// Dimensions of X(T x M) = A(T x N) x B(N x M) — the paper's notation
+// (Section II): T = rows of A streamed through the array, N = reduction
+// depth (rows of B), M = output columns.
+struct GemmShape {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t t = 0;
+
+  bool operator==(const GemmShape&) const = default;
+};
+
+// X = A x B with 64-bit modular accumulation (two's-complement wrap-around,
+// matching the RTL's 64-bit adders).  A is T x N, B is N x M.
+Mat64 reference_gemm(const Mat32& a, const Mat32& b);
+
+// Multiply-accumulate with explicit modular semantics.
+inline std::int64_t mac_mod(std::int64_t acc, std::int32_t x, std::int32_t y) {
+  const auto p = static_cast<std::uint64_t>(static_cast<std::int64_t>(x) *
+                                            static_cast<std::int64_t>(y));
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(acc) + p);
+}
+
+}  // namespace af::gemm

@@ -1,0 +1,42 @@
+#include "hw/area.h"
+
+#include "util/status.h"
+
+namespace af::hw {
+namespace {
+
+std::string first_component(const std::string& name) {
+  const auto slash = name.find('/');
+  return slash == std::string::npos ? std::string("top")
+                                    : name.substr(0, slash);
+}
+
+}  // namespace
+
+double AreaBreakdown::group_um2(const std::string& group) const {
+  const auto it = by_group_um2.find(group);
+  return it == by_group_um2.end() ? 0.0 : it->second;
+}
+
+double AreaBreakdown::group_fraction(const std::string& group) const {
+  return total_um2 > 0 ? group_um2(group) / total_um2 : 0.0;
+}
+
+AreaBreakdown compute_area(const Netlist& nl) {
+  AreaBreakdown out;
+  for (const Cell& cell : nl.cells()) {
+    const CellInfo& info = cell_info(cell.type);
+    out.total_um2 += info.area_um2;
+    out.by_group_um2[first_component(cell.name)] += info.area_um2;
+    out.by_cell_type_um2[info.name] += info.area_um2;
+    ++out.cell_count;
+  }
+  return out;
+}
+
+double area_overhead(const AreaBreakdown& baseline, const AreaBreakdown& design) {
+  AF_CHECK(baseline.total_um2 > 0, "baseline area must be positive");
+  return design.total_um2 / baseline.total_um2 - 1.0;
+}
+
+}  // namespace af::hw

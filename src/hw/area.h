@@ -1,0 +1,35 @@
+// Cell-area accounting over a netlist, with per-component attribution.
+//
+// Reproduces the Fig. 6 analysis: the physical layouts in the paper show a
+// ~16% per-PE area overhead for ArrayFlex, consumed by the carry-save adder,
+// the bypass multiplexers and two configuration bits.  We measure the same
+// split from the generated netlists by grouping hierarchical cell names.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+struct AreaBreakdown {
+  double total_um2 = 0.0;
+  // Area by first path component of the cell name ("mul", "cpa", "csa", ...).
+  std::map<std::string, double> by_group_um2;
+  // Area by cell type name ("FA", "MUX2", ...).
+  std::map<std::string, double> by_cell_type_um2;
+  int cell_count = 0;
+
+  double group_um2(const std::string& group) const;
+  // Fraction of total occupied by a group, in [0, 1].
+  double group_fraction(const std::string& group) const;
+};
+
+AreaBreakdown compute_area(const Netlist& nl);
+
+// Relative overhead of `design` over `baseline`: area(design)/area(baseline)-1.
+double area_overhead(const AreaBreakdown& baseline, const AreaBreakdown& design);
+
+}  // namespace af::hw

@@ -1,0 +1,159 @@
+#include "hw/bitvec.h"
+
+#include <bit>
+
+#include "util/status.h"
+
+namespace af::hw {
+namespace {
+
+constexpr int kWordBits = 64;
+
+std::size_t words_for(int width) {
+  return static_cast<std::size_t>((width + kWordBits - 1) / kWordBits);
+}
+
+}  // namespace
+
+BitVec::BitVec(int width) : width_(width), words_(words_for(width), 0) {
+  AF_CHECK(width >= 0, "BitVec width must be non-negative, got " << width);
+}
+
+BitVec::BitVec(int width, std::uint64_t value) : BitVec(width) {
+  if (!words_.empty()) {
+    words_[0] = value;
+    // Mask off bits beyond the declared width.
+    if (width_ < kWordBits) {
+      words_[0] &= (width_ == 0) ? 0 : (~0ULL >> (kWordBits - width_));
+    }
+  }
+}
+
+BitVec BitVec::all_ones(int width) {
+  BitVec v(width);
+  for (int i = 0; i < width; ++i) v.set_bit(i, true);
+  return v;
+}
+
+bool BitVec::bit(int i) const {
+  AF_CHECK(i >= 0 && i < width_, "bit index " << i << " out of width " << width_);
+  return (words_[static_cast<std::size_t>(i / kWordBits)] >> (i % kWordBits)) & 1;
+}
+
+void BitVec::set_bit(int i, bool v) {
+  AF_CHECK(i >= 0 && i < width_, "bit index " << i << " out of width " << width_);
+  const std::size_t w = static_cast<std::size_t>(i / kWordBits);
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (v) {
+    words_[w] |= mask;
+  } else {
+    words_[w] &= ~mask;
+  }
+}
+
+std::uint64_t BitVec::to_u64() const {
+  if (words_.empty()) return 0;
+  std::uint64_t v = words_[0];
+  if (width_ < kWordBits) v &= (width_ == 0) ? 0 : (~0ULL >> (kWordBits - width_));
+  return v;
+}
+
+std::int64_t BitVec::to_i64_signed() const {
+  AF_CHECK(width_ >= 1 && width_ <= kWordBits,
+           "to_i64_signed requires width in [1,64], got " << width_);
+  std::uint64_t v = to_u64();
+  if (bit(width_ - 1) && width_ < kWordBits) {
+    v |= ~0ULL << width_;  // sign extension
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+BitVec BitVec::slice(int lo, int len) const {
+  AF_CHECK(lo >= 0 && len >= 0 && lo + len <= width_,
+           "slice [" << lo << ", " << lo + len << ") out of width " << width_);
+  BitVec out(len);
+  for (int i = 0; i < len; ++i) out.set_bit(i, bit(lo + i));
+  return out;
+}
+
+BitVec BitVec::concat_high(const BitVec& high) const {
+  BitVec out(width_ + high.width_);
+  for (int i = 0; i < width_; ++i) out.set_bit(i, bit(i));
+  for (int i = 0; i < high.width_; ++i) out.set_bit(width_ + i, high.bit(i));
+  return out;
+}
+
+BitVec BitVec::resized(int width) const {
+  BitVec out(width);
+  const int copy = std::min(width, width_);
+  for (int i = 0; i < copy; ++i) out.set_bit(i, bit(i));
+  return out;
+}
+
+void BitVec::check_same_width(const BitVec& o, const char* op) const {
+  AF_CHECK(width_ == o.width_, "BitVec width mismatch in " << op << ": "
+                                   << width_ << " vs " << o.width_);
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  check_same_width(o, "operator&");
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] & o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  check_same_width(o, "operator|");
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] | o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  check_same_width(o, "operator^");
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] ^ o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(width_);
+  for (int i = 0; i < width_; ++i) out.set_bit(i, !bit(i));
+  return out;
+}
+
+BitVec BitVec::add_mod(const BitVec& o) const {
+  check_same_width(o, "add_mod");
+  BitVec out(width_);
+  bool carry = false;
+  for (int i = 0; i < width_; ++i) {
+    const bool a = bit(i);
+    const bool b = o.bit(i);
+    out.set_bit(i, a ^ b ^ carry);
+    carry = (a && b) || (a && carry) || (b && carry);
+  }
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  if (width_ != o.width_) return false;
+  for (int i = 0; i < width_; ++i) {
+    if (bit(i) != o.bit(i)) return false;
+  }
+  return true;
+}
+
+std::string BitVec::to_string() const {
+  std::string bits;
+  bits.reserve(static_cast<std::size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) bits.push_back(bit(i) ? '1' : '0');
+  return std::to_string(width_) + "'b" + bits;
+}
+
+int BitVec::popcount() const {
+  int n = 0;
+  for (int i = 0; i < width_; ++i) n += bit(i) ? 1 : 0;
+  return n;
+}
+
+}  // namespace af::hw

@@ -1,0 +1,73 @@
+// BitVec: an arbitrary-width two-state logic vector.
+//
+// Used at the boundary between integer-level models (the cycle-accurate
+// architecture simulator) and bit-level models (the gate-level netlist
+// simulator).  Widths are explicit and checked: mixing widths without an
+// explicit resize/slice is a bug in hardware modelling, so it throws.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace af::hw {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // Zero-initialized vector of `width` bits.
+  explicit BitVec(int width);
+
+  // Low `width` bits of `value` (width <= 64 not required: upper bits zero).
+  BitVec(int width, std::uint64_t value);
+
+  static BitVec all_ones(int width);
+
+  int width() const { return width_; }
+
+  bool bit(int i) const;
+  void set_bit(int i, bool v);
+
+  // Value of the low 64 bits (bits above 63 ignored).
+  std::uint64_t to_u64() const;
+
+  // Sign-extended interpretation of the full width (width <= 64 required).
+  std::int64_t to_i64_signed() const;
+
+  // Slice [lo, lo+len) into a new vector.
+  BitVec slice(int lo, int len) const;
+
+  // Concatenation: `this` occupies the low bits, `high` the high bits.
+  BitVec concat_high(const BitVec& high) const;
+
+  // Zero-extend or truncate to `width`.
+  BitVec resized(int width) const;
+
+  // Bitwise operators require equal widths.
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator~() const;
+
+  // Modular addition at the vector width (carry-out discarded).
+  BitVec add_mod(const BitVec& o) const;
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  // "4'b0101"-style binary string, MSB first.
+  std::string to_string() const;
+
+  // Number of set bits.
+  int popcount() const;
+
+ private:
+  void check_same_width(const BitVec& o, const char* op) const;
+
+  int width_ = 0;
+  std::vector<std::uint64_t> words_;  // little-endian 64-bit words
+};
+
+}  // namespace af::hw

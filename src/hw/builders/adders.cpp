@@ -1,0 +1,104 @@
+#include "hw/builders/adders.h"
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::hw {
+
+Bus build_ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                       NetId* cout) {
+  AF_CHECK(a.size() == b.size(), "ripple adder operand width mismatch: "
+                                     << a.size() << " vs " << b.size());
+  const int width = static_cast<int>(a.size());
+  ScopedName scope(nl, "rca");
+  Bus sum = nl.new_bus(width);
+  NetId carry = (cin == kNoNet) ? nl.const0() : cin;
+  for (int i = 0; i < width; ++i) {
+    const NetId next_carry = nl.new_net();
+    nl.add_cell(CellType::kFullAdder, format("fa%d", i),
+                {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], carry},
+                {sum[static_cast<std::size_t>(i)], next_carry});
+    carry = next_carry;
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+Bus build_kogge_stone_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                            NetId* cout) {
+  AF_CHECK(a.size() == b.size(), "kogge-stone operand width mismatch: "
+                                     << a.size() << " vs " << b.size());
+  const int width = static_cast<int>(a.size());
+  AF_CHECK(width >= 1, "kogge-stone requires width >= 1");
+  ScopedName scope(nl, "ksa");
+
+  // Bitwise propagate / generate.
+  std::vector<NetId> p(static_cast<std::size_t>(width));
+  std::vector<NetId> g(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    p[static_cast<std::size_t>(i)] = nl.new_net();
+    g[static_cast<std::size_t>(i)] = nl.new_net();
+    nl.add_cell(CellType::kXor2, format("p%d", i),
+                {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                {p[static_cast<std::size_t>(i)]});
+    nl.add_cell(CellType::kAnd2, format("g%d", i),
+                {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                {g[static_cast<std::size_t>(i)]});
+  }
+
+  // Kogge–Stone prefix: after the last level, G[i] is the carry out of bit i
+  // assuming cin = 0, and P[i] is the AND of p[0..i].
+  std::vector<NetId> gg = g;
+  std::vector<NetId> pp = p;
+  int level = 0;
+  for (int d = 1; d < width; d <<= 1, ++level) {
+    std::vector<NetId> ng = gg;
+    std::vector<NetId> np = pp;
+    for (int i = d; i < width; ++i) {
+      const NetId and_g = nl.new_net();
+      const NetId new_g = nl.new_net();
+      nl.add_cell(CellType::kAnd2, format("l%d_ag%d", level, i),
+                  {pp[static_cast<std::size_t>(i)], gg[static_cast<std::size_t>(i - d)]},
+                  {and_g});
+      nl.add_cell(CellType::kOr2, format("l%d_og%d", level, i),
+                  {gg[static_cast<std::size_t>(i)], and_g}, {new_g});
+      ng[static_cast<std::size_t>(i)] = new_g;
+      const NetId new_p = nl.new_net();
+      nl.add_cell(CellType::kAnd2, format("l%d_p%d", level, i),
+                  {pp[static_cast<std::size_t>(i)], pp[static_cast<std::size_t>(i - d)]},
+                  {new_p});
+      np[static_cast<std::size_t>(i)] = new_p;
+    }
+    gg = std::move(ng);
+    pp = std::move(np);
+  }
+
+  // Carries including cin: c[i] = G[i-1] | (P[i-1] & cin); c[0] = cin.
+  const bool has_cin = cin != kNoNet;
+  std::vector<NetId> carry(static_cast<std::size_t>(width + 1));
+  carry[0] = has_cin ? cin : nl.const0();
+  for (int i = 1; i <= width; ++i) {
+    const NetId gi = gg[static_cast<std::size_t>(i - 1)];
+    if (!has_cin) {
+      carry[static_cast<std::size_t>(i)] = gi;
+      continue;
+    }
+    const NetId path = nl.new_net();
+    const NetId ci = nl.new_net();
+    nl.add_cell(CellType::kAnd2, format("cin_a%d", i),
+                {pp[static_cast<std::size_t>(i - 1)], cin}, {path});
+    nl.add_cell(CellType::kOr2, format("cin_o%d", i), {gi, path}, {ci});
+    carry[static_cast<std::size_t>(i)] = ci;
+  }
+
+  Bus sum = nl.new_bus(width);
+  for (int i = 0; i < width; ++i) {
+    nl.add_cell(CellType::kXor2, format("s%d", i),
+                {p[static_cast<std::size_t>(i)], carry[static_cast<std::size_t>(i)]},
+                {sum[static_cast<std::size_t>(i)]});
+  }
+  if (cout != nullptr) *cout = carry[static_cast<std::size_t>(width)];
+  return sum;
+}
+
+}  // namespace af::hw

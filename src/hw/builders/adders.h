@@ -1,0 +1,23 @@
+// Gate-level adder generators.
+//
+// Two carry-propagate adder (CPA) styles:
+//   * ripple-carry: minimal area, O(W) delay — used in the ablation study of
+//     what pipeline collapsing costs without carry-save accumulation;
+//   * Kogge–Stone parallel prefix: O(log W) delay — the CPA used inside the
+//     PE (multiplier final add and the column accumulation add).
+
+#pragma once
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+// sum = a + b (+ cin); widths of a and b must match.  Pass kNoNet for cin to
+// mean 0.  If `cout` is non-null it receives the carry-out net.
+Bus build_ripple_adder(Netlist& nl, const Bus& a, const Bus& b,
+                       NetId cin = kNoNet, NetId* cout = nullptr);
+
+Bus build_kogge_stone_adder(Netlist& nl, const Bus& a, const Bus& b,
+                            NetId cin = kNoNet, NetId* cout = nullptr);
+
+}  // namespace af::hw

@@ -1,0 +1,31 @@
+#include "hw/builders/csa.h"
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::hw {
+
+CsaResult build_csa_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& c) {
+  AF_CHECK(a.size() == b.size() && b.size() == c.size(),
+           "CSA operand width mismatch: " << a.size() << ", " << b.size()
+                                          << ", " << c.size());
+  const int width = static_cast<int>(a.size());
+  ScopedName scope(nl, "csa");
+  CsaResult out{nl.new_bus(width), nl.new_bus(width)};
+  for (int i = 0; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    nl.add_cell(CellType::kFullAdder, format("fa%d", i),
+                {a[idx], b[idx], c[idx]}, {out.sum[idx], out.carry[idx]});
+  }
+  return out;
+}
+
+Bus shift_left_one(Netlist& nl, const Bus& bus) {
+  Bus out(bus.size());
+  AF_CHECK(!bus.empty(), "cannot shift an empty bus");
+  out[0] = nl.const0();
+  for (std::size_t i = 1; i < bus.size(); ++i) out[i] = bus[i - 1];
+  return out;
+}
+
+}  // namespace af::hw

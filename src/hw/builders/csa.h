@@ -1,0 +1,26 @@
+// 3:2 carry-save adder row — the key enabler of ArrayFlex's shallow mode.
+//
+// A row of independent full adders compresses three operands into a
+// (sum, carry) pair in one FA delay, independent of width.  The carry vector
+// has weight 2, so consumers must shift it left before a final CPA resolves
+// the redundant representation.
+
+#pragma once
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+struct CsaResult {
+  Bus sum;    // weight 1
+  Bus carry;  // weight 2 (left-shift before resolving)
+};
+
+// Compress a + b + c into (sum, carry); all three widths must match.
+CsaResult build_csa_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& c);
+
+// Left-shift a carry bus by one (constant-0 LSB, MSB dropped — modular
+// arithmetic at bus width, matching RTL truncation).
+Bus shift_left_one(Netlist& nl, const Bus& bus);
+
+}  // namespace af::hw

@@ -1,0 +1,34 @@
+// Wallace-tree multiplier generator (unsigned).
+//
+// Partial products from AND gates, column compression with 3:2 / 2:2
+// counters until every column holds at most two bits, then a Kogge–Stone
+// CPA resolves the final two rows.  This mirrors a synthesized DesignWare-
+// style multiplier closely enough for the timing/area/power studies; the
+// architecture simulator performs the actual (signed, modular) arithmetic.
+
+#pragma once
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+// product = a * b, width a.size() + b.size().
+Bus build_wallace_multiplier(Netlist& nl, const Bus& a, const Bus& b);
+
+// Radix-4 (modified) Booth multiplier: ⌈(Wb+1)/2⌉ partial products instead
+// of Wb, recoded from overlapping bit triplets of b into digits in
+// {-2,-1,0,+1,+2}, reduced by the same Wallace column compressor and a
+// final Kogge–Stone CPA.  Operands are unsigned (zero-extended for the
+// recoding); negative digits are handled with conditional inversion plus a
+// +1 correction bit, and sign extension reuses the digit's `neg` net across
+// the high columns (no extra cells).  This is the multiplier structure
+// synthesis tools actually emit for a 32x32 MAC, so the Fig. 6 area
+// comparison offers it as the higher-fidelity option.
+Bus build_booth_multiplier(Netlist& nl, const Bus& a, const Bus& b);
+
+enum class MultiplierStyle { kWallace, kBooth };
+
+Bus build_multiplier(Netlist& nl, const Bus& a, const Bus& b,
+                     MultiplierStyle style);
+
+}  // namespace af::hw

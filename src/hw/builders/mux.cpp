@@ -1,0 +1,22 @@
+#include "hw/builders/mux.h"
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::hw {
+
+Bus build_mux2_bus(Netlist& nl, const Bus& when_zero, const Bus& when_one,
+                   NetId sel) {
+  AF_CHECK(when_zero.size() == when_one.size(),
+           "mux operand width mismatch: " << when_zero.size() << " vs "
+                                          << when_one.size());
+  ScopedName scope(nl, "mux");
+  Bus out = nl.new_bus(static_cast<int>(when_zero.size()));
+  for (std::size_t i = 0; i < when_zero.size(); ++i) {
+    nl.add_cell(CellType::kMux2, format("m%zu", i),
+                {when_zero[i], when_one[i], sel}, {out[i]});
+  }
+  return out;
+}
+
+}  // namespace af::hw

@@ -1,0 +1,14 @@
+// Bus-wide 2:1 multiplexer — the bypass element that makes pipeline
+// registers "transparent" in shallow mode.
+
+#pragma once
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+// out[i] = sel ? when_one[i] : when_zero[i]; widths must match.
+Bus build_mux2_bus(Netlist& nl, const Bus& when_zero, const Bus& when_one,
+                   NetId sel);
+
+}  // namespace af::hw

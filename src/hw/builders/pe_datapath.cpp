@@ -1,0 +1,274 @@
+#include "hw/builders/pe_datapath.h"
+
+#include "hw/builders/adders.h"
+#include "hw/builders/csa.h"
+#include "hw/builders/multiplier.h"
+#include "hw/builders/mux.h"
+#include "hw/builders/registers.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::hw {
+namespace {
+
+// Zero-extend `bus` to `width` nets.
+Bus zero_extend(Netlist& nl, const Bus& bus, int width) {
+  AF_CHECK(static_cast<int>(bus.size()) <= width,
+           "cannot zero-extend " << bus.size() << " bits to " << width);
+  Bus out = bus;
+  while (static_cast<int>(out.size()) < width) out.push_back(nl.const0());
+  return out;
+}
+
+Bus build_cpa(Netlist& nl, const Bus& x, const Bus& y, CpaStyle style) {
+  return style == CpaStyle::kKoggeStone ? build_kogge_stone_adder(nl, x, y)
+                                        : build_ripple_adder(nl, x, y);
+}
+
+Bus const_bus(Netlist& nl, int width) {
+  Bus out(static_cast<std::size_t>(width));
+  for (auto& n : out) n = nl.const0();
+  return out;
+}
+
+}  // namespace
+
+void build_conventional_pe(Netlist& nl, const PeDatapathOptions& opt) {
+  const Bus a_in = nl.new_bus(opt.input_bits);
+  const Bus w_in = nl.new_bus(opt.input_bits);
+  const Bus psum_in = nl.new_bus(opt.acc_bits);
+  nl.bind_input("a_in", a_in);
+  nl.bind_input("w_in", w_in);
+  nl.bind_input("psum_in", psum_in);
+
+  ScopedName pe(nl, "pe0");
+  Bus a_q, w_q;
+  {
+    ScopedName s(nl, "areg");
+    a_q = build_register_bank(nl, a_in);
+  }
+  {
+    ScopedName s(nl, "wreg");
+    w_q = build_register_bank(nl, w_in);
+  }
+  const Bus product = build_multiplier(nl, a_q, w_q, opt.multiplier);
+  const Bus product_ext = zero_extend(nl, product, opt.acc_bits);
+  Bus sum;
+  {
+    ScopedName s(nl, "cpa");
+    sum = build_cpa(nl, product_ext, psum_in, opt.cpa);
+  }
+  Bus psum_q;
+  {
+    ScopedName s(nl, "psumreg");
+    psum_q = build_register_bank(nl, sum);
+  }
+  nl.bind_output("a_out", a_q);
+  nl.bind_output("psum_out", psum_q);
+}
+
+void build_arrayflex_pe(Netlist& nl, const PeDatapathOptions& opt) {
+  const Bus a_in = nl.new_bus(opt.input_bits);
+  const Bus w_in = nl.new_bus(opt.input_bits);
+  const Bus s_in = nl.new_bus(opt.acc_bits);
+  const Bus c_in = nl.new_bus(opt.acc_bits);
+  const Bus cfg_h_in = nl.new_bus(1);
+  const Bus cfg_v_in = nl.new_bus(1);
+  nl.bind_input("a_in", a_in);
+  nl.bind_input("w_in", w_in);
+  nl.bind_input("s_in", s_in);
+  nl.bind_input("c_in", c_in);
+  nl.bind_input("cfg_h", cfg_h_in);
+  nl.bind_input("cfg_v", cfg_v_in);
+
+  ScopedName pe(nl, "pe0");
+
+  // Configuration bits are loaded like weights and held in registers.
+  Bus cfg_h_q, cfg_v_q;
+  {
+    ScopedName s(nl, "cfg");
+    cfg_h_q = build_register_bank(nl, cfg_h_in);
+    cfg_v_q = build_register_bank(nl, cfg_v_in);
+  }
+
+  // Horizontal pipeline register + transparency mux: in shallow mode the
+  // activation bypasses the (clock-gated) register and broadcasts onward.
+  Bus a_q;
+  {
+    ScopedName s(nl, "areg");
+    a_q = build_gated_register_bank(nl, a_in, cfg_h_q[0]);
+  }
+  Bus a_used;
+  {
+    ScopedName s(nl, "hmux");
+    a_used = build_mux2_bus(nl, a_q, a_in, cfg_h_q[0]);
+  }
+
+  Bus w_q;
+  {
+    ScopedName s(nl, "wreg");
+    w_q = build_register_bank(nl, w_in);
+  }
+
+  const Bus product = build_multiplier(nl, a_used, w_q, opt.multiplier);
+  const Bus product_ext = zero_extend(nl, product, opt.acc_bits);
+
+  // 3:2 carry-save stage: product + (s_in, c_in).  Participates even in
+  // normal mode (paper III-B: the CSA and bypass muxes sit in series with
+  // the multiplier and adder in every configuration).  Wire convention: the
+  // carry word travelling between PEs is pre-shifted so that the redundant
+  // pair always satisfies value = s + c.
+  const CsaResult csa = build_csa_row(nl, product_ext, s_in, c_in);
+  const Bus carry_shifted = shift_left_one(nl, csa.carry);
+
+  // Carry-propagate adder resolving the redundant pair.
+  Bus cpa_out;
+  {
+    ScopedName s(nl, "cpa");
+    cpa_out = build_cpa(nl, csa.sum, carry_shifted, opt.cpa);
+  }
+  Bus psum_q;
+  {
+    ScopedName s(nl, "psumreg");
+    psum_q = build_gated_register_bank(nl, cpa_out, cfg_v_q[0]);
+  }
+
+  // Vertical transparency muxes: downstream sees either the redundant pair
+  // (shallow mode, registers bypassed) or the registered CPA result with a
+  // zero carry word (normal mode / group boundary).
+  Bus s_out, c_out;
+  {
+    ScopedName s(nl, "vmux");
+    s_out = build_mux2_bus(nl, psum_q, csa.sum, cfg_v_q[0]);
+    c_out = build_mux2_bus(nl, const_bus(nl, opt.acc_bits), carry_shifted,
+                           cfg_v_q[0]);
+  }
+
+  nl.bind_output("a_out", a_used);
+  nl.bind_output("s_out", s_out);
+  nl.bind_output("c_out", c_out);
+  nl.bind_output("psum_out", psum_q);
+}
+
+void build_collapsed_column(Netlist& nl, int k, bool use_csa,
+                            const PeDatapathOptions& opt) {
+  AF_CHECK(k >= 1, "collapse depth must be >= 1, got " << k);
+
+  const Bus s_in = nl.new_bus(opt.acc_bits);
+  const Bus c_in = nl.new_bus(opt.acc_bits);
+  nl.bind_input("s_in", s_in);
+  nl.bind_input("c_in", c_in);
+
+  Bus s_prev = s_in;
+  Bus c_prev = c_in;
+  Bus psum_q_last;
+
+  for (int i = 0; i < k; ++i) {
+    const bool boundary = (i == k - 1);
+    const Bus a_in = nl.new_bus(opt.input_bits);
+    const Bus w_in = nl.new_bus(opt.input_bits);
+    nl.bind_input(format("a_in%d", i), a_in);
+    nl.bind_input(format("w_in%d", i), w_in);
+
+    ScopedName pe(nl, format("pe%d", i));
+
+    Bus cfg_h_q, cfg_v_q;
+    {
+      ScopedName s(nl, "cfg");
+      const Bus h = {nl.const1()};
+      const Bus v = {boundary ? nl.const0() : nl.const1()};
+      cfg_h_q = build_register_bank(nl, h);
+      cfg_v_q = build_register_bank(nl, v);
+    }
+
+    // Horizontal broadcast: the activation reaching this column group's
+    // right edge crosses k bypass muxes (Eq. 5 charges k * dmux for the
+    // horizontal direction).
+    Bus a_used = a_in;
+    {
+      ScopedName s(nl, "hpath");
+      Bus a_reg_q;
+      {
+        ScopedName r(nl, "areg");
+        a_reg_q = build_gated_register_bank(nl, a_in, cfg_h_q[0]);
+      }
+      Bus chain = a_used;
+      for (int m = 0; m < k; ++m) {
+        ScopedName mscope(nl, format("h%d", m));
+        chain = build_mux2_bus(nl, a_reg_q, chain, cfg_h_q[0]);
+      }
+      a_used = chain;
+    }
+
+    Bus w_q;
+    {
+      ScopedName s(nl, "wreg");
+      w_q = build_register_bank(nl, w_in);
+    }
+
+    const Bus product = build_multiplier(nl, a_used, w_q, opt.multiplier);
+    const Bus product_ext = zero_extend(nl, product, opt.acc_bits);
+
+    if (use_csa) {
+      // ArrayFlex: redundant accumulation through the collapsed group.  The
+      // carry word is pre-shifted on the wires (value = s + c invariant).
+      const CsaResult csa = build_csa_row(nl, product_ext, s_prev, c_prev);
+      const Bus carry_shifted = shift_left_one(nl, csa.carry);
+      Bus cpa_out;
+      {
+        ScopedName s(nl, "cpa");
+        cpa_out = build_cpa(nl, csa.sum, carry_shifted, opt.cpa);
+      }
+      Bus psum_q;
+      {
+        ScopedName s(nl, "psumreg");
+        psum_q = build_gated_register_bank(nl, cpa_out, cfg_v_q[0]);
+      }
+      Bus s_out, c_out;
+      {
+        ScopedName s(nl, "vmux");
+        s_out = build_mux2_bus(nl, psum_q, csa.sum, cfg_v_q[0]);
+        c_out = build_mux2_bus(nl, const_bus(nl, opt.acc_bits), carry_shifted,
+                               cfg_v_q[0]);
+      }
+      s_prev = s_out;
+      c_prev = c_out;
+      psum_q_last = psum_q;
+    } else {
+      // Naive collapse (ablation): every PE resolves its partial sum with a
+      // full carry-propagate adder before handing it down, so k CPAs chain
+      // combinationally within one clock cycle.
+      Bus cpa_out;
+      {
+        ScopedName s(nl, "cpa");
+        cpa_out = build_cpa(nl, product_ext, s_prev, opt.cpa);
+      }
+      Bus psum_q;
+      {
+        ScopedName s(nl, "psumreg");
+        psum_q = build_gated_register_bank(nl, cpa_out, cfg_v_q[0]);
+      }
+      Bus s_out;
+      {
+        ScopedName s(nl, "vmux");
+        s_out = build_mux2_bus(nl, psum_q, cpa_out, cfg_v_q[0]);
+      }
+      s_prev = s_out;
+      c_prev = const_bus(nl, opt.acc_bits);
+      psum_q_last = psum_q;
+    }
+  }
+
+  nl.bind_output("psum_out", psum_q_last);
+}
+
+std::vector<std::string> collapsed_column_false_paths(int k, bool use_csa) {
+  std::vector<std::string> prefixes;
+  for (int i = 0; i + 1 < k; ++i) {
+    if (use_csa) prefixes.push_back(format("pe%d/cpa", i));
+    prefixes.push_back(format("pe%d/psumreg", i));
+  }
+  return prefixes;
+}
+
+}  // namespace af::hw

@@ -1,0 +1,66 @@
+// Gate-level PE datapaths for the conventional SA and ArrayFlex (paper
+// Sections II and III-B, Figs. 3 and 4).
+//
+// Three constructs:
+//   * conventional PE  — a_reg -> multiplier -> CPA (adds psum_in) -> psum_reg;
+//   * ArrayFlex PE     — adds the 3:2 CSA, horizontal/vertical bypass muxes
+//                        and two configuration bits;
+//   * collapsed column — k vertically merged ArrayFlex PEs plus the
+//                        horizontal broadcast mux chain; its STA yields
+//                        Tclock(k) (Eq. 5).  A `use_csa = false` variant
+//                        chains full CPAs instead (the design the paper
+//                        rejects in III-B), used by the ablation bench.
+//
+// Cell names are scoped "pe<i>/<component>/..." so area and power can be
+// attributed per component and false paths can be declared per prefix.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/builders/multiplier.h"
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+enum class CpaStyle { kKoggeStone, kRipple };
+
+struct PeDatapathOptions {
+  int input_bits = 32;  // activation / weight width (paper: 32-bit quantized)
+  int acc_bits = 64;    // column accumulation width (paper: 64)
+  // kWallace matches the plain array structure; kBooth halves the
+  // partial-product count and is what synthesis emits for 32-bit MACs
+  // (used by the Fig. 6 fidelity comparison).
+  MultiplierStyle multiplier = MultiplierStyle::kWallace;
+  // CPA implementation; kRipple exists for the ablation study (collapsing
+  // with serial ripple CPAs is the design the paper's III-B wording evokes).
+  CpaStyle cpa = CpaStyle::kKoggeStone;
+};
+
+// Single conventional PE.  Input buses: "a_in", "psum_in", "w_in".
+// Output buses: "a_out", "psum_out".
+void build_conventional_pe(Netlist& nl, const PeDatapathOptions& opt = {});
+
+// Single ArrayFlex PE.  Input buses: "a_in", "s_in", "c_in", "w_in",
+// "cfg_h", "cfg_v".  Output buses: "a_out", "s_out", "c_out", "psum_out".
+void build_arrayflex_pe(Netlist& nl, const PeDatapathOptions& opt = {});
+
+// k vertically collapsed PEs ("pe0" ... "pe<k-1>"), boundary register at
+// pe<k-1>.  Inputs "s_in"/"c_in" model the previous group's boundary; each
+// PE's activation passes a chain of k horizontal bypass muxes, modelling the
+// broadcast across a k-wide column group.  Output bus: "psum_out".
+void build_collapsed_column(Netlist& nl, int k, bool use_csa,
+                            const PeDatapathOptions& opt = {});
+
+// Cell-name prefixes that are false paths when the column built by
+// build_collapsed_column runs fully collapsed (paper: "we provide this
+// information explicitly to the static timing analyzer").  The clock-gated
+// output registers of the k-1 transparent PEs are never real endpoints; in
+// the CSA design the transparent PEs' CPAs are also dead logic, whereas in
+// the naive (`use_csa = false`) design those CPAs ARE the transparent
+// datapath and must stay timed.
+std::vector<std::string> collapsed_column_false_paths(int k,
+                                                      bool use_csa = true);
+
+}  // namespace af::hw

@@ -1,0 +1,27 @@
+#include "hw/builders/registers.h"
+
+#include "util/strings.h"
+
+namespace af::hw {
+
+Bus build_register_bank(Netlist& nl, const Bus& d) {
+  ScopedName scope(nl, "reg");
+  Bus q = nl.new_bus(static_cast<int>(d.size()));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    nl.add_cell(CellType::kDff, format("ff%zu", i), {d[i]}, {q[i]});
+  }
+  return q;
+}
+
+Bus build_gated_register_bank(Netlist& nl, const Bus& d, NetId enable) {
+  ScopedName scope(nl, "reg");
+  const NetId gclk = nl.new_net();
+  nl.add_cell(CellType::kClockGate, "icg", {enable}, {gclk});
+  Bus q = nl.new_bus(static_cast<int>(d.size()));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    nl.add_cell(CellType::kDff, format("ff%zu", i), {d[i]}, {q[i]});
+  }
+  return q;
+}
+
+}  // namespace af::hw

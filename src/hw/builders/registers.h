@@ -1,0 +1,16 @@
+// Register banks with optional integrated clock gating.
+
+#pragma once
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+// A DFF per bit: q <- d at each step().  Returns the q bus.
+Bus build_register_bank(Netlist& nl, const Bus& d);
+
+// Same, but the bank hangs off an ICG cell driven by `enable`; the ICG is
+// modelled for area/power (gating saves the clock-pin energy of the bank).
+Bus build_gated_register_bank(Netlist& nl, const Bus& d, NetId enable);
+
+}  // namespace af::hw

@@ -1,0 +1,115 @@
+#include "hw/cells.h"
+
+#include "util/status.h"
+
+namespace af::hw {
+namespace {
+
+// Library table.  Delays are representative of a 28 nm standard-Vt library
+// under nominal load; areas in um^2 (NAND2-equivalent ~0.98 um^2); energies
+// in fJ per output transition; leakage in nW.  Two-output cells (HA/FA) carry
+// distinct sum/carry delays: the carry (majority) path is faster than the
+// sum (double-XOR) path, which matters for carry-save reduction trees.
+constexpr CellInfo kLibrary[kNumCellTypes] = {
+    //                name     in out  {d0,   d1}   area   cap   energy leak
+    /* kTie0      */ {"TIE0",   0, 1, {0.0,  0.0},  0.33,  0.0,  0.0,  0.2},
+    /* kTie1      */ {"TIE1",   0, 1, {0.0,  0.0},  0.33,  0.0,  0.0,  0.2},
+    /* kInv       */ {"INV",    1, 1, {8.0,  0.0},  0.65,  0.9,  0.40, 1.0},
+    /* kBuf       */ {"BUF",    1, 1, {14.0, 0.0},  0.98,  1.0,  0.60, 1.2},
+    /* kNand2     */ {"NAND2",  2, 1, {10.0, 0.0},  0.98,  1.1,  0.55, 1.3},
+    /* kNor2      */ {"NOR2",   2, 1, {12.0, 0.0},  0.98,  1.1,  0.55, 1.3},
+    /* kAnd2      */ {"AND2",   2, 1, {14.0, 0.0},  1.30,  1.0,  0.70, 1.5},
+    /* kOr2       */ {"OR2",    2, 1, {15.0, 0.0},  1.30,  1.0,  0.70, 1.5},
+    /* kXor2      */ {"XOR2",   2, 1, {22.0, 0.0},  1.95,  1.6,  1.40, 2.1},
+    /* kXnor2     */ {"XNOR2",  2, 1, {22.0, 0.0},  1.95,  1.6,  1.40, 2.1},
+    /* kAoi21     */ {"AOI21",  3, 1, {13.0, 0.0},  1.30,  1.2,  0.80, 1.6},
+    /* kOai21     */ {"OAI21",  3, 1, {13.0, 0.0},  1.30,  1.2,  0.80, 1.6},
+    /* kMux2      */ {"MUX2",   3, 1, {16.0, 0.0},  1.95,  1.2,  1.00, 1.9},
+    /* kHalfAdder */ {"HA",     2, 2, {22.0, 14.0}, 3.25,  1.8,  1.80, 2.8},
+    /* kFullAdder */ {"FA",     3, 2, {40.0, 30.0}, 4.55,  2.4,  2.90, 4.2},
+    /* kDff       */ {"DFF",    1, 1, {0.0,  0.0},  4.88,  1.3,  1.90, 3.0},
+    /* kClockGate */ {"ICG",    1, 1, {20.0, 0.0},  3.25,  1.4,  1.10, 2.5},
+};
+
+}  // namespace
+
+const CellInfo& cell_info(CellType type) {
+  const auto index = static_cast<int>(type);
+  AF_ASSERT(index >= 0 && index < kNumCellTypes, "bad cell type " << index);
+  return kLibrary[index];
+}
+
+const char* cell_type_name(CellType type) { return cell_info(type).name; }
+
+double Technology::scaled_delay_ps(CellType type, int output_index) const {
+  const CellInfo& info = cell_info(type);
+  AF_ASSERT(output_index >= 0 && output_index < info.num_outputs,
+            "output index " << output_index << " out of range for "
+                            << info.name);
+  return info.delay_ps[output_index] * delay_scale;
+}
+
+void eval_cell(CellType type, const bool* in, bool* out) {
+  switch (type) {
+    case CellType::kTie0:
+      out[0] = false;
+      return;
+    case CellType::kTie1:
+      out[0] = true;
+      return;
+    case CellType::kInv:
+      out[0] = !in[0];
+      return;
+    case CellType::kBuf:
+      out[0] = in[0];
+      return;
+    case CellType::kNand2:
+      out[0] = !(in[0] && in[1]);
+      return;
+    case CellType::kNor2:
+      out[0] = !(in[0] || in[1]);
+      return;
+    case CellType::kAnd2:
+      out[0] = in[0] && in[1];
+      return;
+    case CellType::kOr2:
+      out[0] = in[0] || in[1];
+      return;
+    case CellType::kXor2:
+      out[0] = in[0] != in[1];
+      return;
+    case CellType::kXnor2:
+      out[0] = in[0] == in[1];
+      return;
+    case CellType::kAoi21:
+      out[0] = !((in[0] && in[1]) || in[2]);
+      return;
+    case CellType::kOai21:
+      out[0] = !((in[0] || in[1]) && in[2]);
+      return;
+    case CellType::kMux2:
+      out[0] = in[2] ? in[1] : in[0];
+      return;
+    case CellType::kHalfAdder:
+      out[0] = in[0] != in[1];
+      out[1] = in[0] && in[1];
+      return;
+    case CellType::kFullAdder: {
+      const bool a = in[0], b = in[1], c = in[2];
+      out[0] = (a != b) != c;
+      out[1] = (a && b) || (a && c) || (b && c);
+      return;
+    }
+    case CellType::kDff:
+      // Sequential: functional value handled by the simulator's state, not
+      // by combinational evaluation.
+      out[0] = in[0];
+      return;
+    case CellType::kClockGate:
+      out[0] = in[0];
+      return;
+  }
+  AF_ASSERT(false, "unhandled cell type");
+}
+
+}  // namespace af::hw

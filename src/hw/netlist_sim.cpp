@@ -1,0 +1,115 @@
+#include "hw/netlist_sim.h"
+
+#include <numeric>
+
+#include "util/status.h"
+
+namespace af::hw {
+
+NetlistSim::NetlistSim(const Netlist& nl)
+    : nl_(nl),
+      values_(static_cast<std::size_t>(nl.num_nets()), 0),
+      dff_state_(static_cast<std::size_t>(nl.num_cells()), 0),
+      toggles_(static_cast<std::size_t>(nl.num_cells()), 0) {}
+
+const Bus& NetlistSim::find_bus(const std::string& name) const {
+  const auto in_it = nl_.inputs().find(name);
+  if (in_it != nl_.inputs().end()) return in_it->second;
+  const auto out_it = nl_.outputs().find(name);
+  AF_CHECK(out_it != nl_.outputs().end(), "unknown bus '" << name << "'");
+  return out_it->second;
+}
+
+void NetlistSim::set_input(const std::string& bus, const BitVec& value) {
+  const Bus& nets = nl_.input(bus);
+  AF_CHECK(value.width() == static_cast<int>(nets.size()),
+           "bus '" << bus << "' width " << nets.size()
+                   << " != value width " << value.width());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    values_[static_cast<std::size_t>(nets[i])] =
+        value.bit(static_cast<int>(i)) ? 1 : 0;
+  }
+}
+
+void NetlistSim::set_input_u64(const std::string& bus, std::uint64_t value) {
+  const Bus& nets = nl_.input(bus);
+  AF_CHECK(nets.size() <= 64, "bus '" << bus << "' wider than 64 bits");
+  set_input(bus, BitVec(static_cast<int>(nets.size()), value));
+}
+
+void NetlistSim::eval() {
+  bool in[4];
+  bool out[2];
+  for (const int ci : nl_.topo_order()) {
+    const Cell& cell = nl_.cell(ci);
+    if (cell.type == CellType::kDff) {
+      // The DFF output shows the stored state, not the D input.
+      const NetId q = cell.outputs[0];
+      const bool prev = values_[static_cast<std::size_t>(q)] != 0;
+      const bool next = dff_state_[static_cast<std::size_t>(ci)] != 0;
+      if (!first_eval_ && prev != next) ++toggles_[static_cast<std::size_t>(ci)];
+      values_[static_cast<std::size_t>(q)] = next ? 1 : 0;
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      in[i] = values_[static_cast<std::size_t>(cell.inputs[i])] != 0;
+    }
+    eval_cell(cell.type, in, out);
+    for (std::size_t i = 0; i < cell.outputs.size(); ++i) {
+      const NetId n = cell.outputs[i];
+      const bool prev = values_[static_cast<std::size_t>(n)] != 0;
+      if (!first_eval_ && prev != out[i]) {
+        ++toggles_[static_cast<std::size_t>(ci)];
+      }
+      values_[static_cast<std::size_t>(n)] = out[i] ? 1 : 0;
+    }
+  }
+  first_eval_ = false;
+}
+
+void NetlistSim::step() {
+  eval();
+  for (int ci = 0; ci < nl_.num_cells(); ++ci) {
+    const Cell& cell = nl_.cell(ci);
+    if (cell.type != CellType::kDff) continue;
+    dff_state_[static_cast<std::size_t>(ci)] =
+        values_[static_cast<std::size_t>(cell.inputs[0])];
+  }
+}
+
+BitVec NetlistSim::get(const std::string& bus) const {
+  const Bus& nets = find_bus(bus);
+  BitVec out(static_cast<int>(nets.size()));
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    out.set_bit(static_cast<int>(i),
+                values_[static_cast<std::size_t>(nets[i])] != 0);
+  }
+  return out;
+}
+
+std::uint64_t NetlistSim::get_u64(const std::string& bus) const {
+  return get(bus).to_u64();
+}
+
+bool NetlistSim::net_value(NetId net) const {
+  AF_CHECK(net >= 0 && net < nl_.num_nets(), "net out of range");
+  return values_[static_cast<std::size_t>(net)] != 0;
+}
+
+void NetlistSim::set_dff_state(int cell_index, bool value) {
+  AF_CHECK(cell_index >= 0 && cell_index < nl_.num_cells(),
+           "cell index out of range");
+  AF_CHECK(nl_.cell(cell_index).type == CellType::kDff,
+           "cell " << cell_index << " is not a DFF");
+  dff_state_[static_cast<std::size_t>(cell_index)] = value ? 1 : 0;
+}
+
+std::uint64_t NetlistSim::total_toggles() const {
+  return std::accumulate(toggles_.begin(), toggles_.end(), std::uint64_t{0});
+}
+
+void NetlistSim::reset_activity() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+}
+
+}  // namespace af::hw

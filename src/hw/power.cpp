@@ -1,0 +1,84 @@
+#include "hw/power.h"
+
+#include "util/status.h"
+
+namespace af::hw {
+namespace {
+
+std::string first_component(const std::string& name) {
+  const auto slash = name.find('/');
+  return slash == std::string::npos ? std::string("top")
+                                    : name.substr(0, slash);
+}
+
+// fJ * GHz = uW; we report mW.
+double fj_ghz_to_mw(double fj, double ghz) { return fj * ghz * 1e-3; }
+
+void add_leakage(const Netlist& nl, PowerBreakdown& out) {
+  for (const Cell& cell : nl.cells()) {
+    out.leakage_mw += cell_info(cell.type).leakage_nw * 1e-6;
+  }
+}
+
+}  // namespace
+
+PowerBreakdown power_from_activity(const Netlist& nl,
+                                   const std::vector<std::uint64_t>& toggles,
+                                   std::uint64_t cycles,
+                                   const PowerOptions& options) {
+  AF_CHECK(cycles > 0, "power_from_activity requires cycles > 0");
+  AF_CHECK(toggles.size() == static_cast<std::size_t>(nl.num_cells()),
+           "toggle vector size mismatch");
+  PowerBreakdown out;
+  const double vsq = options.voltage_scale * options.voltage_scale;
+  for (int ci = 0; ci < nl.num_cells(); ++ci) {
+    const Cell& cell = nl.cell(ci);
+    const CellInfo& info = cell_info(cell.type);
+    const double alpha = static_cast<double>(toggles[static_cast<std::size_t>(ci)]) /
+                         static_cast<double>(cycles);
+    const double mw =
+        fj_ghz_to_mw(alpha * info.switch_energy_fj * vsq, options.frequency_ghz);
+    out.dynamic_mw += mw;
+    out.by_group_mw[first_component(cell.name)] += mw;
+    if (cell.type == CellType::kDff) {
+      // Clock-pin energy burned every enabled cycle regardless of data.
+      const double clk = fj_ghz_to_mw(info.switch_energy_fj * vsq *
+                                          options.clock_enable_fraction,
+                                      options.frequency_ghz);
+      out.clock_mw += clk;
+      out.by_group_mw[first_component(cell.name)] += clk;
+    }
+  }
+  add_leakage(nl, out);
+  return out;
+}
+
+PowerBreakdown power_from_factors(
+    const Netlist& nl, double activity,
+    const std::map<std::string, double>& group_activity,
+    const PowerOptions& options) {
+  AF_CHECK(activity >= 0.0, "activity must be non-negative");
+  PowerBreakdown out;
+  const double vsq = options.voltage_scale * options.voltage_scale;
+  for (const Cell& cell : nl.cells()) {
+    const CellInfo& info = cell_info(cell.type);
+    const std::string group = first_component(cell.name);
+    const auto it = group_activity.find(group);
+    const double alpha = it == group_activity.end() ? activity : it->second;
+    const double mw =
+        fj_ghz_to_mw(alpha * info.switch_energy_fj * vsq, options.frequency_ghz);
+    out.dynamic_mw += mw;
+    out.by_group_mw[group] += mw;
+    if (cell.type == CellType::kDff) {
+      const double clk = fj_ghz_to_mw(info.switch_energy_fj * vsq *
+                                          options.clock_enable_fraction,
+                                      options.frequency_ghz);
+      out.clock_mw += clk;
+      out.by_group_mw[group] += clk;
+    }
+  }
+  add_leakage(nl, out);
+  return out;
+}
+
+}  // namespace af::hw

@@ -1,0 +1,137 @@
+#include "hw/sta.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::hw {
+namespace {
+
+constexpr double kMinusInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Sta::Sta(const Netlist& nl, const Technology& tech) : nl_(nl), tech_(tech) {}
+
+void Sta::add_false_path_prefix(const std::string& prefix) {
+  false_prefixes_.push_back(prefix);
+}
+
+TimingReport Sta::run() const {
+  const int num_nets = nl_.num_nets();
+  // arrival[n]: worst data arrival time at net n; -inf = unreachable
+  // (undriven or only reachable through excluded cells).
+  std::vector<double> arrival(static_cast<std::size_t>(num_nets), kMinusInf);
+  // For traceback: which cell propagated the worst arrival to this net.
+  std::vector<int> from_cell(static_cast<std::size_t>(num_nets),
+                             Netlist::kNoCell);
+
+  for (const auto& [name, bus] : nl_.inputs()) {
+    for (const NetId n : bus) {
+      arrival[static_cast<std::size_t>(n)] = input_arrival_ps_;
+    }
+  }
+
+  const auto is_false = [&](const std::string& cell_name) {
+    return std::any_of(false_prefixes_.begin(), false_prefixes_.end(),
+                       [&](const std::string& p) {
+                         return starts_with(cell_name, p);
+                       });
+  };
+
+  for (const int ci : nl_.topo_order()) {
+    const Cell& cell = nl_.cell(ci);
+    if (is_false(cell.name)) continue;
+
+    if (cell.type == CellType::kDff) {
+      // Launch point: Q is valid clk-to-q after the edge.
+      const NetId q = cell.outputs[0];
+      if (tech_.scaled_clk_to_q_ps() > arrival[static_cast<std::size_t>(q)]) {
+        arrival[static_cast<std::size_t>(q)] = tech_.scaled_clk_to_q_ps();
+        from_cell[static_cast<std::size_t>(q)] = ci;
+      }
+      continue;
+    }
+    if (cell.type == CellType::kTie0 || cell.type == CellType::kTie1) {
+      // Constants are timing-stable; they never launch a path.
+      continue;
+    }
+
+    double worst_in = kMinusInf;
+    for (const NetId n : cell.inputs) {
+      worst_in = std::max(worst_in, arrival[static_cast<std::size_t>(n)]);
+    }
+    if (worst_in == kMinusInf) continue;  // feeds only from excluded logic
+
+    for (std::size_t oi = 0; oi < cell.outputs.size(); ++oi) {
+      const double t =
+          worst_in + tech_.scaled_delay_ps(cell.type, static_cast<int>(oi));
+      const NetId n = cell.outputs[oi];
+      if (t > arrival[static_cast<std::size_t>(n)]) {
+        arrival[static_cast<std::size_t>(n)] = t;
+        from_cell[static_cast<std::size_t>(n)] = ci;
+      }
+    }
+  }
+
+  // Collect endpoints.
+  TimingReport report;
+  double worst = 0.0;
+  NetId worst_net = kNoNet;
+  std::string endpoint = "none";
+
+  for (const auto& [name, bus] : nl_.outputs()) {
+    for (const NetId n : bus) {
+      const double t = arrival[static_cast<std::size_t>(n)];
+      if (t != kMinusInf && t > worst) {
+        worst = t;
+        worst_net = n;
+        endpoint = "output:" + name;
+      }
+    }
+  }
+  for (int ci = 0; ci < nl_.num_cells(); ++ci) {
+    const Cell& cell = nl_.cell(ci);
+    if (cell.type != CellType::kDff || is_false(cell.name)) continue;
+    const NetId d = cell.inputs[0];
+    const double t = arrival[static_cast<std::size_t>(d)];
+    if (t == kMinusInf) continue;
+    const double required = t + tech_.scaled_setup_ps();
+    if (required > worst) {
+      worst = required;
+      worst_net = d;
+      endpoint = "dff:" + cell.name;
+    }
+  }
+
+  report.min_period_ps = worst;
+  report.endpoint = endpoint;
+
+  // Trace the critical path back through the argmax predecessors.
+  std::vector<TimingPathStep> path;
+  NetId n = worst_net;
+  while (n != kNoNet) {
+    const int ci = from_cell[static_cast<std::size_t>(n)];
+    if (ci == Netlist::kNoCell) break;
+    const Cell& cell = nl_.cell(ci);
+    path.push_back(TimingPathStep{cell.name, cell_type_name(cell.type),
+                                  arrival[static_cast<std::size_t>(n)]});
+    if (cell.type == CellType::kDff) break;  // reached a launch point
+    // Continue from the worst input of this cell.
+    NetId best = kNoNet;
+    double best_t = kMinusInf;
+    for (const NetId in : cell.inputs) {
+      if (arrival[static_cast<std::size_t>(in)] > best_t) {
+        best_t = arrival[static_cast<std::size_t>(in)];
+        best = in;
+      }
+    }
+    n = best;
+  }
+  std::reverse(path.begin(), path.end());
+  report.critical_path = std::move(path);
+  return report;
+}
+
+}  // namespace af::hw

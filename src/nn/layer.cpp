@@ -1,0 +1,102 @@
+#include "nn/layer.h"
+
+#include "util/status.h"
+
+namespace af::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kDepthwiseConv:
+      return "dwconv";
+    case LayerKind::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+int Layer::out_h() const {
+  return (in_h + 2 * padding - kernel_h) / stride + 1;
+}
+
+int Layer::out_w() const {
+  return (in_w + 2 * padding - kernel_w) / stride + 1;
+}
+
+void Layer::validate() const {
+  AF_CHECK(in_channels > 0 && out_channels > 0,
+           "layer '" << name << "': channel counts must be positive");
+  AF_CHECK(kernel_h > 0 && kernel_w > 0 && stride > 0 && padding >= 0,
+           "layer '" << name << "': bad kernel geometry");
+  AF_CHECK(in_h > 0 && in_w > 0, "layer '" << name << "': bad input size");
+  AF_CHECK(out_h() > 0 && out_w() > 0,
+           "layer '" << name << "': empty output feature map");
+  if (kind == LayerKind::kDepthwiseConv) {
+    AF_CHECK(in_channels == out_channels,
+             "layer '" << name << "': depthwise requires in == out channels");
+  }
+  if (kind == LayerKind::kLinear) {
+    AF_CHECK(kernel_h == 1 && kernel_w == 1 && in_h == 1 && in_w == 1,
+             "layer '" << name << "': linear must be 1x1 spatial");
+  }
+}
+
+std::int64_t Layer::macs() const {
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(out_h()) * static_cast<std::int64_t>(out_w());
+  const std::int64_t per_pixel_per_out =
+      static_cast<std::int64_t>(kernel_h) * kernel_w *
+      (kind == LayerKind::kDepthwiseConv ? 1 : in_channels);
+  return pixels * per_pixel_per_out * out_channels;
+}
+
+Layer Layer::conv(std::string name, int in_ch, int out_ch, int kernel,
+                  int stride, int padding, int in_h, int in_w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv;
+  l.in_channels = in_ch;
+  l.out_channels = out_ch;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.validate();
+  return l;
+}
+
+Layer Layer::depthwise(std::string name, int channels, int kernel, int stride,
+                       int padding, int in_h, int in_w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDepthwiseConv;
+  l.in_channels = channels;
+  l.out_channels = channels;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  l.validate();
+  return l;
+}
+
+Layer Layer::pointwise(std::string name, int in_ch, int out_ch, int in_h,
+                       int in_w) {
+  return conv(std::move(name), in_ch, out_ch, /*kernel=*/1, /*stride=*/1,
+              /*padding=*/0, in_h, in_w);
+}
+
+Layer Layer::linear(std::string name, int in_features, int out_features) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLinear;
+  l.in_channels = in_features;
+  l.out_channels = out_features;
+  l.validate();
+  return l;
+}
+
+}  // namespace af::nn

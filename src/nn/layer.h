@@ -1,0 +1,54 @@
+// CNN layer descriptors.
+//
+// Only what GEMM mapping needs: kernel geometry, channel counts, stride,
+// padding and the input spatial size.  Batch size is 1 throughout ("single-
+// batch inference", paper Section IV).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace af::nn {
+
+enum class LayerKind {
+  kConv,           // standard dense convolution
+  kDepthwiseConv,  // one filter per channel (MobileNet / ConvNeXt blocks)
+  kLinear,         // fully connected
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel_h = 1;
+  int kernel_w = 1;
+  int stride = 1;
+  int padding = 0;
+  int in_h = 1;   // input feature-map height (1 for kLinear)
+  int in_w = 1;
+
+  int out_h() const;
+  int out_w() const;
+
+  // Throws af::Error on inconsistent geometry (e.g. depthwise with
+  // in_channels != out_channels).
+  void validate() const;
+
+  // MAC count of the layer (useful for reports).
+  std::int64_t macs() const;
+
+  // Factory helpers.
+  static Layer conv(std::string name, int in_ch, int out_ch, int kernel,
+                    int stride, int padding, int in_h, int in_w);
+  static Layer depthwise(std::string name, int channels, int kernel,
+                         int stride, int padding, int in_h, int in_w);
+  static Layer pointwise(std::string name, int in_ch, int out_ch, int in_h,
+                         int in_w);
+  static Layer linear(std::string name, int in_features, int out_features);
+};
+
+}  // namespace af::nn

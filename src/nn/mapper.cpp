@@ -1,0 +1,117 @@
+#include "nn/mapper.h"
+
+#include "gemm/reference.h"
+#include "util/status.h"
+
+namespace af::nn {
+
+gemm::GemmShape gemm_shape(const Layer& layer) {
+  layer.validate();
+  gemm::GemmShape shape;
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(layer.out_h()) * layer.out_w();
+  switch (layer.kind) {
+    case LayerKind::kConv:
+      shape.t = pixels;
+      shape.n = static_cast<std::int64_t>(layer.in_channels) * layer.kernel_h *
+                layer.kernel_w;
+      shape.m = layer.out_channels;
+      break;
+    case LayerKind::kDepthwiseConv:
+      shape.t = pixels;
+      shape.n = static_cast<std::int64_t>(layer.kernel_h) * layer.kernel_w;
+      shape.m = layer.out_channels;
+      break;
+    case LayerKind::kLinear:
+      shape.t = 1;
+      shape.n = layer.in_channels;
+      shape.m = layer.out_channels;
+      break;
+  }
+  return shape;
+}
+
+gemm::Mat32 im2col(const Layer& layer, const gemm::Mat32& input_chw) {
+  layer.validate();
+  AF_CHECK(layer.kind == LayerKind::kConv, "im2col supports standard conv");
+  AF_CHECK(input_chw.rows() == layer.in_channels &&
+               input_chw.cols() ==
+                   static_cast<std::int64_t>(layer.in_h) * layer.in_w,
+           "input must be in_ch x (H*W)");
+  const int oh = layer.out_h();
+  const int ow = layer.out_w();
+  const std::int64_t n = static_cast<std::int64_t>(layer.in_channels) *
+                         layer.kernel_h * layer.kernel_w;
+  gemm::Mat32 a(static_cast<std::int64_t>(oh) * ow, n);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const std::int64_t row = static_cast<std::int64_t>(oy) * ow + ox;
+      std::int64_t col = 0;
+      for (int ch = 0; ch < layer.in_channels; ++ch) {
+        for (int ky = 0; ky < layer.kernel_h; ++ky) {
+          for (int kx = 0; kx < layer.kernel_w; ++kx, ++col) {
+            const int iy = oy * layer.stride + ky - layer.padding;
+            const int ix = ox * layer.stride + kx - layer.padding;
+            if (iy >= 0 && iy < layer.in_h && ix >= 0 && ix < layer.in_w) {
+              a.at(row, col) =
+                  input_chw.at(ch, static_cast<std::int64_t>(iy) * layer.in_w + ix);
+            }
+          }
+        }
+      }
+    }
+  }
+  return a;
+}
+
+gemm::Mat32 weights_to_matrix(const Layer& layer, const gemm::Mat32& weights) {
+  layer.validate();
+  AF_CHECK(layer.kind == LayerKind::kConv,
+           "weights_to_matrix supports standard conv");
+  const std::int64_t n = static_cast<std::int64_t>(layer.in_channels) *
+                         layer.kernel_h * layer.kernel_w;
+  AF_CHECK(weights.rows() == layer.out_channels && weights.cols() == n,
+           "weights must be out_ch x (in_ch*kh*kw)");
+  gemm::Mat32 b(n, layer.out_channels);
+  for (std::int64_t oc = 0; oc < layer.out_channels; ++oc) {
+    for (std::int64_t i = 0; i < n; ++i) b.at(i, oc) = weights.at(oc, i);
+  }
+  return b;
+}
+
+gemm::Mat64 direct_conv(const Layer& layer, const gemm::Mat32& input_chw,
+                        const gemm::Mat32& weights) {
+  layer.validate();
+  AF_CHECK(layer.kind == LayerKind::kConv, "direct_conv supports standard conv");
+  const int oh = layer.out_h();
+  const int ow = layer.out_w();
+  gemm::Mat64 out(layer.out_channels,
+                  static_cast<std::int64_t>(oh) * ow);
+  for (int oc = 0; oc < layer.out_channels; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = 0;
+        std::int64_t widx = 0;
+        for (int ch = 0; ch < layer.in_channels; ++ch) {
+          for (int ky = 0; ky < layer.kernel_h; ++ky) {
+            for (int kx = 0; kx < layer.kernel_w; ++kx, ++widx) {
+              const int iy = oy * layer.stride + ky - layer.padding;
+              const int ix = ox * layer.stride + kx - layer.padding;
+              if (iy < 0 || iy >= layer.in_h || ix < 0 || ix >= layer.in_w) {
+                continue;
+              }
+              acc = gemm::mac_mod(
+                  acc,
+                  input_chw.at(ch, static_cast<std::int64_t>(iy) * layer.in_w + ix),
+                  weights.at(oc, widx));
+            }
+          }
+        }
+        out.at(oc, static_cast<std::int64_t>(oy) * ow + ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace af::nn

@@ -1,0 +1,40 @@
+// Layer -> GEMM mapping (im2col lowering, paper Section I: "the
+// convolutions of each CNN layer are mapped to a matrix multiplication").
+//
+// Using the paper's notation X(T x M) = A(T x N) x B(N x M):
+//   standard conv:  T = out_h*out_w,  N = in_ch*kh*kw,  M = out_ch
+//   depthwise conv: T = out_h*out_w,  N = kh*kw,        M = channels
+//     (each channel reduces over its own kh*kw window; mapping the channel
+//      batch across the M dimension keeps the latency model exact while the
+//      reduction depth stays kh*kw — the block-diagonal dense lowering)
+//   linear:         T = 1,            N = in_features,  M = out_features
+//
+// The module also provides a real im2col patch-matrix builder used by the
+// examples and tests to run actual convolutions through the array.
+
+#pragma once
+
+#include "gemm/matrix.h"
+#include "gemm/tiling.h"
+#include "nn/layer.h"
+
+namespace af::nn {
+
+gemm::GemmShape gemm_shape(const Layer& layer);
+
+// im2col: lower an input feature map (channels x H x W, stored row-major as
+// ch-major) to the A matrix of the layer's GEMM: T rows (output pixels),
+// N columns (receptive-field elements).  Standard conv only.
+gemm::Mat32 im2col(const Layer& layer, const gemm::Mat32& input_chw);
+
+// Lower a weight tensor (out_ch x in_ch x kh x kw, row-major) to the B
+// matrix: N rows x M cols.  Standard conv only.
+gemm::Mat32 weights_to_matrix(const Layer& layer, const gemm::Mat32& weights);
+
+// Direct convolution reference (for validating the im2col path end to end).
+// input: in_ch x (H*W) matrix; weights: out_ch x (in_ch*kh*kw) matrix;
+// returns out_ch x (out_h*out_w) with 64-bit modular accumulation.
+gemm::Mat64 direct_conv(const Layer& layer, const gemm::Mat32& input_chw,
+                        const gemm::Mat32& weights);
+
+}  // namespace af::nn

@@ -1,0 +1,138 @@
+#include "nn/models.h"
+
+#include "util/strings.h"
+
+namespace af::nn {
+
+std::int64_t Model::total_macs() const {
+  std::int64_t total = 0;
+  for (const Layer& l : layers) total += l.macs();
+  return total;
+}
+
+Model resnet34(bool include_projections) {
+  Model m;
+  m.name = "ResNet-34";
+  auto& L = m.layers;
+
+  // conv1: 7x7/2, 3 -> 64, 224 -> 112.  (3x3/2 max-pool follows: 112 -> 56.)
+  L.push_back(Layer::conv("conv1", 3, 64, 7, 2, 3, 224, 224));
+
+  // conv2_x: 3 basic blocks, 64 channels @ 56.
+  for (int b = 0; b < 3; ++b) {
+    L.push_back(Layer::conv(format("conv2_%d_1", b + 1), 64, 64, 3, 1, 1, 56, 56));
+    L.push_back(Layer::conv(format("conv2_%d_2", b + 1), 64, 64, 3, 1, 1, 56, 56));
+  }
+  // conv3_x: 4 blocks, 128 channels @ 28 (first conv strides 56 -> 28).
+  if (include_projections) {
+    L.push_back(Layer::conv("conv3_proj", 64, 128, 1, 2, 0, 56, 56));
+  }
+  L.push_back(Layer::conv("conv3_1_1", 64, 128, 3, 2, 1, 56, 56));
+  L.push_back(Layer::conv("conv3_1_2", 128, 128, 3, 1, 1, 28, 28));
+  for (int b = 1; b < 4; ++b) {
+    L.push_back(Layer::conv(format("conv3_%d_1", b + 1), 128, 128, 3, 1, 1, 28, 28));
+    L.push_back(Layer::conv(format("conv3_%d_2", b + 1), 128, 128, 3, 1, 1, 28, 28));
+  }
+  // conv4_x: 6 blocks, 256 channels @ 14.
+  if (include_projections) {
+    L.push_back(Layer::conv("conv4_proj", 128, 256, 1, 2, 0, 28, 28));
+  }
+  L.push_back(Layer::conv("conv4_1_1", 128, 256, 3, 2, 1, 28, 28));
+  L.push_back(Layer::conv("conv4_1_2", 256, 256, 3, 1, 1, 14, 14));
+  for (int b = 1; b < 6; ++b) {
+    L.push_back(Layer::conv(format("conv4_%d_1", b + 1), 256, 256, 3, 1, 1, 14, 14));
+    L.push_back(Layer::conv(format("conv4_%d_2", b + 1), 256, 256, 3, 1, 1, 14, 14));
+  }
+  // conv5_x: 3 blocks, 512 channels @ 7.
+  if (include_projections) {
+    L.push_back(Layer::conv("conv5_proj", 256, 512, 1, 2, 0, 14, 14));
+  }
+  L.push_back(Layer::conv("conv5_1_1", 256, 512, 3, 2, 1, 14, 14));
+  L.push_back(Layer::conv("conv5_1_2", 512, 512, 3, 1, 1, 7, 7));
+  for (int b = 1; b < 3; ++b) {
+    L.push_back(Layer::conv(format("conv5_%d_1", b + 1), 512, 512, 3, 1, 1, 7, 7));
+    L.push_back(Layer::conv(format("conv5_%d_2", b + 1), 512, 512, 3, 1, 1, 7, 7));
+  }
+  return m;
+}
+
+Model mobilenet_v1(bool include_classifier) {
+  Model m;
+  m.name = "MobileNet";
+  auto& L = m.layers;
+
+  L.push_back(Layer::conv("conv1", 3, 32, 3, 2, 1, 224, 224));
+
+  // (channels_in, stride) per depthwise-separable block; pw doubles the
+  // channel count whenever the dw layer strides (except the final stage).
+  struct Block {
+    int ch_in;
+    int stride;
+    int ch_out;
+    int spatial_in;
+  };
+  const Block blocks[] = {
+      {32, 1, 64, 112},   {64, 2, 128, 112}, {128, 1, 128, 56},
+      {128, 2, 256, 56},  {256, 1, 256, 28}, {256, 2, 512, 28},
+      {512, 1, 512, 14},  {512, 1, 512, 14}, {512, 1, 512, 14},
+      {512, 1, 512, 14},  {512, 1, 512, 14}, {512, 2, 1024, 14},
+      {1024, 1, 1024, 7},
+  };
+  int index = 0;
+  for (const Block& b : blocks) {
+    ++index;
+    L.push_back(Layer::depthwise(format("dw%d", index), b.ch_in, 3, b.stride,
+                                 1, b.spatial_in, b.spatial_in));
+    const int spatial_out = b.spatial_in / b.stride;
+    L.push_back(Layer::pointwise(format("pw%d", index), b.ch_in, b.ch_out,
+                                 spatial_out, spatial_out));
+  }
+  if (include_classifier) {
+    L.push_back(Layer::linear("fc", 1024, 1000));
+  }
+  return m;
+}
+
+Model convnext_tiny(bool include_downsample) {
+  Model m;
+  m.name = "ConvNeXt";
+  auto& L = m.layers;
+
+  // Stem: 4x4/4 patchify, 3 -> 96, 224 -> 56.
+  L.push_back(Layer::conv("stem", 3, 96, 4, 4, 0, 224, 224));
+
+  struct Stage {
+    int blocks;
+    int channels;
+    int spatial;
+  };
+  const Stage stages[] = {{3, 96, 56}, {3, 192, 28}, {9, 384, 14}, {3, 768, 7}};
+  for (int s = 0; s < 4; ++s) {
+    const Stage& st = stages[s];
+    if (s > 0 && include_downsample) {
+      L.push_back(Layer::conv(format("down%d", s), stages[s - 1].channels,
+                              st.channels, 2, 2, 0, stages[s - 1].spatial,
+                              stages[s - 1].spatial));
+    }
+    for (int b = 0; b < st.blocks; ++b) {
+      // ConvNeXt block: 7x7 depthwise, then an inverted bottleneck of two
+      // pointwise convs with 4x expansion.
+      L.push_back(Layer::depthwise(format("s%d_b%d_dw", s + 1, b + 1),
+                                   st.channels, 7, 1, 3, st.spatial,
+                                   st.spatial));
+      L.push_back(Layer::pointwise(format("s%d_b%d_pw1", s + 1, b + 1),
+                                   st.channels, st.channels * 4, st.spatial,
+                                   st.spatial));
+      L.push_back(Layer::pointwise(format("s%d_b%d_pw2", s + 1, b + 1),
+                                   st.channels * 4, st.channels, st.spatial,
+                                   st.spatial));
+    }
+  }
+  return m;
+}
+
+std::vector<Model> paper_models() {
+  return {resnet34(), mobilenet_v1(), convnext_tiny()};
+}
+
+}  // namespace af::nn

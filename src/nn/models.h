@@ -1,0 +1,38 @@
+// Layer tables for the paper's three evaluation CNNs (Section IV-A):
+// ResNet-34, MobileNet-V1 and ConvNeXt-T, at 224x224 single-batch inference.
+//
+// Layer numbering matches the paper's counting:
+//   * ResNet-34: the 33 weight convolutions (conv1 + 2 per basic block);
+//     1x1 projection shortcuts excluded by default.  With this numbering the
+//     paper's Fig. 5 examples check out exactly: layer 20 -> GEMM
+//     (M,N,T) = (256, 2304, 196) and layer 28 -> (512, 2304, 49).
+//   * ConvNeXt-T: 55 layers (stem + 3/3/9/3 blocks x (dw7x7, pw, pw));
+//     stage-transition downsample convs excluded by default, matching the
+//     55-layer x-axis of Fig. 7.
+//   * MobileNet-V1: 27 convolutions + the final classifier.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace af::nn {
+
+struct Model {
+  std::string name;
+  std::vector<Layer> layers;
+
+  std::int64_t total_macs() const;
+};
+
+Model resnet34(bool include_projections = false);
+Model mobilenet_v1(bool include_classifier = true);
+Model convnext_tiny(bool include_downsample = false);
+
+// The three CNNs of Figs. 8 and 9, in the paper's order.
+std::vector<Model> paper_models();
+
+}  // namespace af::nn

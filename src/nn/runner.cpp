@@ -1,0 +1,83 @@
+#include "nn/runner.h"
+
+#include "util/status.h"
+
+namespace af::nn {
+
+double ModelReport::arrayflex_avg_power_mw() const {
+  return arrayflex_time_ps > 0 ? arrayflex_energy_pj / arrayflex_time_ps * 1e3
+                               : 0.0;
+}
+
+double ModelReport::conventional_avg_power_mw() const {
+  return conventional_time_ps > 0
+             ? conventional_energy_pj / conventional_time_ps * 1e3
+             : 0.0;
+}
+
+std::map<int, int> ModelReport::mode_histogram() const {
+  std::map<int, int> hist;
+  for (const LayerReport& l : layers) ++hist[l.arrayflex.k];
+  return hist;
+}
+
+std::map<int, double> ModelReport::power_by_mode_mw() const {
+  std::map<int, double> energy_pj;
+  std::map<int, double> time_ps;
+  for (const LayerReport& l : layers) {
+    energy_pj[l.arrayflex.k] += l.arrayflex_power.energy_pj;
+    time_ps[l.arrayflex.k] += l.arrayflex_power.time_ps;
+  }
+  std::map<int, double> out;
+  for (const auto& [k, e] : energy_pj) {
+    out[k] = time_ps[k] > 0 ? e / time_ps[k] * 1e3 : 0.0;
+  }
+  return out;
+}
+
+arch::EfficiencyComparison ModelReport::totals() const {
+  arch::PowerResult af{arrayflex_energy_pj, arrayflex_time_ps};
+  arch::PowerResult conv{conventional_energy_pj, conventional_time_ps};
+  return arch::compare(af, conv);
+}
+
+InferenceRunner::InferenceRunner(const arch::ArrayConfig& config,
+                                 const arch::ClockModel& clock,
+                                 const arch::EnergyParams& energy)
+    : config_(config),
+      clock_(clock),
+      optimizer_(config, clock),
+      power_(config, clock, energy) {
+  config_.validate();
+}
+
+LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
+  LayerReport report;
+  report.name = layer.name;
+  report.kind = layer.kind;
+  report.shape = gemm_shape(layer);
+  report.k_hat = optimizer_.continuous_k_hat(report.shape);
+  report.arrayflex = optimizer_.best_mode(report.shape);
+  report.conventional = optimizer_.conventional(report.shape);
+  report.arrayflex_power = power_.arrayflex(report.shape, report.arrayflex.k);
+  report.conventional_power = power_.conventional(report.shape);
+  return report;
+}
+
+ModelReport InferenceRunner::run(const Model& model) const {
+  AF_CHECK(!model.layers.empty(), "model '" << model.name << "' has no layers");
+  ModelReport report;
+  report.model_name = model.name;
+  report.layers.reserve(model.layers.size());
+  for (const Layer& layer : model.layers) {
+    LayerReport lr = evaluate_layer(layer);
+    report.arrayflex_time_ps += lr.arrayflex.time_ps;
+    report.conventional_time_ps += lr.conventional.time_ps;
+    report.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
+    report.conventional_energy_pj += lr.conventional_power.energy_pj;
+    report.layers.push_back(std::move(lr));
+  }
+  return report;
+}
+
+}  // namespace af::nn

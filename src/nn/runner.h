@@ -1,0 +1,79 @@
+// End-to-end model evaluation: map every layer to its GEMM, choose the
+// optimal pipeline depth per layer (Eq. 6), and aggregate latency, power and
+// energy for both ArrayFlex and the conventional fixed-pipeline SA.
+//
+// This is the harness behind Figs. 7, 8 and 9.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/energy.h"
+#include "arch/optimizer.h"
+#include "arch/power_model.h"
+#include "nn/mapper.h"
+#include "nn/models.h"
+
+namespace af::nn {
+
+struct LayerReport {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  gemm::GemmShape shape;
+  double k_hat = 0.0;                  // Eq. 7 continuous optimum
+  arch::ModeDecision arrayflex;        // Eq. 6 discrete argmin
+  arch::ModeDecision conventional;
+  arch::PowerResult arrayflex_power;
+  arch::PowerResult conventional_power;
+
+  // Per-layer execution-time savings of ArrayFlex over the conventional SA
+  // (negative when the conventional SA's faster clock wins).
+  double time_savings() const {
+    return 1.0 - arrayflex.time_ps / conventional.time_ps;
+  }
+};
+
+struct ModelReport {
+  std::string model_name;
+  std::vector<LayerReport> layers;
+
+  double arrayflex_time_ps = 0.0;
+  double conventional_time_ps = 0.0;
+  double arrayflex_energy_pj = 0.0;
+  double conventional_energy_pj = 0.0;
+
+  double arrayflex_avg_power_mw() const;
+  double conventional_avg_power_mw() const;
+
+  // Layer count per chosen mode k.
+  std::map<int, int> mode_histogram() const;
+
+  // Average ArrayFlex power over the layers executed in mode k (the
+  // per-mode bars of Fig. 9).
+  std::map<int, double> power_by_mode_mw() const;
+
+  arch::EfficiencyComparison totals() const;
+};
+
+class InferenceRunner {
+ public:
+  InferenceRunner(const arch::ArrayConfig& config,
+                  const arch::ClockModel& clock,
+                  const arch::EnergyParams& energy =
+                      arch::EnergyParams::generic28nm());
+
+  LayerReport evaluate_layer(const Layer& layer) const;
+  ModelReport run(const Model& model) const;
+
+  const arch::ArrayConfig& config() const { return config_; }
+
+ private:
+  arch::ArrayConfig config_;
+  const arch::ClockModel& clock_;
+  arch::PipelineOptimizer optimizer_;
+  arch::SaPowerModel power_;
+};
+
+}  // namespace af::nn

@@ -1,0 +1,47 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace af::sim {
+
+std::string banner(const std::string& title) {
+  const std::string bar(title.size() + 10, '=');
+  return bar + "\n==== " + title + " ====\n" + bar + "\n";
+}
+
+CsvReport::CsvReport(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  AF_CHECK(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvReport::add_row(const std::vector<std::string>& cells) {
+  AF_CHECK(cells.size() == header_.size(),
+           "CSV row arity " << cells.size() << " != header " << header_.size());
+  rows_.push_back(cells);
+}
+
+std::string CsvReport::render() const {
+  std::ostringstream out;
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ",";
+      out << cells[i];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool CsvReport::write_to(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << render();
+  return out.good();
+}
+
+}  // namespace af::sim

@@ -1,0 +1,29 @@
+// Report emission helpers shared by the bench binaries: section banners and
+// optional machine-readable CSV dumps next to the human tables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace af::sim {
+
+// "==== title ====" banner sized to the title.
+std::string banner(const std::string& title);
+
+// CSV writer accumulating rows in memory; write_to flushes to a file.
+class CsvReport {
+ public:
+  explicit CsvReport(std::vector<std::string> header);
+  void add_row(const std::vector<std::string>& cells);
+  std::string render() const;
+  // Writes to `path`; returns false (without throwing) when the path is not
+  // writable so benches never fail on read-only checkouts.
+  bool write_to(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace af::sim

@@ -1,0 +1,66 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af::sim {
+
+void RunningStat::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(buckets), 0) {
+  AF_CHECK(buckets > 0, "histogram needs at least one bucket");
+  AF_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  int idx = static_cast<int>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp(idx, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::int64_t Histogram::bucket_count(int i) const {
+  AF_CHECK(i >= 0 && i < buckets(), "bucket index out of range");
+  return counts_[static_cast<std::size_t>(i)];
+}
+
+std::string Histogram::render() const {
+  std::ostringstream out;
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b0 = lo_ + step * static_cast<double>(i);
+    out << format("[%10.3f, %10.3f): %lld\n", b0, b0 + step,
+                  static_cast<long long>(counts_[i]));
+  }
+  return out.str();
+}
+
+void CounterSet::bump(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+std::int64_t CounterSet::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace af::sim

@@ -1,0 +1,80 @@
+#include "sim/vcd.h"
+
+#include "util/status.h"
+
+namespace af::sim {
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& timescale) {
+  out_.open(path);
+  AF_CHECK(out_.is_open(), "cannot open VCD file '" << path << "'");
+  out_ << "$date\n  arrayflex simulation\n$end\n";
+  out_ << "$version\n  arrayflex vcd writer\n$end\n";
+  out_ << "$timescale " << timescale << " $end\n";
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+std::string VcdWriter::identifier_for(int index) const {
+  // Printable-character base-94 encoding, starting at '!'.
+  std::string id;
+  int x = index;
+  do {
+    id.push_back(static_cast<char>('!' + x % 94));
+    x /= 94;
+  } while (x > 0);
+  return id;
+}
+
+int VcdWriter::add_signal(const std::string& name, int width) {
+  AF_CHECK(!header_written_, "signals must be declared before set_time()");
+  AF_CHECK(width >= 1 && width <= 64, "signal width must be in [1,64]");
+  Signal s;
+  s.id = identifier_for(static_cast<int>(signals_.size()));
+  s.name = name;
+  s.width = width;
+  signals_.push_back(s);
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+void VcdWriter::write_header() {
+  out_ << "$scope module arrayflex $end\n";
+  for (const Signal& s : signals_) {
+    out_ << "$var wire " << s.width << " " << s.id << " " << s.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::set_time(std::uint64_t t) {
+  if (!header_written_) write_header();
+  AF_CHECK(t >= time_ || !time_emitted_, "VCD time must be non-decreasing");
+  time_ = t;
+  out_ << "#" << t << "\n";
+  time_emitted_ = true;
+}
+
+void VcdWriter::change(int signal, std::uint64_t value) {
+  AF_CHECK(signal >= 0 && signal < static_cast<int>(signals_.size()),
+           "unknown VCD signal " << signal);
+  AF_CHECK(time_emitted_, "call set_time() before change()");
+  Signal& s = signals_[static_cast<std::size_t>(signal)];
+  if (s.emitted && s.last_value == value) return;
+  s.last_value = value;
+  s.emitted = true;
+  if (s.width == 1) {
+    out_ << (value & 1) << s.id << "\n";
+    return;
+  }
+  std::string bits;
+  for (int b = s.width - 1; b >= 0; --b) {
+    bits.push_back(((value >> b) & 1) ? '1' : '0');
+  }
+  out_ << "b" << bits << " " << s.id << "\n";
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace af::sim

@@ -1,0 +1,57 @@
+// Minimal VCD (Value Change Dump) writer.
+//
+// The waveform example dumps the systolic array's edge activity so the
+// skewed dataflow (batches of k words in shallow mode, paper Fig. 2) can be
+// inspected in any waveform viewer (GTKWave etc.).
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace af::sim {
+
+class VcdWriter {
+ public:
+  // Opens `path` for writing; throws af::Error on failure.
+  explicit VcdWriter(const std::string& path,
+                     const std::string& timescale = "1ns");
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  // Declare a signal before the first set_time() call.  Returns a handle.
+  int add_signal(const std::string& name, int width);
+
+  // Advance simulation time (monotonically non-decreasing).
+  void set_time(std::uint64_t t);
+
+  // Emit a value change for a signal at the current time.
+  void change(int signal, std::uint64_t value);
+
+  // Flush and close (also performed by the destructor).
+  void close();
+
+ private:
+  struct Signal {
+    std::string id;  // short VCD identifier
+    std::string name;
+    int width;
+    std::uint64_t last_value = ~0ULL;
+    bool emitted = false;
+  };
+
+  std::string identifier_for(int index) const;
+  void write_header();
+
+  std::ofstream out_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+  std::uint64_t time_ = 0;
+  bool time_emitted_ = false;
+};
+
+}  // namespace af::sim

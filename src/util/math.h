@@ -1,0 +1,38 @@
+// Small integer-math helpers shared across the library (header-only).
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace af {
+
+// ⌈a / b⌉ for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Round `a` up to the next multiple of `b` (b > 0).
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+// true when b divides a exactly.
+constexpr bool divides(std::int64_t b, std::int64_t a) {
+  return b != 0 && a % b == 0;
+}
+
+// Floor of log2(x); x must be positive.
+inline int ilog2(std::uint64_t x) {
+  AF_CHECK(x > 0, "ilog2 requires positive argument");
+  int bits = 0;
+  while (x >>= 1) ++bits;
+  return bits;
+}
+
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace af

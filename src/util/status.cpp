@@ -1,0 +1,21 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace af::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream out;
+  out << msg << " [" << file << ":" << line << "]";
+  throw Error(out.str());
+}
+
+void assert_fail(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "AF_ASSERT failed: %s\n  %s\n  at %s:%d\n", expr,
+               msg.c_str(), file, line);
+  std::abort();
+}
+
+}  // namespace af::detail

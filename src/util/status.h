@@ -1,0 +1,63 @@
+// Error-handling helpers for the ArrayFlex library.
+//
+// The library follows a simple contract: precondition violations and
+// malformed configurations throw af::Error (derived from std::runtime_error)
+// with a formatted message.  Internal invariants use AF_ASSERT, which is
+// always on (the simulator is a verification tool; silently wrong cycle
+// counts are worse than an abort).
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace af {
+
+// Exception thrown for user-visible errors (bad configs, size mismatches).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+// Tiny stream-based message builder so call sites can write
+//   AF_CHECK(x > 0, "x must be positive, got " << x);
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace af
+
+// User-facing precondition check: throws af::Error when violated.
+#define AF_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::af::detail::throw_error(__FILE__, __LINE__,                      \
+                                (::af::detail::MessageBuilder() << msg).str()); \
+    }                                                                     \
+  } while (false)
+
+// Internal invariant check: aborts with a diagnostic when violated.
+#define AF_ASSERT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::af::detail::assert_fail(__FILE__, __LINE__, #cond,               \
+                                (::af::detail::MessageBuilder() << msg).str()); \
+    }                                                                     \
+  } while (false)

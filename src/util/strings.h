@@ -1,0 +1,37 @@
+// String formatting helpers used by reports and benches.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace af {
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// "1234567" -> "1,234,567" (sign preserved).
+std::string with_commas(std::int64_t value);
+
+// Fixed-point decimal with `digits` fractional digits, e.g. fixed(3.14159, 2)
+// == "3.14".
+std::string fixed(double value, int digits);
+
+// Percentage string: percent(0.1234, 1) == "12.3%".
+std::string percent(double fraction, int digits = 1);
+
+// Engineering-style time formatting from picoseconds: "1.25 ns", "3.40 us".
+std::string format_time_ps(double ps);
+
+// Left/right padding to a field width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+// Split on a delimiter, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+// True when `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace af

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace af {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AF_CHECK(!headers_.empty(), "Table requires at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  AF_CHECK(column < aligns_.size(), "column " << column << " out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AF_CHECK(cells.size() == headers_.size(),
+           "row arity " << cells.size() << " != header arity "
+                        << headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&]() {
+    std::string line = "+";
+    for (const auto w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = aligns_[c] == Align::kRight
+                                     ? pad_left(cells[c], widths[c])
+                                     : pad_right(cells[c], widths[c]);
+      line += " " + padded + " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule() << emit_row(headers_) << rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << rule();
+    } else {
+      out << emit_row(row.cells);
+    }
+  }
+  out << rule();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.render();
+}
+
+}  // namespace af

@@ -1,0 +1,47 @@
+// ASCII table renderer used by benches and reports.
+//
+// Columns are right-aligned for numerics and left-aligned for text, matching
+// the style of the paper's result tables.  Output goes through operator<<.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace af {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit Table(std::vector<std::string> headers);
+
+  // Optional per-column alignment (defaults to kRight).
+  void set_align(std::size_t column, Align align);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Horizontal separator row between data rows.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Render with box-drawing dashes/pipes.
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace af

@@ -1,0 +1,160 @@
+// Block-sparse execution (the paper's Section V future work): occupancy
+// scanning, the sparse latency model, and bit-exactness + cycle-exactness of
+// the tile-skipping simulator path.
+
+#include <gtest/gtest.h>
+
+#include "arch/array.h"
+#include "arch/latency.h"
+#include "arch/sparse.h"
+#include "gemm/reference.h"
+#include "util/rng.h"
+
+namespace af::arch {
+namespace {
+
+ArrayConfig small_config(int rows, int cols, std::vector<int> modes) {
+  ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.supported_k = std::move(modes);
+  cfg.validate();
+  return cfg;
+}
+
+// Zero out whole R x C blocks of `b` with probability (1 - density).
+gemm::Mat32 block_sparsify(gemm::Mat32 b, int rows, int cols, double density,
+                           Rng& rng) {
+  for (std::int64_t rt = 0; rt * rows < b.rows(); ++rt) {
+    for (std::int64_t ct = 0; ct * cols < b.cols(); ++ct) {
+      if (rng.next_double() < density) continue;
+      for (std::int64_t r = rt * rows; r < std::min<std::int64_t>((rt + 1) * rows, b.rows()); ++r) {
+        for (std::int64_t c = ct * cols; c < std::min<std::int64_t>((ct + 1) * cols, b.cols()); ++c) {
+          b.at(r, c) = 0;
+        }
+      }
+    }
+  }
+  return b;
+}
+
+TEST(TileOccupancyTest, FromMatrixDetectsZeroBlocks) {
+  gemm::Mat32 b(8, 8);
+  b.at(0, 0) = 1;   // tile (0,0)
+  b.at(7, 7) = -3;  // tile (1,1)
+  const TileOccupancy occ = TileOccupancy::from_matrix(b, 4, 4);
+  EXPECT_EQ(occ.row_tiles(), 2);
+  EXPECT_EQ(occ.col_tiles(), 2);
+  EXPECT_EQ(occ.nonzero_tiles(), 2);
+  EXPECT_TRUE(occ.is_nonzero(0, 0));
+  EXPECT_FALSE(occ.is_nonzero(0, 1));
+  EXPECT_FALSE(occ.is_nonzero(1, 0));
+  EXPECT_TRUE(occ.is_nonzero(1, 1));
+  EXPECT_DOUBLE_EQ(occ.density(), 0.5);
+}
+
+TEST(TileOccupancyTest, RaggedEdgesCovered) {
+  gemm::Mat32 b(5, 9);
+  b.at(4, 8) = 7;  // lives in the ragged corner tile
+  const TileOccupancy occ = TileOccupancy::from_matrix(b, 4, 4);
+  EXPECT_EQ(occ.row_tiles(), 2);
+  EXPECT_EQ(occ.col_tiles(), 3);
+  EXPECT_TRUE(occ.is_nonzero(1, 2));
+  EXPECT_EQ(occ.nonzero_tiles(), 1);
+}
+
+TEST(TileOccupancyTest, SyntheticDensityTracksRequest) {
+  Rng rng(5);
+  const gemm::GemmShape shape{1280, 1280, 10};
+  const TileOccupancy occ = TileOccupancy::synthetic(shape, 128, 128, 0.3, rng);
+  EXPECT_EQ(occ.total_tiles(), 100);
+  EXPECT_NEAR(occ.density(), 0.3, 0.15);
+  EXPECT_THROW(TileOccupancy::synthetic(shape, 128, 128, 1.5, rng), Error);
+}
+
+TEST(SparseLatencyTest, ScalesWithNonzeroTiles) {
+  const ArrayConfig cfg = small_config(4, 4, {1, 2});
+  const gemm::GemmShape shape{8, 8, 5};  // 2 x 2 tiles
+  gemm::Mat32 b(8, 8);
+  b.at(0, 0) = 1;
+  b.at(4, 4) = 1;  // 2 of 4 tiles non-zero
+  const TileOccupancy occ = TileOccupancy::from_matrix(b, 4, 4);
+  EXPECT_EQ(sparse_total_latency_cycles(shape, cfg, 2, occ),
+            2 * tile_latency_cycles(4, 4, 5, 2));
+  // Dense occupancy reduces to Eq. 4.
+  gemm::Mat32 dense(8, 8, 1);
+  const TileOccupancy full = TileOccupancy::from_matrix(dense, 4, 4);
+  EXPECT_EQ(sparse_total_latency_cycles(shape, cfg, 2, full),
+            total_latency_cycles(shape, cfg, 2));
+}
+
+TEST(SparseLatencyTest, OccupancyGridMustMatchTiling) {
+  const ArrayConfig cfg = small_config(4, 4, {1});
+  gemm::Mat32 b(8, 8, 1);
+  const TileOccupancy occ = TileOccupancy::from_matrix(b, 4, 4);
+  EXPECT_THROW(
+      sparse_total_latency_cycles({16, 16, 5}, cfg, 1, occ), Error);
+}
+
+struct SparseCase {
+  int rows, cols, k;
+  std::int64_t m, n, t;
+  double density;
+};
+
+class SparseSimSweep : public ::testing::TestWithParam<SparseCase> {};
+
+TEST_P(SparseSimSweep, SkippingIsExactAndFaster) {
+  const auto& p = GetParam();
+  const ArrayConfig cfg = small_config(p.rows, p.cols, {1, p.k});
+  SystolicArray array(cfg);
+  Rng rng(static_cast<std::uint64_t>(p.m * 7 + p.n * 3 + p.t) + 11);
+  const gemm::Mat32 a = gemm::random_matrix(rng, p.t, p.n, -60, 60);
+  const gemm::Mat32 b = block_sparsify(
+      gemm::random_matrix(rng, p.n, p.m, -60, 60), p.rows, p.cols, p.density,
+      rng);
+
+  gemm::Mat64 dense_out, sparse_out;
+  const TileRunStats dense = array.run_gemm(a, b, p.k, &dense_out);
+  const TileRunStats sparse = array.run_gemm_sparse(a, b, p.k, &sparse_out);
+
+  // Bit-identical result.
+  EXPECT_EQ(gemm::first_mismatch(sparse_out, dense_out), "");
+  // And against the reference for good measure.
+  EXPECT_EQ(gemm::first_mismatch(sparse_out, gemm::reference_gemm(a, b)), "");
+
+  // Cycle count matches the sparse latency model exactly.
+  const gemm::GemmShape shape{p.m, p.n, p.t};
+  const TileOccupancy occ = TileOccupancy::from_matrix(b, p.rows, p.cols);
+  EXPECT_EQ(sparse.total_cycles,
+            sparse_total_latency_cycles(shape, cfg, p.k, occ));
+  EXPECT_LE(sparse.total_cycles, dense.total_cycles);
+  // Datapath work shrinks proportionally to skipped tiles.
+  EXPECT_LE(sparse.activity.mult_ops, dense.activity.mult_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseSimSweep,
+    ::testing::Values(SparseCase{4, 4, 1, 12, 12, 5, 0.5},
+                      SparseCase{4, 4, 2, 12, 12, 5, 0.3},
+                      SparseCase{8, 8, 4, 20, 24, 7, 0.4},
+                      SparseCase{4, 8, 2, 17, 9, 3, 0.6},
+                      SparseCase{8, 4, 2, 9, 17, 4, 0.0},   // fully pruned
+                      SparseCase{4, 4, 1, 8, 8, 6, 1.0}));  // fully dense
+
+TEST(SparseSimTest, FullyPrunedMatrixCostsNothing) {
+  const ArrayConfig cfg = small_config(4, 4, {1});
+  SystolicArray array(cfg);
+  Rng rng(3);
+  const gemm::Mat32 a = gemm::random_matrix(rng, 5, 8, -9, 9);
+  const gemm::Mat32 b(8, 8);  // all zero
+  gemm::Mat64 out;
+  const TileRunStats stats = array.run_gemm_sparse(a, b, 1, &out);
+  EXPECT_EQ(stats.total_cycles, 0);
+  for (std::int64_t t = 0; t < 5; ++t) {
+    for (std::int64_t m = 0; m < 8; ++m) EXPECT_EQ(out.at(t, m), 0);
+  }
+}
+
+}  // namespace
+}  // namespace af::arch

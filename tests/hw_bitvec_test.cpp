@@ -1,0 +1,147 @@
+// BitVec: width checking, bit access, slicing, arithmetic, properties.
+
+#include <gtest/gtest.h>
+
+#include "hw/bitvec.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace af::hw {
+namespace {
+
+TEST(BitVecTest, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0);
+  EXPECT_EQ(v.to_u64(), 0u);
+}
+
+TEST(BitVecTest, ConstructionMasksToWidth) {
+  BitVec v(4, 0xFFu);
+  EXPECT_EQ(v.to_u64(), 0xFu);
+  EXPECT_EQ(v.width(), 4);
+}
+
+TEST(BitVecTest, RejectsNegativeWidth) {
+  EXPECT_THROW(BitVec(-1), Error);
+}
+
+TEST(BitVecTest, BitAccess) {
+  BitVec v(8, 0b10110010u);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  EXPECT_THROW(v.bit(8), Error);
+  v.set_bit(0, true);
+  EXPECT_EQ(v.to_u64(), 0b10110011u);
+  v.set_bit(7, false);
+  EXPECT_EQ(v.to_u64(), 0b00110011u);
+}
+
+TEST(BitVecTest, WideVectorAcrossWords) {
+  BitVec v(130);
+  v.set_bit(0, true);
+  v.set_bit(64, true);
+  v.set_bit(129, true);
+  EXPECT_EQ(v.popcount(), 3);
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_FALSE(v.bit(63));
+  EXPECT_EQ(v.slice(64, 2).to_u64(), 1u);
+  EXPECT_EQ(v.slice(128, 2).to_u64(), 2u);
+}
+
+TEST(BitVecTest, AllOnes) {
+  EXPECT_EQ(BitVec::all_ones(7).to_u64(), 127u);
+  EXPECT_EQ(BitVec::all_ones(70).popcount(), 70);
+}
+
+TEST(BitVecTest, SignedConversion) {
+  EXPECT_EQ(BitVec(4, 0xF).to_i64_signed(), -1);
+  EXPECT_EQ(BitVec(4, 0x7).to_i64_signed(), 7);
+  EXPECT_EQ(BitVec(4, 0x8).to_i64_signed(), -8);
+  EXPECT_EQ(BitVec(64, ~0ULL).to_i64_signed(), -1);
+  EXPECT_THROW(BitVec(65).to_i64_signed(), Error);
+}
+
+TEST(BitVecTest, SliceAndConcat) {
+  BitVec v(8, 0xA5u);  // 1010'0101
+  EXPECT_EQ(v.slice(0, 4).to_u64(), 0x5u);
+  EXPECT_EQ(v.slice(4, 4).to_u64(), 0xAu);
+  const BitVec joined = v.slice(0, 4).concat_high(v.slice(4, 4));
+  EXPECT_EQ(joined.to_u64(), 0xA5u);
+  EXPECT_EQ(joined.width(), 8);
+  EXPECT_THROW(v.slice(5, 4), Error);
+}
+
+TEST(BitVecTest, Resized) {
+  BitVec v(8, 0xA5u);
+  EXPECT_EQ(v.resized(4).to_u64(), 0x5u);
+  EXPECT_EQ(v.resized(16).to_u64(), 0xA5u);
+  EXPECT_EQ(v.resized(16).width(), 16);
+}
+
+TEST(BitVecTest, LogicOpsRequireSameWidth) {
+  BitVec a(8, 0xF0u), b(4, 0xFu);
+  EXPECT_THROW(a & b, Error);
+  EXPECT_THROW(a | b, Error);
+  EXPECT_THROW(a ^ b, Error);
+  EXPECT_THROW(a.add_mod(b), Error);
+}
+
+TEST(BitVecTest, LogicOps) {
+  BitVec a(8, 0b11001100u), b(8, 0b10101010u);
+  EXPECT_EQ((a & b).to_u64(), 0b10001000u);
+  EXPECT_EQ((a | b).to_u64(), 0b11101110u);
+  EXPECT_EQ((a ^ b).to_u64(), 0b01100110u);
+  EXPECT_EQ((~a).to_u64(), 0b00110011u);
+}
+
+TEST(BitVecTest, AddModWraps) {
+  BitVec a(4, 0xFu), b(4, 0x1u);
+  EXPECT_EQ(a.add_mod(b).to_u64(), 0u);
+  EXPECT_EQ(BitVec(8, 200).add_mod(BitVec(8, 100)).to_u64(), (200u + 100u) & 0xFFu);
+}
+
+TEST(BitVecTest, ToString) {
+  EXPECT_EQ(BitVec(4, 0b0101u).to_string(), "4'b0101");
+}
+
+TEST(BitVecTest, EqualityIncludesWidth) {
+  EXPECT_NE(BitVec(4, 1), BitVec(5, 1));
+  EXPECT_EQ(BitVec(4, 1), BitVec(4, 1));
+}
+
+// Property sweep: add_mod matches uint64 modular addition for random data.
+class BitVecAddProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecAddProperty, MatchesUint64Addition) {
+  const int width = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width) * 7919);
+  const std::uint64_t mask =
+      width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t x = rng.next_u64() & mask;
+    const std::uint64_t y = rng.next_u64() & mask;
+    const BitVec sum = BitVec(width, x).add_mod(BitVec(width, y));
+    EXPECT_EQ(sum.to_u64(), (x + y) & mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecAddProperty,
+                         ::testing::Values(1, 2, 7, 8, 16, 31, 32, 33, 63, 64));
+
+// Property: xor/and/or behave like word ops for random 64-bit data.
+TEST(BitVecProperty, LogicMatchesWordOps) {
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t x = rng.next_u64();
+    const std::uint64_t y = rng.next_u64();
+    const BitVec a(64, x), b(64, y);
+    EXPECT_EQ((a & b).to_u64(), x & y);
+    EXPECT_EQ((a | b).to_u64(), x | y);
+    EXPECT_EQ((a ^ b).to_u64(), x ^ y);
+    EXPECT_EQ((~a).to_u64(), ~x);
+  }
+}
+
+}  // namespace
+}  // namespace af::hw

@@ -1,0 +1,147 @@
+// Standard-cell library: truth tables, arity, timing/area/energy sanity.
+
+#include <gtest/gtest.h>
+
+#include "hw/cells.h"
+
+namespace af::hw {
+namespace {
+
+bool eval1(CellType t, bool a) {
+  bool in[1] = {a};
+  bool out[1];
+  eval_cell(t, in, out);
+  return out[0];
+}
+
+bool eval2(CellType t, bool a, bool b) {
+  bool in[2] = {a, b};
+  bool out[1];
+  eval_cell(t, in, out);
+  return out[0];
+}
+
+bool eval3(CellType t, bool a, bool b, bool c) {
+  bool in[3] = {a, b, c};
+  bool out[1];
+  eval_cell(t, in, out);
+  return out[0];
+}
+
+TEST(CellsTest, InverterAndBuffer) {
+  EXPECT_TRUE(eval1(CellType::kInv, false));
+  EXPECT_FALSE(eval1(CellType::kInv, true));
+  EXPECT_TRUE(eval1(CellType::kBuf, true));
+  EXPECT_FALSE(eval1(CellType::kBuf, false));
+}
+
+TEST(CellsTest, TwoInputGates) {
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      EXPECT_EQ(eval2(CellType::kNand2, a, b), !(a && b));
+      EXPECT_EQ(eval2(CellType::kNor2, a, b), !(a || b));
+      EXPECT_EQ(eval2(CellType::kAnd2, a, b), a && b);
+      EXPECT_EQ(eval2(CellType::kOr2, a, b), a || b);
+      EXPECT_EQ(eval2(CellType::kXor2, a, b), a != b);
+      EXPECT_EQ(eval2(CellType::kXnor2, a, b), a == b);
+    }
+  }
+}
+
+TEST(CellsTest, ComplexGates) {
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      for (const bool c : {false, true}) {
+        EXPECT_EQ(eval3(CellType::kAoi21, a, b, c), !((a && b) || c));
+        EXPECT_EQ(eval3(CellType::kOai21, a, b, c), !((a || b) && c));
+        EXPECT_EQ(eval3(CellType::kMux2, a, b, c), c ? b : a);
+      }
+    }
+  }
+}
+
+TEST(CellsTest, HalfAdderTruthTable) {
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      bool in[2] = {a, b};
+      bool out[2];
+      eval_cell(CellType::kHalfAdder, in, out);
+      const int sum = (a ? 1 : 0) + (b ? 1 : 0);
+      EXPECT_EQ(out[0], (sum & 1) != 0);
+      EXPECT_EQ(out[1], sum >= 2);
+    }
+  }
+}
+
+TEST(CellsTest, FullAdderTruthTable) {
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = bits & 1, b = bits & 2, c = bits & 4;
+    bool in[3] = {a, b, c};
+    bool out[2];
+    eval_cell(CellType::kFullAdder, in, out);
+    const int sum = (a ? 1 : 0) + (b ? 1 : 0) + (c ? 1 : 0);
+    EXPECT_EQ(out[0], (sum & 1) != 0) << "inputs " << bits;
+    EXPECT_EQ(out[1], sum >= 2) << "inputs " << bits;
+  }
+}
+
+TEST(CellsTest, Constants) {
+  bool out[1];
+  eval_cell(CellType::kTie0, nullptr, out);
+  EXPECT_FALSE(out[0]);
+  eval_cell(CellType::kTie1, nullptr, out);
+  EXPECT_TRUE(out[0]);
+}
+
+TEST(CellsTest, LibraryArity) {
+  EXPECT_EQ(cell_info(CellType::kInv).num_inputs, 1);
+  EXPECT_EQ(cell_info(CellType::kFullAdder).num_inputs, 3);
+  EXPECT_EQ(cell_info(CellType::kFullAdder).num_outputs, 2);
+  EXPECT_EQ(cell_info(CellType::kMux2).num_inputs, 3);
+  EXPECT_EQ(cell_info(CellType::kDff).num_inputs, 1);
+}
+
+TEST(CellsTest, TimingSanity) {
+  // Carry (majority) path of the FA must be faster than the sum path —
+  // that asymmetry is why carry-save trees are fast.
+  const CellInfo& fa = cell_info(CellType::kFullAdder);
+  EXPECT_LT(fa.delay_ps[1], fa.delay_ps[0]);
+  // An XOR is slower than a NAND in any static CMOS library.
+  EXPECT_GT(cell_info(CellType::kXor2).delay_ps[0],
+            cell_info(CellType::kNand2).delay_ps[0]);
+  // Every combinational cell has positive delay; ties have zero.
+  EXPECT_EQ(cell_info(CellType::kTie0).delay_ps[0], 0.0);
+  EXPECT_GT(cell_info(CellType::kMux2).delay_ps[0], 0.0);
+}
+
+TEST(CellsTest, AreaAndEnergySanity) {
+  // FA is one of the largest combinational cells; INV the smallest.
+  EXPECT_GT(cell_info(CellType::kFullAdder).area_um2,
+            cell_info(CellType::kXor2).area_um2);
+  EXPECT_LT(cell_info(CellType::kInv).area_um2,
+            cell_info(CellType::kNand2).area_um2);
+  for (int i = 0; i < kNumCellTypes; ++i) {
+    const CellInfo& info = cell_info(static_cast<CellType>(i));
+    EXPECT_GE(info.switch_energy_fj, 0.0) << info.name;
+    EXPECT_GT(info.area_um2, 0.0) << info.name;
+    EXPECT_GE(info.leakage_nw, 0.0) << info.name;
+  }
+}
+
+TEST(CellsTest, TechnologyScalesDelays) {
+  Technology tech;
+  tech.delay_scale = 0.5;
+  EXPECT_DOUBLE_EQ(tech.scaled_delay_ps(CellType::kXor2),
+                   cell_info(CellType::kXor2).delay_ps[0] * 0.5);
+  EXPECT_DOUBLE_EQ(tech.scaled_clk_to_q_ps(), tech.seq.clk_to_q_ps * 0.5);
+  EXPECT_DOUBLE_EQ(tech.scaled_setup_ps(), tech.seq.setup_ps * 0.5);
+}
+
+TEST(CellsTest, TypeNames) {
+  EXPECT_STREQ(cell_type_name(CellType::kFullAdder), "FA");
+  EXPECT_STREQ(cell_type_name(CellType::kMux2), "MUX2");
+  EXPECT_STREQ(cell_type_name(CellType::kClockGate), "ICG");
+}
+
+}  // namespace
+}  // namespace af::hw

@@ -1,0 +1,214 @@
+// Static timing analysis: hand-checkable paths, sequential launch/capture,
+// false-path exclusion, and the PE-level timing structure the clock model
+// depends on (Eq. 5's linear growth, the CSA-vs-naive-collapse gap).
+
+#include <gtest/gtest.h>
+
+#include "hw/builders/pe_datapath.h"
+#include "hw/netlist.h"
+#include "hw/sta.h"
+
+namespace af::hw {
+namespace {
+
+TEST(StaTest, SingleGateDelay) {
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const Bus y = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("y", y);
+  nl.add_cell(CellType::kXor2, "x", {a[0], a[0]}, {y[0]});
+  Technology tech;
+  const TimingReport r = Sta(nl, tech).run();
+  EXPECT_DOUBLE_EQ(r.min_period_ps, cell_info(CellType::kXor2).delay_ps[0]);
+  EXPECT_EQ(r.endpoint, "output:y");
+  ASSERT_EQ(r.critical_path.size(), 1u);
+  EXPECT_EQ(r.critical_path[0].cell_type, "XOR2");
+}
+
+TEST(StaTest, ChainedGatesAccumulate) {
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const NetId m = nl.new_net();
+  const Bus y = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("y", y);
+  nl.add_cell(CellType::kInv, "i1", {a[0]}, {m});
+  nl.add_cell(CellType::kInv, "i2", {m}, {y[0]});
+  Technology tech;
+  const TimingReport r = Sta(nl, tech).run();
+  EXPECT_DOUBLE_EQ(r.min_period_ps, 2 * cell_info(CellType::kInv).delay_ps[0]);
+  EXPECT_EQ(r.critical_path.size(), 2u);
+}
+
+TEST(StaTest, RegToRegPathIncludesClockingOverhead) {
+  // q1 -> INV -> d2: period = clk_to_q + inv + setup.
+  Netlist nl;
+  const NetId d1 = nl.new_net();
+  const NetId q1 = nl.new_net();
+  const NetId d2 = nl.new_net();
+  const NetId q2 = nl.new_net();
+  nl.bind_input("d", Bus{d1});
+  nl.bind_output("q", Bus{q2});
+  nl.add_cell(CellType::kDff, "ff1", {d1}, {q1});
+  nl.add_cell(CellType::kInv, "i", {q1}, {d2});
+  nl.add_cell(CellType::kDff, "ff2", {d2}, {q2});
+  Technology tech;
+  const TimingReport r = Sta(nl, tech).run();
+  EXPECT_DOUBLE_EQ(r.min_period_ps,
+                   tech.seq.clk_to_q_ps + cell_info(CellType::kInv).delay_ps[0] +
+                       tech.seq.setup_ps);
+  EXPECT_EQ(r.endpoint, "dff:ff2");
+}
+
+TEST(StaTest, InputArrivalShiftsPaths) {
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const Bus y = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("y", y);
+  nl.add_cell(CellType::kBuf, "b", {a[0]}, {y[0]});
+  Technology tech;
+  Sta sta(nl, tech);
+  sta.set_input_arrival_ps(100.0);
+  EXPECT_DOUBLE_EQ(sta.run().min_period_ps,
+                   100.0 + cell_info(CellType::kBuf).delay_ps[0]);
+}
+
+TEST(StaTest, FalsePathExclusionRemovesWorstPath) {
+  // Two parallel paths: slow (XOR chain, prefix "slow/") and fast (buffer).
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const Bus y_slow = nl.new_bus(1);
+  const Bus y_fast = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("ys", y_slow);
+  nl.bind_output("yf", y_fast);
+  {
+    ScopedName s(nl, "slow");
+    const NetId m = nl.new_net();
+    nl.add_cell(CellType::kXor2, "x1", {a[0], a[0]}, {m});
+    nl.add_cell(CellType::kXor2, "x2", {m, m}, {y_slow[0]});
+  }
+  nl.add_cell(CellType::kBuf, "fast", {a[0]}, {y_fast[0]});
+
+  Technology tech;
+  Sta sta(nl, tech);
+  EXPECT_DOUBLE_EQ(sta.run().min_period_ps,
+                   2 * cell_info(CellType::kXor2).delay_ps[0]);
+  sta.add_false_path_prefix("slow/");
+  EXPECT_DOUBLE_EQ(sta.run().min_period_ps,
+                   cell_info(CellType::kBuf).delay_ps[0]);
+}
+
+TEST(StaTest, ConstantsDoNotLaunchPaths) {
+  Netlist nl;
+  const Bus y = nl.new_bus(1);
+  nl.bind_output("y", y);
+  const NetId one = nl.const1();
+  nl.add_cell(CellType::kInv, "i", {one}, {y[0]});
+  Technology tech;
+  // The only path starts at a tie cell; nothing arrives, period is 0.
+  EXPECT_DOUBLE_EQ(Sta(nl, tech).run().min_period_ps, 0.0);
+}
+
+TEST(StaTest, DelayScaleAppliesGlobally) {
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const Bus y = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("y", y);
+  nl.add_cell(CellType::kXor2, "x", {a[0], a[0]}, {y[0]});
+  Technology half;
+  half.delay_scale = 0.5;
+  EXPECT_DOUBLE_EQ(Sta(nl, half).run().min_period_ps,
+                   0.5 * cell_info(CellType::kXor2).delay_ps[0]);
+}
+
+// ------------------------------------------------- PE timing structure
+
+double collapsed_period(int k, bool use_csa) {
+  Netlist nl;
+  build_collapsed_column(nl, k, use_csa, {32, 64});
+  Technology tech;
+  Sta sta(nl, tech);
+  sta.set_input_arrival_ps(tech.scaled_clk_to_q_ps());
+  for (const auto& prefix : collapsed_column_false_paths(k, use_csa)) {
+    sta.add_false_path_prefix(prefix);
+  }
+  return sta.run().min_period_ps;
+}
+
+TEST(PeTimingTest, PeriodGrowsWithCollapseDepth) {
+  const double t1 = collapsed_period(1, true);
+  const double t2 = collapsed_period(2, true);
+  const double t4 = collapsed_period(4, true);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t4);
+}
+
+TEST(PeTimingTest, GrowthIsRoughlyLinearInK) {
+  // Eq. 5 predicts Tclock(k) = base + k * increment: the k=2 -> k=4 growth
+  // must be about twice the k=1 -> k=2 growth.
+  const double t1 = collapsed_period(1, true);
+  const double t2 = collapsed_period(2, true);
+  const double t4 = collapsed_period(4, true);
+  const double inc12 = t2 - t1;
+  const double inc24 = (t4 - t2) / 2.0;
+  EXPECT_NEAR(inc24 / inc12, 1.0, 0.25);
+}
+
+TEST(PeTimingTest, CsaCollapseBeatsNaiveCollapse) {
+  // The paper's core microarchitectural argument (III-B): without the
+  // carry-save stage, collapsing chains k full carry-propagate adders, so
+  // the per-stage cost of collapsing (Eq. 5's slope) explodes.  At k = 1
+  // the two designs are comparable.
+  const double csa1 = collapsed_period(1, true);
+  const double csa4 = collapsed_period(4, true);
+  const double naive1 = collapsed_period(1, false);
+  const double naive4 = collapsed_period(4, false);
+  EXPECT_NEAR(naive1 / csa1, 1.0, 0.15);
+  EXPECT_GT(naive4, csa4);
+  const double csa_slope = (csa4 - csa1) / 3.0;
+  const double naive_slope = (naive4 - naive1) / 3.0;
+  EXPECT_GT(naive_slope, 2.5 * csa_slope)
+      << "per-collapsed-stage delay must be dominated by the serial CPA";
+}
+
+TEST(PeTimingTest, ConventionalPeFasterThanArrayFlexNormalMode) {
+  // Configurability costs a little delay even in normal mode (paper: 2 GHz
+  // vs 1.8 GHz).
+  Netlist conv;
+  build_conventional_pe(conv, {32, 64});
+  Technology tech;
+  Sta sta(conv, tech);
+  sta.set_input_arrival_ps(tech.scaled_clk_to_q_ps());
+  const double conv_ps = sta.run().min_period_ps;
+  const double af1_ps = collapsed_period(1, true);
+  EXPECT_LT(conv_ps, af1_ps);
+  // ... but the overhead is marginal (paper: "does not limit applicability").
+  EXPECT_LT(af1_ps / conv_ps, 1.25);
+}
+
+TEST(PeTimingTest, FalsePathsMatterAtTheBoundary) {
+  // Without declaring the transparent PEs' CPAs false, the k = 4 column
+  // reports a pessimistic period (the paper explicitly feeds these paths to
+  // the STA as false).
+  Netlist nl;
+  build_collapsed_column(nl, 4, /*use_csa=*/true, {32, 64});
+  Technology tech;
+  Sta no_fp(nl, tech);
+  no_fp.set_input_arrival_ps(tech.scaled_clk_to_q_ps());
+  const double pessimistic = no_fp.run().min_period_ps;
+
+  Sta with_fp(nl, tech);
+  with_fp.set_input_arrival_ps(tech.scaled_clk_to_q_ps());
+  for (const auto& prefix : collapsed_column_false_paths(4)) {
+    with_fp.add_false_path_prefix(prefix);
+  }
+  const double realistic = with_fp.run().min_period_ps;
+  EXPECT_LE(realistic, pessimistic);
+}
+
+}  // namespace
+}  // namespace af::hw

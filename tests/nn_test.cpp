@@ -1,0 +1,214 @@
+// CNN substrate: layer geometry, GEMM mapping (incl. the paper's published
+// ResNet-34 examples), model tables and the im2col lowering.
+
+#include <gtest/gtest.h>
+
+#include "gemm/reference.h"
+#include "nn/layer.h"
+#include "nn/mapper.h"
+#include "nn/models.h"
+#include "util/rng.h"
+
+namespace af::nn {
+namespace {
+
+TEST(LayerTest, ConvOutputGeometry) {
+  const Layer l = Layer::conv("c", 3, 64, 7, 2, 3, 224, 224);
+  EXPECT_EQ(l.out_h(), 112);
+  EXPECT_EQ(l.out_w(), 112);
+  const Layer stem = Layer::conv("stem", 3, 96, 4, 4, 0, 224, 224);
+  EXPECT_EQ(stem.out_h(), 56);
+}
+
+TEST(LayerTest, DepthwiseRequiresMatchingChannels) {
+  Layer l = Layer::depthwise("dw", 96, 7, 1, 3, 56, 56);
+  EXPECT_EQ(l.out_h(), 56);
+  l.out_channels = 192;
+  EXPECT_THROW(l.validate(), Error);
+}
+
+TEST(LayerTest, MacCounts) {
+  // 1x1 conv: pixels * in_ch * out_ch.
+  const Layer pw = Layer::pointwise("pw", 96, 384, 56, 56);
+  EXPECT_EQ(pw.macs(), 56LL * 56 * 96 * 384);
+  // Depthwise: pixels * k*k per channel.
+  const Layer dw = Layer::depthwise("dw", 96, 7, 1, 3, 56, 56);
+  EXPECT_EQ(dw.macs(), 56LL * 56 * 49 * 96);
+  const Layer fc = Layer::linear("fc", 1024, 1000);
+  EXPECT_EQ(fc.macs(), 1024LL * 1000);
+}
+
+TEST(LayerTest, KindNames) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv), "conv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kDepthwiseConv), "dwconv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kLinear), "linear");
+}
+
+// ------------------------------------------------------------------ mapper
+
+TEST(MapperTest, StandardConvShape) {
+  const Layer l = Layer::conv("c", 256, 256, 3, 1, 1, 14, 14);
+  const gemm::GemmShape s = gemm_shape(l);
+  EXPECT_EQ(s.m, 256);
+  EXPECT_EQ(s.n, 256 * 9);
+  EXPECT_EQ(s.t, 196);
+}
+
+TEST(MapperTest, DepthwiseShapeReducesOverWindowOnly) {
+  const Layer l = Layer::depthwise("dw", 384, 7, 1, 3, 14, 14);
+  const gemm::GemmShape s = gemm_shape(l);
+  EXPECT_EQ(s.m, 384);
+  EXPECT_EQ(s.n, 49);
+  EXPECT_EQ(s.t, 196);
+}
+
+TEST(MapperTest, LinearShape) {
+  const gemm::GemmShape s = gemm_shape(Layer::linear("fc", 1024, 1000));
+  EXPECT_EQ(s.m, 1000);
+  EXPECT_EQ(s.n, 1024);
+  EXPECT_EQ(s.t, 1);
+}
+
+TEST(MapperTest, Im2colTimesWeightsEqualsDirectConv) {
+  // The GEMM lowering must compute the same numbers as a direct convolution
+  // (including padding and striding), across several geometries.
+  Rng rng(55);
+  const std::vector<Layer> layers = {
+      Layer::conv("a", 3, 8, 3, 1, 1, 10, 10),
+      Layer::conv("b", 4, 6, 5, 2, 2, 11, 11),
+      Layer::conv("c", 2, 4, 1, 1, 0, 7, 9),
+      Layer::conv("d", 1, 3, 7, 4, 3, 21, 21),
+  };
+  for (const Layer& layer : layers) {
+    const gemm::Mat32 input = gemm::random_matrix(
+        rng, layer.in_channels,
+        static_cast<std::int64_t>(layer.in_h) * layer.in_w, -20, 20);
+    const gemm::Mat32 weights = gemm::random_matrix(
+        rng, layer.out_channels,
+        static_cast<std::int64_t>(layer.in_channels) * layer.kernel_h *
+            layer.kernel_w,
+        -20, 20);
+
+    const gemm::Mat32 a = im2col(layer, input);
+    const gemm::Mat32 b = weights_to_matrix(layer, weights);
+    const gemm::Mat64 x = gemm::reference_gemm(a, b);  // T x M
+    const gemm::Mat64 direct = direct_conv(layer, input, weights);  // M x T
+
+    const gemm::GemmShape shape = gemm_shape(layer);
+    ASSERT_EQ(x.rows(), shape.t) << layer.name;
+    ASSERT_EQ(x.cols(), shape.m) << layer.name;
+    for (std::int64_t t = 0; t < shape.t; ++t) {
+      for (std::int64_t m = 0; m < shape.m; ++m) {
+        ASSERT_EQ(x.at(t, m), direct.at(m, t))
+            << layer.name << " at t=" << t << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(MapperTest, Im2colChecksInputShape) {
+  const Layer l = Layer::conv("c", 3, 8, 3, 1, 1, 10, 10);
+  EXPECT_THROW(im2col(l, gemm::Mat32(2, 100)), Error);
+  EXPECT_THROW(im2col(l, gemm::Mat32(3, 99)), Error);
+  EXPECT_THROW(weights_to_matrix(l, gemm::Mat32(8, 26)), Error);
+}
+
+// ------------------------------------------------------------------ models
+
+TEST(ModelsTest, ResNet34HasPaperLayerCount) {
+  const Model m = resnet34();
+  EXPECT_EQ(m.layers.size(), 33u);  // conv1 + 2 per basic block
+  EXPECT_EQ(resnet34(/*include_projections=*/true).layers.size(), 36u);
+}
+
+TEST(ModelsTest, ResNet34Layer20MatchesPaperGemm) {
+  // Paper Section III-C: layer 20 of ResNet-34 maps to
+  // (M, N, T) = (256, 2304, 196).
+  const Model m = resnet34();
+  const gemm::GemmShape s = gemm_shape(m.layers[19]);  // 1-indexed layer 20
+  EXPECT_EQ(s.m, 256);
+  EXPECT_EQ(s.n, 2304);
+  EXPECT_EQ(s.t, 196);
+}
+
+TEST(ModelsTest, ResNet34Layer28MatchesPaperGemm) {
+  // Paper Section III-C: layer 28 maps to (M, N, T) = (512, 2304, 49).
+  const Model m = resnet34();
+  const gemm::GemmShape s = gemm_shape(m.layers[27]);
+  EXPECT_EQ(s.m, 512);
+  EXPECT_EQ(s.n, 2304);
+  EXPECT_EQ(s.t, 49);
+}
+
+TEST(ModelsTest, ResNet34MacsInKnownRange) {
+  // ~3.6 GMACs for ResNet-34 at 224x224 (counted convs only).
+  const std::int64_t macs = resnet34().total_macs();
+  EXPECT_GT(macs, 3.3e9);
+  EXPECT_LT(macs, 3.8e9);
+}
+
+TEST(ModelsTest, ConvNeXtHas55CountedLayers) {
+  // Fig. 7's x-axis runs over 55 layers: stem + (3+3+9+3) blocks x 3 convs.
+  const Model m = convnext_tiny();
+  EXPECT_EQ(m.layers.size(), 55u);
+  EXPECT_EQ(convnext_tiny(/*include_downsample=*/true).layers.size(), 58u);
+  // Layers 47-55 (1-indexed) are stage 4: T = 49.
+  for (std::size_t i = 46; i < 55; ++i) {
+    EXPECT_EQ(gemm_shape(m.layers[i]).t, 49) << "layer " << i + 1;
+  }
+  // Stage 1 (layers 2-10) has T = 3136.
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(gemm_shape(m.layers[i]).t, 3136) << "layer " << i + 1;
+  }
+}
+
+TEST(ModelsTest, ConvNeXtMacsInKnownRange) {
+  // ConvNeXt-T is ~4.5 GMACs; without the downsample convs slightly less.
+  const std::int64_t macs = convnext_tiny().total_macs();
+  EXPECT_GT(macs, 4.0e9);
+  EXPECT_LT(macs, 4.7e9);
+}
+
+TEST(ModelsTest, MobileNetStructure) {
+  const Model m = mobilenet_v1();
+  EXPECT_EQ(m.layers.size(), 28u);  // conv1 + 13 x (dw + pw) + fc
+  EXPECT_EQ(m.layers[0].kind, LayerKind::kConv);
+  EXPECT_EQ(m.layers[1].kind, LayerKind::kDepthwiseConv);
+  EXPECT_EQ(m.layers[2].kind, LayerKind::kConv);
+  EXPECT_EQ(m.layers.back().kind, LayerKind::kLinear);
+  // ~570 MMACs for MobileNetV1.
+  EXPECT_GT(m.total_macs(), 5.0e8);
+  EXPECT_LT(m.total_macs(), 6.2e8);
+}
+
+TEST(ModelsTest, MobileNetChannelProgression) {
+  const Model m = mobilenet_v1(false);
+  // Last pointwise: 1024 -> 1024 at 7x7.
+  const Layer& last_pw = m.layers.back();
+  EXPECT_EQ(last_pw.in_channels, 1024);
+  EXPECT_EQ(last_pw.out_channels, 1024);
+  EXPECT_EQ(last_pw.in_h, 7);
+}
+
+TEST(ModelsTest, AllLayersValidate) {
+  for (const Model& m : paper_models()) {
+    for (const Layer& l : m.layers) {
+      EXPECT_NO_THROW(l.validate()) << m.name << "/" << l.name;
+      const gemm::GemmShape s = gemm_shape(l);
+      EXPECT_GT(s.m, 0);
+      EXPECT_GT(s.n, 0);
+      EXPECT_GT(s.t, 0);
+    }
+  }
+}
+
+TEST(ModelsTest, PaperModelsOrder) {
+  const auto models = paper_models();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0].name, "ResNet-34");
+  EXPECT_EQ(models[1].name, "MobileNet");
+  EXPECT_EQ(models[2].name, "ConvNeXt");
+}
+
+}  // namespace
+}  // namespace af::nn

@@ -1,0 +1,133 @@
+// Simulation-support module: statistics, VCD writer, CSV reports.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.h"
+#include "sim/stats.h"
+#include "sim/vcd.h"
+#include "util/status.h"
+
+namespace af::sim {
+namespace {
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(4), 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_FALSE(h.render().empty());
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), Error);
+  EXPECT_THROW(h.bucket_count(5), Error);
+}
+
+TEST(CounterSetTest, BumpAndRead) {
+  CounterSet c;
+  c.bump("macs");
+  c.bump("macs", 10);
+  EXPECT_EQ(c.value("macs"), 11);
+  EXPECT_EQ(c.value("absent"), 0);
+  EXPECT_EQ(c.all().size(), 1u);
+}
+
+TEST(VcdTest, WritesWellFormedFile) {
+  const std::string path = ::testing::TempDir() + "/af_test.vcd";
+  {
+    VcdWriter vcd(path, "1ns");
+    const int clk = vcd.add_signal("clk", 1);
+    const int bus = vcd.add_signal("west_a", 8);
+    vcd.set_time(0);
+    vcd.change(clk, 0);
+    vcd.change(bus, 0xA5);
+    vcd.set_time(1);
+    vcd.change(clk, 1);
+    vcd.change(bus, 0xA5);  // unchanged: must be suppressed
+    vcd.set_time(2);
+    vcd.change(bus, 0x3C);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8 \" west_a $end"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("b10100101 \""), std::string::npos);
+  EXPECT_NE(text.find("b00111100 \""), std::string::npos);
+  // The duplicate value at time 1 must appear only once in the dump.
+  const auto first = text.find("b10100101");
+  EXPECT_EQ(text.find("b10100101", first + 1), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, DeclarationAfterTimeRejected) {
+  const std::string path = ::testing::TempDir() + "/af_test2.vcd";
+  VcdWriter vcd(path);
+  vcd.add_signal("a", 1);
+  vcd.set_time(0);
+  EXPECT_THROW(vcd.add_signal("late", 1), Error);
+  EXPECT_THROW(vcd.change(5, 1), Error);
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, TimeMustBeMonotone) {
+  const std::string path = ::testing::TempDir() + "/af_test3.vcd";
+  VcdWriter vcd(path);
+  vcd.add_signal("a", 1);
+  vcd.set_time(5);
+  EXPECT_THROW(vcd.set_time(4), Error);
+  std::remove(path.c_str());
+}
+
+TEST(BannerTest, SizesToTitle) {
+  const std::string b = banner("Fig. 5");
+  EXPECT_NE(b.find("==== Fig. 5 ===="), std::string::npos);
+}
+
+TEST(CsvReportTest, RendersAndValidates) {
+  CsvReport csv({"k", "cycles", "time"});
+  csv.add_row({"1", "590", "327.8"});
+  csv.add_row({"2", "458", "269.4"});
+  const std::string text = csv.render();
+  EXPECT_NE(text.find("k,cycles,time\n"), std::string::npos);
+  EXPECT_NE(text.find("2,458,269.4\n"), std::string::npos);
+  EXPECT_THROW(csv.add_row({"too", "few"}), Error);
+}
+
+TEST(CsvReportTest, WriteToFileAndUnwritablePath) {
+  CsvReport csv({"a"});
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/af_report.csv";
+  EXPECT_TRUE(csv.write_to(path));
+  EXPECT_FALSE(csv.write_to("/nonexistent-dir/x/y.csv"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace af::sim
