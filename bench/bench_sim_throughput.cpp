@@ -2,8 +2,20 @@
 // and the gate-level infrastructure (methodology sanity; not a paper
 // figure).  Useful for keeping the simulator fast enough for the
 // property-test sweeps.
+//
+// Besides the google-benchmark suite, main() self-measures the tiled
+// run_gemm path across {side, k, threads} and writes the MACs/s table to
+// BENCH_sim_throughput.json so the simulator's perf trajectory is tracked
+// across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "arch/array.h"
 #include "arch/latency.h"
@@ -12,16 +24,18 @@
 #include "hw/netlist.h"
 #include "hw/netlist_sim.h"
 #include "hw/sta.h"
+#include "sim/stats.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace af;
 
-arch::ArrayConfig config_for(int side) {
+arch::ArrayConfig config_for(int side, int num_threads = 1) {
   arch::ArrayConfig cfg;
   cfg.rows = cfg.cols = side;
   cfg.supported_k = {1, 2, 4};
+  cfg.sim.num_threads = num_threads;
   cfg.validate();
   return cfg;
 }
@@ -51,6 +65,36 @@ BENCHMARK(BM_TileSimulation)
     ->Args({32, 1})
     ->Args({32, 4})
     ->Args({64, 4});
+
+// Tiled GEMM with tile-level parallelism: the output is cut into C-wide
+// column stripes dispatched across SimOptions::num_threads workers.  The
+// GEMM is sized to 8 column stripes so 1/2/4 threads all have work.
+void BM_ThreadedGemm(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  arch::SystolicArray array(config_for(side, threads));
+  Rng rng(4);
+  const std::int64_t t = 32;
+  const gemm::Mat32 a = gemm::random_matrix(rng, t, 2 * side, -100, 100);
+  const gemm::Mat32 b = gemm::random_matrix(rng, 2 * side, 8 * side, -100, 100);
+  std::int64_t macs = 0;
+  for (auto _ : state) {
+    gemm::Mat64 out;
+    const arch::TileRunStats stats = array.run_gemm(a, b, k, &out);
+    macs += stats.activity.mult_ops;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(macs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadedGemm)
+    ->Args({32, 1, 1})
+    ->Args({32, 1, 2})
+    ->Args({32, 1, 4})
+    ->Args({32, 4, 1})
+    ->Args({32, 4, 4})
+    ->UseRealTime();
 
 void BM_ReferenceGemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -120,6 +164,87 @@ void BM_StaOnMultiplier(benchmark::State& state) {
 }
 BENCHMARK(BM_StaOnMultiplier);
 
+// ---- JSON perf tracker -----------------------------------------------------
+
+struct ThroughputPoint {
+  int side;
+  int k;
+  int threads;
+  sim::RunningStat macs_per_s;  // one sample per repetition
+};
+
+// Self-measured MACs/s sweep over {side, k, threads} on the threaded
+// run_gemm path, written as BENCH_sim_throughput.json (silently skipped on
+// read-only checkouts, like sim::CsvReport).
+void write_throughput_json(const std::string& path) {
+  std::vector<ThroughputPoint> points;
+  sim::RunningStat overall;
+  for (const int side : {16, 32}) {
+    for (const int k : {1, 4}) {
+      for (const int threads : {1, 2, 4}) {
+        arch::SystolicArray array(config_for(side, threads));
+        Rng rng(7);
+        const std::int64_t t = 32;
+        const gemm::Mat32 a = gemm::random_matrix(rng, t, 2 * side, -100, 100);
+        const gemm::Mat32 b =
+            gemm::random_matrix(rng, 2 * side, 8 * side, -100, 100);
+        ThroughputPoint p{side, k, threads, {}};
+        for (int rep = 0; rep < 3; ++rep) {
+          gemm::Mat64 out;
+          const auto t0 = std::chrono::steady_clock::now();
+          const arch::TileRunStats stats = array.run_gemm(a, b, k, &out);
+          const auto t1 = std::chrono::steady_clock::now();
+          const double secs = std::chrono::duration<double>(t1 - t0).count();
+          if (secs > 0) {
+            p.macs_per_s.add(static_cast<double>(stats.activity.mult_ops) /
+                             secs);
+          }
+        }
+        overall.merge(p.macs_per_s);
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"MACs/s\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ThroughputPoint& p = points[i];
+    json << "    {\"side\": " << p.side << ", \"k\": " << p.k
+         << ", \"threads\": " << p.threads
+         << ", \"macs_per_s\": " << p.macs_per_s.mean()
+         << ", \"best_macs_per_s\": " << p.macs_per_s.max()
+         << ", \"stddev\": " << p.macs_per_s.stddev()
+         << ", \"reps\": " << p.macs_per_s.count() << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"overall_mean_macs_per_s\": " << overall.mean() << "\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "note: could not write " << path << "\n";
+    return;
+  }
+  out << json.str();
+  std::cout << "wrote " << path << " (" << points.size()
+            << " configs, overall mean " << overall.mean() << " MACs/s)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Listing/dry-run invocations shouldn't trigger the measurement sweep.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0) {
+      list_only = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!list_only) write_throughput_json("BENCH_sim_throughput.json");
+  return 0;
+}

@@ -11,15 +11,22 @@
 #include "nn/runner.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace af;
 
 int main() {
   const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
   const auto models = nn::paper_models();
+  // Sweep points are independent; let every runner fan layer evaluation out
+  // across all hardware threads (SimOptions::num_threads == 0).
+  arch::SimOptions sim;
+  sim.num_threads = 0;
 
   std::cout << "ArrayFlex design-space exploration (clock: paper-calibrated "
-               "table)\n\n";
+               "table, "
+            << util::ThreadPool::resolve_num_threads(sim.num_threads)
+            << " threads)\n\n";
 
   // --- sweep 1: array size ------------------------------------------------
   std::cout << "1) Array size sweep (modes {1,2,4}):\n";
@@ -28,7 +35,8 @@ int main() {
   size_table.set_align(0, Table::Align::kLeft);
   size_table.set_align(1, Table::Align::kLeft);
   for (const int side : {32, 64, 128, 256}) {
-    const arch::ArrayConfig cfg = arch::ArrayConfig::square(side);
+    arch::ArrayConfig cfg = arch::ArrayConfig::square(side);
+    cfg.sim = sim;
     const nn::InferenceRunner runner(cfg, clock);
     for (const auto& model : models) {
       const nn::ModelReport r = runner.run(model);
@@ -53,7 +61,8 @@ int main() {
   const std::vector<std::vector<int>> mode_sets = {{1}, {1, 2}, {1, 2, 4},
                                                    {1, 2, 4, 8}};
   for (const auto& modes : mode_sets) {
-    const arch::ArrayConfig cfg = arch::ArrayConfig::square_with_modes(128, modes);
+    arch::ArrayConfig cfg = arch::ArrayConfig::square_with_modes(128, modes);
+    cfg.sim = sim;
     const nn::InferenceRunner runner(cfg, clock);
     std::string label = "{";
     for (const int k : modes) label += std::to_string(k) + ",";

@@ -7,14 +7,25 @@ namespace af::arch {
 
 ActivityCounters predict_tile_activity(const ArrayConfig& config,
                                        std::int64_t t, int k) {
-  config.validate();
   AF_CHECK(config.supports(k), "mode k=" << k << " not supported");
+  return predict_tile_activity_asym(config, t, k, k);
+}
+
+ActivityCounters predict_tile_activity_asym(const ArrayConfig& config,
+                                            std::int64_t t, int k_v,
+                                            int k_h) {
+  config.validate();
+  AF_CHECK(k_v >= 1 && divides(k_v, config.rows),
+           "vertical collapse k_v=" << k_v << " must divide R=" << config.rows);
+  AF_CHECK(k_h >= 1 && divides(k_h, config.cols),
+           "horizontal collapse k_h=" << k_h
+                                      << " must divide C=" << config.cols);
   AF_CHECK(t > 0, "tile T dimension must be positive");
 
   const std::int64_t rows = config.rows;
   const std::int64_t cols = config.cols;
-  const std::int64_t h_groups = cols / k;
-  const std::int64_t v_groups = rows / k;
+  const std::int64_t h_groups = cols / k_h;
+  const std::int64_t v_groups = rows / k_v;
 
   ActivityCounters a;
   a.mult_ops = t * rows * cols;

@@ -31,6 +31,13 @@ namespace af::arch {
 ActivityCounters predict_tile_activity(const ArrayConfig& config,
                                        std::int64_t t, int k);
 
+// Asymmetric-collapse generalization (arch/array.h run_tile_asym): the
+// vertical reduction collapses by k_v (v_groups = R/k_v boundary rows) and
+// the horizontal broadcast by k_h (h_groups = C/k_h); the symmetric model
+// is the k_v == k_h diagonal.  Requires k_v | R and k_h | C.
+ActivityCounters predict_tile_activity_asym(const ArrayConfig& config,
+                                            std::int64_t t, int k_v, int k_h);
+
 // Expected counters for a full tiled GEMM (per-tile counts scaled by
 // ceil(N/R) * ceil(M/C)).
 ActivityCounters predict_gemm_activity(const gemm::GemmShape& shape,

@@ -1,10 +1,13 @@
 #include "arch/array.h"
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 
 #include "arch/sparse.h"
 #include "util/math.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace af::arch {
 namespace {
@@ -14,11 +17,6 @@ std::int64_t add_mod(std::int64_t a, std::int64_t b) {
   return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
                                    static_cast<std::uint64_t>(b));
 }
-
-struct Tagged32 {
-  std::int32_t value = 0;
-  std::int64_t tag = -1;
-};
 
 }  // namespace
 
@@ -45,7 +43,12 @@ TileRunStats& TileRunStats::operator+=(const TileRunStats& o) {
 
 SystolicArray::SystolicArray(const ArrayConfig& config) : config_(config) {
   config_.validate();
+  const int threads =
+      util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
 }
+
+SystolicArray::~SystolicArray() = default;
 
 TileRunStats SystolicArray::run_tile(const gemm::Mat32& a,
                                      const gemm::Mat32& b, int k,
@@ -59,8 +62,8 @@ TileRunStats SystolicArray::run_tile_asym(const gemm::Mat32& a,
                                           const gemm::Mat32& b, int k_v,
                                           int k_h, gemm::Mat64* acc,
                                           const CycleObserver& observer) {
-  const int rows = config_.rows;
-  const int cols = config_.cols;
+  const std::int64_t rows = config_.rows;
+  const std::int64_t cols = config_.cols;
   AF_CHECK(k_v >= 1 && divides(k_v, rows),
            "vertical collapse k_v=" << k_v << " must divide R=" << rows);
   AF_CHECK(k_h >= 1 && divides(k_h, cols),
@@ -78,157 +81,231 @@ TileRunStats SystolicArray::run_tile_asym(const gemm::Mat32& a,
   TileRunStats stats;
 
   // ---- Weight preload: one row of B enters the north edge per cycle and
-  // shifts down, so loading takes exactly R cycles (paper Section II).
-  gemm::Mat32 weight(rows, cols);
-  for (int cycle = 0; cycle < rows; ++cycle) {
-    for (int r = rows - 1; r >= 1; --r) {
-      for (int c = 0; c < cols; ++c) weight.at(r, c) = weight.at(r - 1, c);
+  // shifts down, taking exactly R cycles (paper Section II) during which
+  // every one of the R*C weight registers latches — accounted in closed
+  // form instead of emulating the O(R^2*C) shift.  The array then holds B
+  // in place; we keep it transposed (column-major) so the vertical
+  // reduction walks contiguous memory.
+  std::vector<std::int32_t> weight_t(
+      static_cast<std::size_t>(rows * cols));
+  {
+    const std::int32_t* b_data = b.data().data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        weight_t[static_cast<std::size_t>(c * rows + r)] =
+            b_data[r * cols + c];
+      }
     }
-    for (int c = 0; c < cols; ++c) {
-      weight.at(0, c) = b.at(rows - 1 - cycle, c);
-    }
-    stats.activity.wreg_writes +=
-        static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols);
   }
   stats.preload_cycles = rows;
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      AF_ASSERT(weight.at(r, c) == b.at(r, c), "weight preload misplaced B["
-                                                   << r << "][" << c << "]");
+  stats.activity.wreg_writes = rows * rows * cols;
+#ifndef NDEBUG
+  {
+    // Debug builds re-emulate the R-cycle shift and verify it lands every
+    // B element on its stationary register (guards the closed-form
+    // accounting above against scheduling regressions).
+    gemm::Mat32 shifted(rows, cols);
+    for (std::int64_t cycle = 0; cycle < rows; ++cycle) {
+      for (std::int64_t r = rows - 1; r >= 1; --r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          shifted.at(r, c) = shifted.at(r - 1, c);
+        }
+      }
+      for (std::int64_t c = 0; c < cols; ++c) {
+        shifted.at(0, c) = b.at(rows - 1 - cycle, c);
+      }
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        AF_ASSERT(shifted.at(r, c) == b.at(r, c),
+                  "weight preload misplaced B[" << r << "][" << c << "]");
+      }
     }
   }
+#endif
 
   // ---- Streaming epoch.
-  const int h_groups = cols / k_h;  // column groups (broadcast width k_h)
-  const int v_groups = rows / k_v;  // row groups (collapse depth k_v)
+  const std::int64_t h_groups = cols / k_h;  // column groups (broadcast k_h)
+  const std::int64_t v_groups = rows / k_v;  // row groups (collapse k_v)
+  // Last output: tag T-1 resolved at the bottom-right cell, i.e. relative
+  // cycle (T-1) + (C/k_h - 1) + (R/k_v - 1) — Eq. 3 minus the preload term.
+  const std::int64_t streaming_cycles = t_dim + v_groups + h_groups - 2;
 
-  // h_reg[r][g] is the registered value seen by column group g+1; the value
-  // at group 0 is the west input of the current cycle (launched by the
-  // feeder's own register).
-  std::vector<std::vector<Tagged32>> h_reg(
-      static_cast<std::size_t>(rows),
-      std::vector<Tagged32>(static_cast<std::size_t>(h_groups - 1)));
-  // v_reg[vg][c]: resolved partial sum latched at the boundary of row group
-  // vg, consumed by group vg+1 the next cycle.
-  std::vector<std::vector<Tagged64>> v_reg(
-      static_cast<std::size_t>(v_groups - 1),
-      std::vector<Tagged64>(static_cast<std::size_t>(cols)));
-
-  // Clock-gated (transparent) register bits, constant per streaming cycle:
-  // horizontal: each row has C-1 activation registers of which C/k - 1 stay
-  // active; vertical: each column has R psum registers of which R/k stay
-  // active.
-  const std::int64_t h_bypassed_bits =
-      static_cast<std::int64_t>(rows) *
-      (static_cast<std::int64_t>(cols) - h_groups) * config_.input_bits;
-  const std::int64_t v_bypassed_bits =
-      static_cast<std::int64_t>(cols) *
-      (static_cast<std::int64_t>(rows) - v_groups) * config_.acc_bits;
+  // Flat double-buffered plane of vertical boundary registers: row vg holds
+  // the resolved partial sums latched below row group vg, consumed by group
+  // vg+1 the next cycle.  Swapped per cycle, never copied.  Tag planes (for
+  // skew verification) exist only in debug builds.
+  const std::size_t v_plane =
+      static_cast<std::size_t>(v_groups > 1 ? (v_groups - 1) * cols : 0);
+  std::vector<std::int64_t> v_cur(v_plane, 0), v_nxt(v_plane, 0);
+  // Flat horizontal register plane, laid out group-major ([g][r]) so the
+  // per-cycle latch is a single overlapping memmove and the inner loop
+  // reads activations contiguously in r.
+  const std::int64_t h_regs = h_groups - 1;
+  std::vector<std::int32_t> h_val(
+      static_cast<std::size_t>(h_regs * rows), 0);
+#ifndef NDEBUG
+  std::vector<std::int64_t> v_tag_cur(v_plane, -1), v_tag_nxt(v_plane, -1);
+  std::vector<std::int64_t> h_tag(static_cast<std::size_t>(h_regs * rows),
+                                  -1);
+  std::vector<std::int64_t> west_tag(static_cast<std::size_t>(rows), -1);
+#endif
 
   std::vector<std::int32_t> west(static_cast<std::size_t>(rows), 0);
-  std::vector<std::int64_t> west_tag(static_cast<std::size_t>(rows), -1);
   std::vector<std::int64_t> south_values(static_cast<std::size_t>(cols), 0);
   std::vector<std::uint8_t> south_valid(static_cast<std::size_t>(cols), 0);
 
+  const std::int32_t* a_data = a.data().data();
   std::int64_t outputs_written = 0;
   const std::int64_t outputs_expected = t_dim * cols;
-  std::int64_t cycle = 0;
 
-  while (outputs_written < outputs_expected) {
+  for (std::int64_t cycle = 0; cycle < streaming_cycles; ++cycle) {
     // (1) West-edge injection: A[t][r] enters at relative cycle
-    //     t + floor(r/k) — "the first (and last) elements of matrix A
-    //     arrive in batches of k words" (paper Section III).
-    for (int r = 0; r < rows; ++r) {
-      const std::int64_t t = cycle - r / k_v;
+    //     t + floor(r/k_v) — "the first (and last) elements of matrix A
+    //     arrive in batches of k words" (paper Section III).  Row group vg
+    //     copies one contiguous slice of A's row t.
+    for (std::int64_t vg = 0; vg < v_groups; ++vg) {
+      const std::int64_t t = cycle - vg;
+      std::int32_t* dst = west.data() + vg * k_v;
       if (t >= 0 && t < t_dim) {
-        west[static_cast<std::size_t>(r)] = a.at(t, r);
-        west_tag[static_cast<std::size_t>(r)] = t;
+        std::memcpy(dst, a_data + t * rows + vg * k_v,
+                    static_cast<std::size_t>(k_v) * sizeof(std::int32_t));
+#ifndef NDEBUG
+        std::fill_n(west_tag.begin() + vg * k_v, k_v, t);
+#endif
       } else {
-        west[static_cast<std::size_t>(r)] = 0;
-        west_tag[static_cast<std::size_t>(r)] = -1;
+        std::memset(dst, 0,
+                    static_cast<std::size_t>(k_v) * sizeof(std::int32_t));
+#ifndef NDEBUG
+        std::fill_n(west_tag.begin() + vg * k_v, k_v, std::int64_t{-1});
+#endif
       }
     }
     std::fill(south_valid.begin(), south_valid.end(), 0);
+#ifndef NDEBUG
+    // Original semantics: every boundary slot latches each cycle, a bubble
+    // when its cell's tag is out of range.  Pre-mark bubbles; valid cells
+    // overwrite below.
+    std::fill(v_tag_nxt.begin(), v_tag_nxt.end(), std::int64_t{-1});
+    std::fill(v_nxt.begin(), v_nxt.end(), std::int64_t{0});
+#endif
 
-    // (2) Combinational propagate: each (column group, row group) cell of
-    //     the grid processes one tag this cycle.
-    std::vector<std::vector<Tagged64>> v_next = v_reg;
-    for (int cg = 0; cg < h_groups; ++cg) {
-      for (int vg = 0; vg < v_groups; ++vg) {
-        const std::int64_t tag = cycle - cg - vg;
-        const bool valid = tag >= 0 && tag < t_dim;
-        for (int c = cg * k_h; c < (cg + 1) * k_h; ++c) {
-          if (!valid) {
-            if (vg + 1 < v_groups) {
-              v_next[static_cast<std::size_t>(vg)][static_cast<std::size_t>(c)] =
-                  Tagged64{0, -1};
-            }
-            continue;
-          }
-          // Incoming partial sum: zero at the top group, otherwise the
-          // boundary register of the group above (resolved, carry = 0).
-          CsaPair pair;
+    // (2) Combinational propagate.  Cell (cg, vg) of the group grid
+    //     processes tag = cycle - cg - vg; only cells whose tag lands in
+    //     [0, T) do work, which bounds both loops directly — no per-cell
+    //     validity tests, no bubble traffic in release builds.
+    std::int64_t cells = 0;         // valid (cg, vg) cells this cycle
+    std::int64_t bottom_cells = 0;  // of which in the bottom row group
+    const std::int64_t cg_lo =
+        std::max<std::int64_t>(0, cycle - t_dim - v_groups + 2);
+    const std::int64_t cg_hi = std::min<std::int64_t>(h_groups - 1, cycle);
+    for (std::int64_t cg = cg_lo; cg <= cg_hi; ++cg) {
+      // The activation stream entering column group cg: the west edge for
+      // group 0, otherwise the horizontal register bank behind it.
+      const std::int32_t* act =
+          cg == 0 ? west.data() : h_val.data() + (cg - 1) * rows;
+      const std::int64_t base = cycle - cg;
+      const std::int64_t vg_lo = std::max<std::int64_t>(0, base - t_dim + 1);
+      const std::int64_t vg_hi = std::min<std::int64_t>(v_groups - 1, base);
+      if (vg_lo > vg_hi) continue;
+      cells += vg_hi - vg_lo + 1;
+      if (vg_hi == v_groups - 1) ++bottom_cells;
+      for (std::int64_t vg = vg_lo; vg <= vg_hi; ++vg) {
+        const std::int64_t tag = base - vg;
+        const bool bottom = vg == v_groups - 1;
+        const std::int64_t* vin =
+            vg > 0 ? v_cur.data() + (vg - 1) * cols : nullptr;
+        std::int64_t* vout = bottom ? nullptr : v_nxt.data() + vg * cols;
+        const std::int64_t r0 = vg * k_v;
+        for (std::int64_t c = cg * k_h; c < (cg + 1) * k_h; ++c) {
+#ifndef NDEBUG
           if (vg > 0) {
-            const Tagged64& in =
-                v_reg[static_cast<std::size_t>(vg - 1)][static_cast<std::size_t>(c)];
-            AF_ASSERT(in.tag == tag, "psum tag skew: expected "
-                                         << tag << ", got " << in.tag
-                                         << " at vg=" << vg << " c=" << c);
-            pair.sum = in.value;
+            AF_ASSERT(v_tag_cur[static_cast<std::size_t>((vg - 1) * cols +
+                                                         c)] == tag,
+                      "psum tag skew at vg=" << vg << " c=" << c);
           }
-          // Transparent reduction through the k rows of this group: one
-          // 3:2 compression per PE, single cycle.
-          for (int r = vg * k_v; r < (vg + 1) * k_v; ++r) {
-            const Tagged32 stream =
-                cg == 0 ? Tagged32{west[static_cast<std::size_t>(r)],
-                                   west_tag[static_cast<std::size_t>(r)]}
-                        : h_reg[static_cast<std::size_t>(r)]
-                               [static_cast<std::size_t>(cg - 1)];
-            AF_ASSERT(stream.tag == tag, "activation tag skew: expected "
-                                             << tag << ", got " << stream.tag
-                                             << " at r=" << r << " cg=" << cg);
-            pair = pe_compute(stream.value, weight.at(r, c), pair);
-            ++stats.activity.mult_ops;
-            ++stats.activity.csa_ops;
+          for (std::int64_t r = r0; r < r0 + k_v; ++r) {
+            const std::int64_t stream_tag =
+                cg == 0 ? west_tag[static_cast<std::size_t>(r)]
+                        : h_tag[static_cast<std::size_t>((cg - 1) * rows + r)];
+            AF_ASSERT(stream_tag == tag, "activation tag skew: expected "
+                                             << tag << ", got " << stream_tag
+                                             << " at r=" << r
+                                             << " cg=" << cg);
           }
-          // Boundary PE resolves the redundant pair with its CPA.
-          const std::int64_t resolved = pair.resolve();
-          ++stats.activity.cpa_ops;
-          if (vg + 1 == v_groups) {
+#endif
+          // Transparent reduction through the k_v rows of this group: the
+          // chain of 3:2 compressions resolved by the boundary CPA equals
+          // the modular sum of the incoming psum and the k_v products
+          // (csa_compress preserves sum+carry mod 2^64), so the engine
+          // accumulates directly — bit-exact against arch/pe.
+          std::uint64_t sum =
+              vin ? static_cast<std::uint64_t>(vin[c]) : std::uint64_t{0};
+          const std::int32_t* wcol = weight_t.data() + c * rows;
+          for (std::int64_t r = r0; r < r0 + k_v; ++r) {
+            sum += static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(act[r]) *
+                static_cast<std::int64_t>(wcol[r]));
+          }
+          const std::int64_t resolved = static_cast<std::int64_t>(sum);
+          if (bottom) {
             acc->at(tag, c) = add_mod(acc->at(tag, c), resolved);
-            ++stats.activity.acc_writes;
-            ++outputs_written;
             south_values[static_cast<std::size_t>(c)] = resolved;
             south_valid[static_cast<std::size_t>(c)] = 1;
           } else {
-            v_next[static_cast<std::size_t>(vg)][static_cast<std::size_t>(c)] =
-                Tagged64{resolved, tag};
-            ++stats.activity.vreg_writes;
+            vout[c] = resolved;
+#ifndef NDEBUG
+            v_tag_nxt[static_cast<std::size_t>(vg * cols + c)] = tag;
+#endif
           }
         }
       }
     }
 
-    // (3) Horizontal register latch: group-head registers shift the stream
-    //     one group to the right.
-    for (int r = 0; r < rows; ++r) {
-      auto& regs = h_reg[static_cast<std::size_t>(r)];
-      for (int g = h_groups - 2; g >= 1; --g) {
-        regs[static_cast<std::size_t>(g)] = regs[static_cast<std::size_t>(g - 1)];
-        if (regs[static_cast<std::size_t>(g)].tag >= 0) {
-          ++stats.activity.hreg_writes;
-        }
-      }
-      if (h_groups >= 2) {
-        regs[0] = Tagged32{west[static_cast<std::size_t>(r)],
-                           west_tag[static_cast<std::size_t>(r)]};
-        if (regs[0].tag >= 0) ++stats.activity.hreg_writes;
-      }
-    }
-    v_reg = std::move(v_next);
+    // Per-cycle activity, hoisted out of the MAC loop: every valid cell
+    // performs k_v*k_h multiplies + compressions and k_h boundary resolves;
+    // bottom-group cells retire k_h outputs, the rest latch k_h boundary
+    // registers.
+    stats.activity.mult_ops += cells * k_v * k_h;
+    stats.activity.csa_ops += cells * k_v * k_h;
+    stats.activity.cpa_ops += cells * k_h;
+    stats.activity.vreg_writes += (cells - bottom_cells) * k_h;
+    stats.activity.acc_writes += bottom_cells * k_h;
+    outputs_written += bottom_cells * k_h;
 
-    stats.activity.hreg_bypassed_bit_cycles += h_bypassed_bits;
-    stats.activity.vreg_bypassed_bit_cycles += v_bypassed_bits;
+    // (3) Horizontal register latch: the group-head registers shift the
+    //     stream one group to the right (one overlapping memmove over the
+    //     [g][r] plane), and bank 0 latches the west edge.  A register
+    //     write counts when the latched value is valid, i.e. its tag
+    //     cycle - g - vg lands in [0, T) — counted per row group instead
+    //     of per register.
+    if (h_regs >= 1) {
+      for (std::int64_t vg = 0; vg < v_groups; ++vg) {
+        const std::int64_t lo =
+            std::max<std::int64_t>(0, cycle - vg - (t_dim - 1));
+        const std::int64_t hi = std::min<std::int64_t>(h_regs - 1, cycle - vg);
+        if (lo <= hi) stats.activity.hreg_writes += (hi - lo + 1) * k_v;
+      }
+      if (h_regs >= 2) {
+        std::memmove(h_val.data() + rows, h_val.data(),
+                     static_cast<std::size_t>((h_regs - 1) * rows) *
+                         sizeof(std::int32_t));
+#ifndef NDEBUG
+        std::memmove(h_tag.data() + rows, h_tag.data(),
+                     static_cast<std::size_t>((h_regs - 1) * rows) *
+                         sizeof(std::int64_t));
+#endif
+      }
+      std::memcpy(h_val.data(), west.data(),
+                  static_cast<std::size_t>(rows) * sizeof(std::int32_t));
+#ifndef NDEBUG
+      std::copy(west_tag.begin(), west_tag.end(), h_tag.begin());
+#endif
+    }
+    v_cur.swap(v_nxt);
+#ifndef NDEBUG
+    v_tag_cur.swap(v_tag_nxt);
+#endif
 
     if (observer) {
       CycleSnapshot snap;
@@ -238,69 +315,96 @@ TileRunStats SystolicArray::run_tile_asym(const gemm::Mat32& a,
       snap.south_valid = &south_valid;
       observer(snap);
     }
-    ++cycle;
-    AF_ASSERT(cycle <= t_dim + rows + cols + 4,
-              "simulation failed to drain: cycle " << cycle);
   }
 
-  stats.activity.streaming_cycles = cycle;
-  stats.total_cycles = stats.preload_cycles + cycle;
+  // Clock-gated (transparent) register bits are a per-streaming-cycle
+  // constant: each row keeps C/k_h - 1 of its C - 1 activation registers
+  // active, each column keeps R/k_v of its R psum registers active.
+  stats.activity.hreg_bypassed_bit_cycles =
+      rows * (cols - h_groups) * config_.input_bits * streaming_cycles;
+  stats.activity.vreg_bypassed_bit_cycles =
+      cols * (rows - v_groups) * config_.acc_bits * streaming_cycles;
+  stats.activity.streaming_cycles = streaming_cycles;
+  stats.total_cycles = stats.preload_cycles + streaming_cycles;
+  AF_CHECK(outputs_written == outputs_expected,
+           "streaming epoch retired " << outputs_written << " outputs, want "
+                                      << outputs_expected);
   return stats;
 }
 
-namespace {
-
 // Shared tiled-execution loop; `skip_zero_tiles` implements the block-sparse
-// sequencer of Section V's future-work discussion.
-TileRunStats run_tiled(SystolicArray& array, const gemm::Mat32& a,
-                       const gemm::Mat32& b, int k, gemm::Mat64* out,
-                       bool skip_zero_tiles) {
+// sequencer of Section V's future-work discussion.  The output is cut into
+// C-wide column stripes — each stripe owns a disjoint set of output columns
+// and iterates N innermost (so the accumulators finish one column group
+// before moving on) — which makes stripes the unit of parallel dispatch:
+// no two workers ever touch the same output element, and per-stripe stats
+// reduce with plain integer adds, so threaded runs are bit-identical to
+// serial ones.
+TileRunStats SystolicArray::run_tiled(const gemm::Mat32& a,
+                                      const gemm::Mat32& b, int k,
+                                      gemm::Mat64* out, bool skip_zero_tiles) {
   AF_CHECK(a.cols() == b.rows(), "GEMM inner-dimension mismatch: "
                                      << a.cols() << " vs " << b.rows());
   AF_CHECK(out != nullptr, "output matrix required");
-  const ArrayConfig& config = array.config();
+  const std::int64_t rows = config_.rows;
+  const std::int64_t cols = config_.cols;
   const gemm::GemmShape shape{b.cols(), a.cols(), a.rows()};
   *out = gemm::Mat64(shape.t, shape.m);
 
   std::unique_ptr<TileOccupancy> occupancy;
   if (skip_zero_tiles) {
     occupancy = std::make_unique<TileOccupancy>(
-        TileOccupancy::from_matrix(b, config.rows, config.cols));
+        TileOccupancy::from_matrix(b, config_.rows, config_.cols));
   }
-  const gemm::TileGrid grid(shape, config.rows, config.cols);
-  TileRunStats stats;
-  for (const gemm::TileCoord& tile : grid.tiles()) {
-    if (occupancy != nullptr &&
-        !occupancy->is_nonzero(tile.n0 / config.rows, tile.m0 / config.cols)) {
-      continue;  // all-zero weight tile: contributes nothing, costs nothing
-    }
-    const gemm::Mat32 a_block =
-        a.block_padded(0, tile.n0, shape.t, config.rows);
-    const gemm::Mat32 b_block =
-        b.block_padded(tile.n0, tile.m0, config.rows, config.cols);
-    gemm::Mat64 acc(shape.t, config.cols);
-    stats += array.run_tile(a_block, b_block, k, &acc);
-    for (std::int64_t t = 0; t < shape.t; ++t) {
-      for (std::int64_t m = 0; m < tile.m_extent; ++m) {
-        out->at(t, tile.m0 + m) =
-            add_mod(out->at(t, tile.m0 + m), acc.at(t, m));
+  const std::int64_t row_tiles = ceil_div(shape.n, rows);  // along N
+  const std::int64_t col_tiles = ceil_div(shape.m, cols);  // along M
+
+  // The zero-padded A panels are shared read-only by every stripe; extract
+  // them once instead of once per tile.
+  std::vector<gemm::Mat32> a_panels;
+  a_panels.reserve(static_cast<std::size_t>(row_tiles));
+  for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
+    a_panels.push_back(a.block_padded(0, rt * rows, shape.t, rows));
+  }
+
+  const auto run_stripe = [&](std::int64_t ct, TileRunStats* stripe_stats) {
+    const std::int64_t m0 = ct * cols;
+    const std::int64_t m_extent = std::min(cols, shape.m - m0);
+    for (std::int64_t rt = 0; rt < row_tiles; ++rt) {
+      if (occupancy != nullptr && !occupancy->is_nonzero(rt, ct)) {
+        continue;  // all-zero weight tile: contributes nothing, costs nothing
+      }
+      const gemm::Mat32 b_block =
+          b.block_padded(rt * rows, m0, rows, cols);
+      gemm::Mat64 acc(shape.t, cols);
+      *stripe_stats += run_tile(a_panels[static_cast<std::size_t>(rt)],
+                                b_block, k, &acc);
+      for (std::int64_t t = 0; t < shape.t; ++t) {
+        for (std::int64_t m = 0; m < m_extent; ++m) {
+          out->at(t, m0 + m) = add_mod(out->at(t, m0 + m), acc.at(t, m));
+        }
       }
     }
-  }
+  };
+
+  std::vector<TileRunStats> per_stripe(static_cast<std::size_t>(col_tiles));
+  util::ThreadPool::run_n(pool_.get(), col_tiles, [&](std::int64_t ct) {
+    run_stripe(ct, &per_stripe[static_cast<std::size_t>(ct)]);
+  });
+  TileRunStats stats;
+  for (const TileRunStats& s : per_stripe) stats += s;
   return stats;
 }
 
-}  // namespace
-
 TileRunStats SystolicArray::run_gemm(const gemm::Mat32& a, const gemm::Mat32& b,
                                      int k, gemm::Mat64* out) {
-  return run_tiled(*this, a, b, k, out, /*skip_zero_tiles=*/false);
+  return run_tiled(a, b, k, out, /*skip_zero_tiles=*/false);
 }
 
 TileRunStats SystolicArray::run_gemm_sparse(const gemm::Mat32& a,
                                             const gemm::Mat32& b, int k,
                                             gemm::Mat64* out) {
-  return run_tiled(*this, a, b, k, out, /*skip_zero_tiles=*/true);
+  return run_tiled(a, b, k, out, /*skip_zero_tiles=*/true);
 }
 
 }  // namespace af::arch

@@ -24,12 +24,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "arch/config.h"
 #include "arch/pe.h"
 #include "gemm/matrix.h"
 #include "gemm/tiling.h"
+
+namespace af::util {
+class ThreadPool;
+}
 
 namespace af::arch {
 
@@ -70,9 +75,25 @@ struct CycleSnapshot {
 };
 using CycleObserver = std::function<void(const CycleSnapshot&)>;
 
+// Streaming engine notes (perf): the epoch loop runs over flat,
+// pre-allocated, double-buffered planes — a value plane per vertical
+// boundary row (swapped, never copied, per cycle) and a flat horizontal
+// register plane shifted with one memmove — with the weight matrix
+// preloaded transposed in O(R*C).  Activity counters are accounted per
+// cycle from the valid (column-group, row-group) ranges instead of per
+// MAC; tag-skew verification (the Tagged planes) is compiled in only for
+// debug builds (see AF_ASSERT).  Outputs and ActivityCounters are
+// bit-identical to the original register-by-register emulation.
+//
+// Thread safety: run_tile/run_tile_asym keep all mutable state on the
+// stack, so concurrent calls on one SystolicArray are safe — run_gemm and
+// run_gemm_sparse exploit that by dispatching independent output-column
+// stripes across the pool when config().sim.num_threads != 1.  Threaded
+// runs return bit-identical outputs and statistics (modular adds commute).
 class SystolicArray {
  public:
   explicit SystolicArray(const ArrayConfig& config);
+  ~SystolicArray();
 
   const ArrayConfig& config() const { return config_; }
 
@@ -106,12 +127,13 @@ class SystolicArray {
                                int k, gemm::Mat64* out);
 
  private:
-  struct Tagged64 {
-    std::int64_t value = 0;
-    std::int64_t tag = -1;  // -1 = bubble
-  };
+  TileRunStats run_tiled(const gemm::Mat32& a, const gemm::Mat32& b, int k,
+                         gemm::Mat64* out, bool skip_zero_tiles);
 
   ArrayConfig config_;
+  // Created when the config requests parallel simulation (lazily shared by
+  // the tiled entry points; tile runs themselves are stateless).
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace af::arch

@@ -141,9 +141,13 @@ double StaClockModel::raw_collapsed_period_ps(int k) const {
 
 double StaClockModel::period_ps(int k) const {
   AF_CHECK(k >= 1, "collapse depth must be >= 1");
-  const auto it = cache_.find(k);
-  if (it != cache_.end()) return it->second;
-  const double ps = raw_collapsed_period_ps(k) * scale_;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(k);
+    if (it != cache_.end()) return it->second;
+  }
+  const double ps = raw_collapsed_period_ps(k) * scale_;  // slow: runs STA
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_.emplace(k, ps);
   return ps;
 }

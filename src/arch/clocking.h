@@ -24,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "hw/cells.h"
 
@@ -145,6 +146,9 @@ class StaClockModel : public ClockModel {
   int acc_bits_;
   double scale_ = 1.0;
   hw::Technology tech_;
+  // Lazy STA results; the mutex makes period_ps safe to call from the
+  // parallel layer-evaluation path (nn::InferenceRunner with num_threads>1).
+  mutable std::mutex cache_mutex_;
   mutable std::map<int, double> cache_;  // k -> scaled period
 };
 

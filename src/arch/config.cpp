@@ -25,6 +25,9 @@ void ArrayConfig::validate() const {
              "collapse depth k=" << k << " must divide both R=" << rows
                                  << " and C=" << cols);
   }
+  AF_CHECK(sim.num_threads >= 0,
+           "sim.num_threads must be >= 0 (0 = all hardware threads), got "
+               << sim.num_threads);
 }
 
 bool ArrayConfig::supports(int k) const {

@@ -7,6 +7,16 @@
 
 namespace af::arch {
 
+// Host-side simulation knobs — they change how fast the simulator runs,
+// never what it computes.  Threaded runs are bit-exact and produce
+// identical cycle/activity statistics to serial runs (tile partial sums
+// are modular 64-bit adds, which commute).
+struct SimOptions {
+  // Worker threads for tile-level parallel simulation: 1 = serial
+  // (default), 0 = use every hardware thread, n = exactly n threads.
+  int num_threads = 1;
+};
+
 // Static description of an ArrayFlex systolic array instance.
 //
 // `supported_k` lists the pipeline-collapse depths the hardware can be
@@ -20,6 +30,7 @@ struct ArrayConfig {
   int input_bits = 32;
   int acc_bits = 64;
   std::vector<int> supported_k = {1, 2, 4};
+  SimOptions sim;
 
   // Throws af::Error when the configuration is inconsistent.
   void validate() const;

@@ -33,6 +33,12 @@ class PipelineOptimizer {
   // Discrete argmin of Tabs over the array's supported modes.
   ModeDecision best_mode(const gemm::GemmShape& shape) const;
 
+  // Batch argmin over many shapes (design-space sweeps, per-layer mode
+  // selection across a whole network).  Runs shapes in parallel when the
+  // config's SimOptions request threads; output order matches the input.
+  std::vector<ModeDecision> best_modes(
+      const std::vector<gemm::GemmShape>& shapes) const;
+
   // All supported modes with the winner flagged (used by the Fig. 5 bench).
   std::vector<ModeSweepEntry> sweep(const gemm::GemmShape& shape) const;
 

@@ -1,6 +1,9 @@
 #include "nn/runner.h"
 
+#include <algorithm>
+
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace af::nn {
 
@@ -49,7 +52,12 @@ InferenceRunner::InferenceRunner(const arch::ArrayConfig& config,
       optimizer_(config, clock),
       power_(config, clock, energy) {
   config_.validate();
+  const int threads =
+      util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
 }
+
+InferenceRunner::~InferenceRunner() = default;
 
 LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
   LayerReport report;
@@ -68,14 +76,22 @@ ModelReport InferenceRunner::run(const Model& model) const {
   AF_CHECK(!model.layers.empty(), "model '" << model.name << "' has no layers");
   ModelReport report;
   report.model_name = model.name;
-  report.layers.reserve(model.layers.size());
-  for (const Layer& layer : model.layers) {
-    LayerReport lr = evaluate_layer(layer);
+  const std::int64_t n = static_cast<std::int64_t>(model.layers.size());
+  report.layers.resize(model.layers.size());
+
+  // Layers are independent; fan them out when the config's SimOptions ask
+  // for threads.  evaluate_layer is const and touches only read-only model
+  // state, so workers share `this` freely; the aggregation below stays
+  // sequential in layer order, making the report identical to a serial run.
+  util::ThreadPool::run_n(pool_.get(), n, [&](std::int64_t i) {
+    report.layers[static_cast<std::size_t>(i)] =
+        evaluate_layer(model.layers[static_cast<std::size_t>(i)]);
+  });
+  for (const LayerReport& lr : report.layers) {
     report.arrayflex_time_ps += lr.arrayflex.time_ps;
     report.conventional_time_ps += lr.conventional.time_ps;
     report.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
     report.conventional_energy_pj += lr.conventional_power.energy_pj;
-    report.layers.push_back(std::move(lr));
   }
   return report;
 }

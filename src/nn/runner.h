@@ -3,10 +3,15 @@
 // energy for both ArrayFlex and the conventional fixed-pipeline SA.
 //
 // This is the harness behind Figs. 7, 8 and 9.
+//
+// When the ArrayConfig's SimOptions request threads (num_threads != 1),
+// run() evaluates independent layers in parallel; reports are identical to
+// serial runs.
 
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +20,10 @@
 #include "arch/power_model.h"
 #include "nn/mapper.h"
 #include "nn/models.h"
+
+namespace af::util {
+class ThreadPool;
+}
 
 namespace af::nn {
 
@@ -63,6 +72,7 @@ class InferenceRunner {
                   const arch::ClockModel& clock,
                   const arch::EnergyParams& energy =
                       arch::EnergyParams::generic28nm());
+  ~InferenceRunner();
 
   LayerReport evaluate_layer(const Layer& layer) const;
   ModelReport run(const Model& model) const;
@@ -74,6 +84,10 @@ class InferenceRunner {
   const arch::ClockModel& clock_;
   arch::PipelineOptimizer optimizer_;
   arch::SaPowerModel power_;
+  // Created once when the config's SimOptions request parallel layer
+  // evaluation; reused across run() calls (layer eval is cheap enough that
+  // per-call pool construction would dominate).
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace af::nn

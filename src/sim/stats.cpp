@@ -18,6 +18,22 @@ void RunningStat::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void RunningStat::merge(const RunningStat& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(o.count_);
+  const double delta = o.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += o.count_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
 double RunningStat::variance() const {
   return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
 }

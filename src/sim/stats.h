@@ -14,6 +14,10 @@ namespace af::sim {
 class RunningStat {
  public:
   void add(double x);
+  // Folds another collector in (Chan et al. parallel Welford combination):
+  // the result is as if every sample of `o` had been add()ed here.  Used to
+  // reduce per-thread collectors after a parallel sweep.
+  void merge(const RunningStat& o);
   std::int64_t count() const { return count_; }
   double mean() const { return mean_; }
   double min() const { return min_; }

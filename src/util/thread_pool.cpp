@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace af::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_n(ThreadPool* pool, std::int64_t n,
+                       const std::function<void(std::int64_t)>& body) {
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(n, body);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+int ThreadPool::resolve_num_threads(int requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, requested);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::int64_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (body_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      body = body_;
+      seen_generation = generation_;
+      ++in_flight_;
+    }
+    run_indices(*body);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::run_indices(const std::function<void(std::int64_t)>& body) {
+  for (;;) {
+    std::int64_t i;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= end_index_ || first_error_) return;
+      i = next_index_++;
+    }
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    next_index_ = 0;
+    end_index_ = n;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  run_indices(body);  // the caller works too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] {
+      return in_flight_ == 0 && (next_index_ >= end_index_ || first_error_);
+    });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace af::util

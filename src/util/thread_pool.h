@@ -1,0 +1,73 @@
+// Minimal fixed-size worker pool for tile-level simulation parallelism.
+//
+// The simulator's unit of independent work is one systolic-array tile (or
+// one NN layer in the analytical runner): coarse, uniform, and free of
+// shared mutable state.  parallel_for hands out indices via an atomic
+// cursor, the calling thread works alongside the pool, and the call blocks
+// until every index is done — so callers never deal with futures or task
+// lifetimes.  Exceptions thrown by the body are captured and the first one
+// is rethrown on the calling thread.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace af::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the caller is the remaining thread).
+  // num_threads < 1 is clamped to 1, i.e. a pool that runs everything
+  // inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads that execute a parallel_for (workers + caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(i) for every i in [0, n).  Blocks until all iterations have
+  // finished; serialized against concurrent parallel_for calls on the same
+  // pool.  Iterations are claimed dynamically, so uneven per-index cost
+  // (e.g. skipped sparse tiles) still balances.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& body);
+
+  // Resolves a SimOptions-style thread count: 0 means "all hardware
+  // threads", anything else passes through (clamped to >= 1).
+  static int resolve_num_threads(int requested);
+
+  // The shared fan-out idiom: body(i) for i in [0, n), on `pool` when one
+  // exists and there is more than one index, inline on the caller
+  // otherwise.  Lets call sites own (and cache) their pool while sharing
+  // the dispatch logic.
+  static void run_n(ThreadPool* pool, std::int64_t n,
+                    const std::function<void(std::int64_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(std::int64_t)>& body);
+
+  std::mutex job_mutex_;          // serializes parallel_for callers
+  std::mutex mutex_;              // guards the fields below
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::int64_t)>* body_ = nullptr;
+  std::int64_t next_index_ = 0;
+  std::int64_t end_index_ = 0;
+  std::int64_t in_flight_ = 0;    // workers currently inside the job
+  std::uint64_t generation_ = 0;  // bumped per job so workers don't re-enter
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace af::util

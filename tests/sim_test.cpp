@@ -31,6 +31,38 @@ TEST(RunningStatTest, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStatTest, MergeMatchesSequentialAdds) {
+  // Parallel-reduction contract: merging per-thread collectors must equal
+  // feeding every sample to one collector.
+  const std::vector<double> samples = {3.0, -1.5, 8.25, 0.0, 12.5, -4.0, 7.0};
+  RunningStat all;
+  for (const double v : samples) all.add(v);
+
+  RunningStat left, right, merged;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i < 3 ? left : right).add(samples[i]);
+  }
+  merged.merge(left);
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
+  RunningStat s, empty;
+  s.add(2.0);
+  s.add(4.0);
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
 TEST(HistogramTest, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bucket 0
