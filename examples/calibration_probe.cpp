@@ -8,6 +8,7 @@
 #include "arch/clocking.h"
 #include "arch/optimizer.h"
 #include "arch/power_model.h"
+#include "hw/energy_characterization.h"
 #include "nn/models.h"
 #include "nn/runner.h"
 
@@ -46,6 +47,39 @@ int main() {
     const arch::PowerResult af = power.arrayflex(shape, k);
     std::printf("  k=%d: %.0f mW  ratio=%.3f\n", k, af.power_mw(),
                 af.power_mw() / conv.power_mw());
+  }
+
+  // Monte-Carlo gate-level energy characterization vs. the hand-fit
+  // constants: per-op energies measured from netlist toggles on the 64-lane
+  // simulator (see hw/energy_characterization.h for what is observable).
+  std::printf("\ncharacterizing PE energy (64-lane Monte-Carlo)...\n");
+  const hw::CharacterizedEnergy ch = hw::characterize_energy();
+  const arch::EnergyParams fit_params = arch::EnergyParams::generic28nm();
+  std::printf("  per-op fJ:        hand-fit  characterized\n");
+  std::printf("  e_mult            %8.1f  %13.1f\n", fit_params.e_mult_fj,
+              ch.params.e_mult_fj);
+  std::printf("  e_csa             %8.1f  %13.1f\n", fit_params.e_csa_fj,
+              ch.params.e_csa_fj);
+  std::printf("  e_cpa             %8.1f  %13.1f\n", fit_params.e_cpa_fj,
+              ch.params.e_cpa_fj);
+  std::printf("  e_bypass_mux      %8.1f  %13.1f\n",
+              fit_params.e_bypass_mux_fj, ch.params.e_bypass_mux_fj);
+  std::printf("  e_reg_bit         %8.2f  %13.2f\n", fit_params.e_reg_bit_fj,
+              ch.params.e_reg_bit_fj);
+  std::printf("  leak_mw_per_pe    %8.4f  %13.4f\n", fit_params.leak_mw_per_pe,
+              ch.params.leak_mw_per_pe);
+  std::printf("  (%d cells, %.0f lane-cycles, %llu toggles)\n", ch.cells,
+              ch.lane_cycles,
+              static_cast<unsigned long long>(ch.total_toggles));
+  {
+    arch::SaPowerModel characterized(cfg, cal, ch.params);
+    const arch::PowerResult conv_ch = characterized.conventional(shape);
+    std::printf("  power ratios with characterized params:");
+    for (int k : {1, 2, 4}) {
+      const arch::PowerResult af_ch = characterized.arrayflex(shape, k);
+      std::printf("  k=%d %.3f", k, af_ch.power_mw() / conv_ch.power_mw());
+    }
+    std::printf("\n");
   }
 
   // Full-model aggregates at both array sizes.

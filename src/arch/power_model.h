@@ -32,6 +32,12 @@
 // slightly above the conventional SA (paper Section IV-B) and (b) the
 // per-application aggregates land in Fig. 9's 13-15% / 17-23% bands.  The
 // same constants serve every CNN, both array sizes and every mode.
+//
+// Simulation-calibrated alternative: hw::characterize_energy()
+// (hw/energy_characterization.h) derives the per-op entries from measured
+// gate-level toggles on the PE netlist instead; pass its .params to the
+// SaPowerModel constructor to price workloads with netlist-grounded
+// energies rather than the paper-anchored fit.
 
 #pragma once
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "hw/bitvec.h"
+#include "util/status.h"
 
 namespace af::hw {
 
@@ -78,6 +79,76 @@ struct Technology {
 // Functional evaluation of a combinational cell.  `inputs`/`outputs` are
 // arrays of single-bit values; sizes must match the cell arity.
 void eval_cell(CellType type, const bool* inputs, bool* outputs);
+
+// 64-lane bit-parallel evaluation: bit `l` of every word is an independent
+// stimulus lane, so one call evaluates the cell under 64 input vectors at
+// once.  Semantically identical to eval_cell applied per lane.  Kept inline
+// in the header: this is the innermost loop of the bit-parallel netlist
+// simulator.
+inline void eval_cell_u64(CellType type, const std::uint64_t* in,
+                          std::uint64_t* out) {
+  switch (type) {
+    case CellType::kTie0:
+      out[0] = 0;
+      return;
+    case CellType::kTie1:
+      out[0] = ~std::uint64_t{0};
+      return;
+    case CellType::kInv:
+      out[0] = ~in[0];
+      return;
+    case CellType::kBuf:
+      out[0] = in[0];
+      return;
+    case CellType::kNand2:
+      out[0] = ~(in[0] & in[1]);
+      return;
+    case CellType::kNor2:
+      out[0] = ~(in[0] | in[1]);
+      return;
+    case CellType::kAnd2:
+      out[0] = in[0] & in[1];
+      return;
+    case CellType::kOr2:
+      out[0] = in[0] | in[1];
+      return;
+    case CellType::kXor2:
+      out[0] = in[0] ^ in[1];
+      return;
+    case CellType::kXnor2:
+      out[0] = ~(in[0] ^ in[1]);
+      return;
+    case CellType::kAoi21:
+      out[0] = ~((in[0] & in[1]) | in[2]);
+      return;
+    case CellType::kOai21:
+      out[0] = ~((in[0] | in[1]) & in[2]);
+      return;
+    case CellType::kMux2:
+      out[0] = (in[2] & in[1]) | (~in[2] & in[0]);
+      return;
+    case CellType::kHalfAdder:
+      out[0] = in[0] ^ in[1];
+      out[1] = in[0] & in[1];
+      return;
+    case CellType::kFullAdder: {
+      const std::uint64_t a = in[0], b = in[1], c = in[2];
+      const std::uint64_t axb = a ^ b;
+      out[0] = axb ^ c;
+      out[1] = (a & b) | (axb & c);
+      return;
+    }
+    case CellType::kDff:
+      // Sequential: functional value handled by the simulator's state.
+      out[0] = in[0];
+      return;
+    case CellType::kClockGate:
+      out[0] = in[0];
+      return;
+  }
+  AF_ASSERT(false, "unhandled cell type " << static_cast<int>(type));
+  out[0] = 0;
+}
 
 // Human-readable cell-type name ("NAND2", "FA", ...).
 const char* cell_type_name(CellType type);

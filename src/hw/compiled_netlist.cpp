@@ -1,0 +1,155 @@
+#include "hw/compiled_netlist.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace af::hw {
+
+CompiledNetlist::CompiledNetlist(const Netlist& nl)
+    : nl_(nl), num_nets_(nl.num_nets()), num_cells_(nl.num_cells()) {
+  const std::size_t n_cells = static_cast<std::size_t>(num_cells_);
+  const std::size_t n_nets = static_cast<std::size_t>(num_nets_);
+
+  // Flat pin tables.
+  types_.resize(n_cells);
+  in_offset_.resize(n_cells + 1, 0);
+  out_offset_.resize(n_cells + 1, 0);
+  std::size_t total_in = 0, total_out = 0;
+  for (int ci = 0; ci < num_cells_; ++ci) {
+    const Cell& cell = nl.cell(ci);
+    types_[static_cast<std::size_t>(ci)] = cell.type;
+    total_in += cell.inputs.size();
+    total_out += cell.outputs.size();
+    in_offset_[static_cast<std::size_t>(ci) + 1] =
+        static_cast<std::int32_t>(total_in);
+    out_offset_[static_cast<std::size_t>(ci) + 1] =
+        static_cast<std::int32_t>(total_out);
+  }
+  pins_in_.reserve(total_in);
+  pins_out_.reserve(total_out);
+  for (int ci = 0; ci < num_cells_; ++ci) {
+    const Cell& cell = nl.cell(ci);
+    pins_in_.insert(pins_in_.end(), cell.inputs.begin(), cell.inputs.end());
+    pins_out_.insert(pins_out_.end(), cell.outputs.begin(),
+                     cell.outputs.end());
+  }
+
+  // Levelization.  topo_order() validates acyclicity and driver uniqueness
+  // (via driver_of) before we walk it.
+  const std::vector<int>& topo = nl.topo_order();
+  const std::vector<int>& driver = nl.driver_of();
+  level_.assign(n_cells, -1);
+  int max_level = 0;
+  for (const int ci : topo) {
+    const CellType type = types_[static_cast<std::size_t>(ci)];
+    if (type == CellType::kDff) {
+      dff_cells_.push_back(ci);
+      continue;  // sequential: stays at level -1
+    }
+    int lvl = 0;
+    const NetId* in = cell_inputs(ci);
+    const int n_in = num_cell_inputs(ci);
+    for (int i = 0; i < n_in; ++i) {
+      const int src = driver[static_cast<std::size_t>(in[i])];
+      if (src == Netlist::kNoCell) continue;  // primary input
+      const int src_lvl = level_[static_cast<std::size_t>(src)];
+      // DFF drivers (src_lvl == -1) launch at depth 0, like primary inputs.
+      if (src_lvl + 1 > lvl) lvl = src_lvl + 1;
+    }
+    // TIE cells have no inputs and sit at level 0; every other combinational
+    // cell lands at >= 1, so input changes always propagate forward.
+    if (n_in > 0 && lvl == 0) lvl = 1;
+    level_[static_cast<std::size_t>(ci)] = lvl;
+    if (lvl > max_level) max_level = lvl;
+  }
+
+  // Bucket the combinational cells by level (counting sort keeps the
+  // schedule stable with respect to cell order within a level).
+  const int num_levels = num_cells_ > static_cast<int>(dff_cells_.size())
+                             ? max_level + 1
+                             : 0;
+  level_offset_.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (int ci = 0; ci < num_cells_; ++ci) {
+    const int lvl = level_[static_cast<std::size_t>(ci)];
+    if (lvl >= 0) ++level_offset_[static_cast<std::size_t>(lvl) + 1];
+  }
+  for (std::size_t l = 1; l < level_offset_.size(); ++l) {
+    level_offset_[l] += level_offset_[l - 1];
+  }
+  schedule_.resize(static_cast<std::size_t>(
+      num_levels > 0 ? level_offset_.back() : 0));
+  {
+    std::vector<std::int32_t> cursor(level_offset_.begin(),
+                                     level_offset_.end() - 1);
+    for (int ci = 0; ci < num_cells_; ++ci) {
+      const int lvl = level_[static_cast<std::size_t>(ci)];
+      if (lvl < 0) continue;
+      schedule_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(lvl)]++)] = ci;
+    }
+  }
+
+  // Full order: DFFs (no combinational dependencies) first, then the
+  // levelized schedule.
+  full_order_.reserve(n_cells);
+  full_order_.insert(full_order_.end(), dff_cells_.begin(), dff_cells_.end());
+  full_order_.insert(full_order_.end(), schedule_.begin(), schedule_.end());
+  AF_ASSERT(full_order_.size() == n_cells, "compiled schedule lost cells");
+
+  // CSR net -> combinational fanout.
+  fanout_offset_.assign(n_nets + 1, 0);
+  for (int ci = 0; ci < num_cells_; ++ci) {
+    if (types_[static_cast<std::size_t>(ci)] == CellType::kDff) continue;
+    const NetId* in = cell_inputs(ci);
+    const int n_in = num_cell_inputs(ci);
+    for (int i = 0; i < n_in; ++i) {
+      ++fanout_offset_[static_cast<std::size_t>(in[i]) + 1];
+    }
+  }
+  for (std::size_t n = 1; n < fanout_offset_.size(); ++n) {
+    fanout_offset_[n] += fanout_offset_[n - 1];
+  }
+  fanout_cells_.resize(static_cast<std::size_t>(fanout_offset_.back()));
+  {
+    std::vector<std::int32_t> cursor(fanout_offset_.begin(),
+                                     fanout_offset_.end() - 1);
+    for (int ci = 0; ci < num_cells_; ++ci) {
+      if (types_[static_cast<std::size_t>(ci)] == CellType::kDff) continue;
+      const NetId* in = cell_inputs(ci);
+      const int n_in = num_cell_inputs(ci);
+      for (int i = 0; i < n_in; ++i) {
+        fanout_cells_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(in[i])]++)] = ci;
+      }
+    }
+  }
+  // Deduplicate cells that consume the same net on several pins so the
+  // event wavefront marks each consumer once.
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    auto begin = fanout_cells_.begin() + fanout_offset_[n];
+    auto end = fanout_cells_.begin() + fanout_offset_[n + 1];
+    std::sort(begin, end);
+  }
+  {
+    std::vector<int> dedup;
+    dedup.reserve(fanout_cells_.size());
+    std::vector<std::int32_t> new_offset(n_nets + 1, 0);
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      const std::int32_t begin = fanout_offset_[n];
+      const std::int32_t end = fanout_offset_[n + 1];
+      for (std::int32_t i = begin; i < end; ++i) {
+        if (i == begin ||
+            fanout_cells_[static_cast<std::size_t>(i)] !=
+                fanout_cells_[static_cast<std::size_t>(i - 1)]) {
+          dedup.push_back(fanout_cells_[static_cast<std::size_t>(i)]);
+        }
+      }
+      new_offset[n + 1] = static_cast<std::int32_t>(dedup.size());
+    }
+    fanout_cells_ = std::move(dedup);
+    fanout_offset_ = std::move(new_offset);
+  }
+}
+
+}  // namespace af::hw

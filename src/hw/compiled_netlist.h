@@ -1,0 +1,126 @@
+// CompiledNetlist: a lowered, immutable view of a Netlist optimized for
+// repeated traversal.
+//
+// Netlist stores each cell's pins as per-cell std::vectors and derives the
+// topological order lazily; every engine that walks the design (functional
+// simulation, STA, power) used to chase those heap pointers per cell per
+// query.  CompiledNetlist lowers the structure once into flat
+// structure-of-arrays form:
+//
+//   * contiguous pin tables (one NetId array for all input pins, one for all
+//     output pins, indexed by per-cell offsets);
+//   * a CSR net -> combinational-fanout adjacency (which cells must
+//     re-evaluate when a net changes), the backbone of event-driven
+//     simulation;
+//   * a levelized schedule: combinational cells bucketed by logic depth, so
+//     a dirty-cell wavefront can sweep levels in ascending order and
+//     evaluate every cell at most once per eval;
+//   * the DFF cell list, so clock edges latch registers without scanning
+//     the whole design.
+//
+// NetlistSim, Sta and the power helpers all accept a CompiledNetlist so one
+// compilation can be shared across engines.  The compiled view references
+// the source Netlist (for cell names and bus bindings) and snapshots its
+// structure: mutating the Netlist after compiling invalidates the
+// CompiledNetlist.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/netlist.h"
+
+namespace af::hw {
+
+class CompiledNetlist {
+ public:
+  explicit CompiledNetlist(const Netlist& nl);
+
+  const Netlist& netlist() const { return nl_; }
+  int num_nets() const { return num_nets_; }
+  int num_cells() const { return num_cells_; }
+
+  // --- flat per-cell structure -------------------------------------------
+
+  CellType cell_type(int ci) const {
+    return types_[static_cast<std::size_t>(ci)];
+  }
+  const NetId* cell_inputs(int ci) const {
+    return pins_in_.data() + in_offset_[static_cast<std::size_t>(ci)];
+  }
+  int num_cell_inputs(int ci) const {
+    return in_offset_[static_cast<std::size_t>(ci) + 1] -
+           in_offset_[static_cast<std::size_t>(ci)];
+  }
+  const NetId* cell_outputs(int ci) const {
+    return pins_out_.data() + out_offset_[static_cast<std::size_t>(ci)];
+  }
+  int num_cell_outputs(int ci) const {
+    return out_offset_[static_cast<std::size_t>(ci) + 1] -
+           out_offset_[static_cast<std::size_t>(ci)];
+  }
+
+  // --- levelized schedule -------------------------------------------------
+
+  // Logic depth of a combinational cell: 0 for TIE cells, otherwise
+  // 1 + max depth over driving cells (DFF / primary-input drivers count as
+  // depth 0).  -1 for DFFs, which are not part of the combinational
+  // schedule.
+  int level_of(int ci) const { return level_[static_cast<std::size_t>(ci)]; }
+  int num_levels() const {
+    return static_cast<int>(level_offset_.size()) - 1;
+  }
+  // All combinational cells (TIEs included) in ascending level order; a
+  // valid topological order of the combinational subgraph.
+  const std::vector<int>& schedule() const { return schedule_; }
+  const int* level_cells(int level) const {
+    return schedule_.data() + level_offset_[static_cast<std::size_t>(level)];
+  }
+  int level_size(int level) const {
+    return level_offset_[static_cast<std::size_t>(level) + 1] -
+           level_offset_[static_cast<std::size_t>(level)];
+  }
+
+  // DFF cell indices, in cell order.
+  const std::vector<int>& dff_cells() const { return dff_cells_; }
+
+  // Full topological order over every cell (DFFs first, then the levelized
+  // combinational schedule).  Used by full-order evaluation and STA.
+  const std::vector<int>& full_order() const { return full_order_; }
+
+  // --- CSR net -> combinational fanout ------------------------------------
+
+  // Combinational cells with at least one input pin on `net`; each cell
+  // appears once.  DFF consumers are excluded: a D pin is only sampled at a
+  // clock edge, so a data change never forces combinational re-evaluation.
+  const int* fanout_cells(NetId net) const {
+    return fanout_cells_.data() + fanout_offset_[static_cast<std::size_t>(net)];
+  }
+  int fanout_size(NetId net) const {
+    return fanout_offset_[static_cast<std::size_t>(net) + 1] -
+           fanout_offset_[static_cast<std::size_t>(net)];
+  }
+
+ private:
+  const Netlist& nl_;
+  int num_nets_ = 0;
+  int num_cells_ = 0;
+
+  std::vector<CellType> types_;
+  std::vector<std::int32_t> in_offset_;   // size num_cells + 1
+  std::vector<std::int32_t> out_offset_;  // size num_cells + 1
+  std::vector<NetId> pins_in_;
+  std::vector<NetId> pins_out_;
+
+  std::vector<int> level_;         // per cell; -1 for DFFs
+  std::vector<int> schedule_;      // combinational cells by ascending level
+  std::vector<std::int32_t> level_offset_;  // size num_levels + 1
+  std::vector<int> dff_cells_;
+  std::vector<int> full_order_;
+
+  std::vector<std::int32_t> fanout_offset_;  // size num_nets + 1
+  std::vector<int> fanout_cells_;
+};
+
+}  // namespace af::hw

@@ -1,79 +1,266 @@
 #include "hw/netlist_sim.h"
 
+#include <bit>
 #include <numeric>
 
+#include "util/math.h"
 #include "util/status.h"
 
 namespace af::hw {
+namespace {
 
-NetlistSim::NetlistSim(const Netlist& nl)
-    : nl_(nl),
-      values_(static_cast<std::size_t>(nl.num_nets()), 0),
-      dff_state_(static_cast<std::size_t>(nl.num_cells()), 0),
-      toggles_(static_cast<std::size_t>(nl.num_cells()), 0) {}
+inline std::uint64_t broadcast(bool v) { return v ? ~std::uint64_t{0} : 0; }
+
+}  // namespace
+
+NetlistSim::NetlistSim(const Netlist& nl, SimEngine engine)
+    : owned_(std::make_unique<CompiledNetlist>(nl)),
+      cn_(*owned_),
+      engine_(engine),
+      values_(static_cast<std::size_t>(cn_.num_nets()), 0),
+      dff_state_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      toggles_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      dirty_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      dirty_levels_(static_cast<std::size_t>(cn_.num_levels())),
+      dff_pending_(static_cast<std::size_t>(cn_.num_cells()), 0) {}
+
+NetlistSim::NetlistSim(const CompiledNetlist& cn, SimEngine engine)
+    : cn_(cn),
+      engine_(engine),
+      values_(static_cast<std::size_t>(cn_.num_nets()), 0),
+      dff_state_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      toggles_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      dirty_(static_cast<std::size_t>(cn_.num_cells()), 0),
+      dirty_levels_(static_cast<std::size_t>(cn_.num_levels())),
+      dff_pending_(static_cast<std::size_t>(cn_.num_cells()), 0) {}
 
 const Bus& NetlistSim::find_bus(const std::string& name) const {
-  const auto in_it = nl_.inputs().find(name);
-  if (in_it != nl_.inputs().end()) return in_it->second;
-  const auto out_it = nl_.outputs().find(name);
-  AF_CHECK(out_it != nl_.outputs().end(), "unknown bus '" << name << "'");
+  const Netlist& nl = cn_.netlist();
+  const auto in_it = nl.inputs().find(name);
+  if (in_it != nl.inputs().end()) return in_it->second;
+  const auto out_it = nl.outputs().find(name);
+  AF_CHECK(out_it != nl.outputs().end(), "unknown bus '" << name << "'");
   return out_it->second;
 }
 
+void NetlistSim::mark_fanout(NetId net) {
+  const int* fan = cn_.fanout_cells(net);
+  const int n = cn_.fanout_size(net);
+  for (int i = 0; i < n; ++i) {
+    const int ci = fan[i];
+    if (!dirty_[static_cast<std::size_t>(ci)]) {
+      dirty_[static_cast<std::size_t>(ci)] = 1;
+      dirty_levels_[static_cast<std::size_t>(cn_.level_of(ci))].push_back(ci);
+    }
+  }
+}
+
+void NetlistSim::set_input_word(NetId net, std::uint64_t word) {
+  std::uint64_t& slot = values_[static_cast<std::size_t>(net)];
+  if (slot == word) return;
+  slot = word;
+  if (engine_ == SimEngine::kEventDriven && !first_eval_) mark_fanout(net);
+}
+
 void NetlistSim::set_input(const std::string& bus, const BitVec& value) {
-  const Bus& nets = nl_.input(bus);
+  const Bus& nets = cn_.netlist().input(bus);
   AF_CHECK(value.width() == static_cast<int>(nets.size()),
            "bus '" << bus << "' width " << nets.size()
                    << " != value width " << value.width());
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    values_[static_cast<std::size_t>(nets[i])] =
-        value.bit(static_cast<int>(i)) ? 1 : 0;
+    set_input_word(nets[i], broadcast(value.bit(static_cast<int>(i))));
   }
 }
 
 void NetlistSim::set_input_u64(const std::string& bus, std::uint64_t value) {
-  const Bus& nets = nl_.input(bus);
+  const Bus& nets = cn_.netlist().input(bus);
   AF_CHECK(nets.size() <= 64, "bus '" << bus << "' wider than 64 bits");
   set_input(bus, BitVec(static_cast<int>(nets.size()), value));
 }
 
-void NetlistSim::eval() {
+void NetlistSim::set_input_lanes(const std::string& bus,
+                                 const std::uint64_t* values, int n) {
+  AF_CHECK(engine_ == SimEngine::kEventDriven,
+           "set_input_lanes requires the event-driven engine");
+  AF_CHECK(n >= 1 && n <= kLanes, "lane count " << n << " out of range");
+  const Bus& nets = cn_.netlist().input(bus);
+  AF_CHECK(nets.size() <= 64, "bus '" << bus << "' wider than 64 bits");
+  // Transpose: bit i of lane value l becomes lane bit l of net i's word.
+  // Lanes beyond n replicate the last vector so they never toggle on their
+  // own.
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    std::uint64_t word = 0;
+    for (int l = 0; l < n; ++l) {
+      word |= ((values[l] >> i) & 1u) << l;
+    }
+    if (((values[n - 1] >> i) & 1u) != 0 && n < kLanes) {
+      word |= ~mask_low_bits(n);
+    }
+    set_input_word(nets[i], word);
+  }
+}
+
+void NetlistSim::set_input_lanes(const std::string& bus,
+                                 const std::vector<std::uint64_t>& values) {
+  set_input_lanes(bus, values.data(), static_cast<int>(values.size()));
+}
+
+void NetlistSim::set_active_lanes(int n) {
+  AF_CHECK(n >= 1 && n <= kLanes, "active lane count " << n << " out of range");
+  AF_CHECK(engine_ == SimEngine::kEventDriven || n == 1,
+           "the reference engine is scalar (1 lane)");
+  lane_mask_ = mask_low_bits(n);
+}
+
+int NetlistSim::active_lanes() const { return std::popcount(lane_mask_); }
+
+void NetlistSim::mark_dff_pending(int cell_index) {
+  if (!dff_pending_[static_cast<std::size_t>(cell_index)]) {
+    dff_pending_[static_cast<std::size_t>(cell_index)] = 1;
+    pending_dffs_.push_back(cell_index);
+  }
+}
+
+void NetlistSim::first_full_pass() {
+  // Establish the baseline: evaluate every cell once, counting no toggles
+  // (matches the reference engine's first eval).
+  std::uint64_t in[4];
+  std::uint64_t out[2];
+  for (const int ci : cn_.dff_cells()) {
+    const NetId q = cn_.cell_outputs(ci)[0];
+    values_[static_cast<std::size_t>(q)] =
+        dff_state_[static_cast<std::size_t>(ci)];
+  }
+  for (const int ci : cn_.schedule()) {
+    const NetId* ins = cn_.cell_inputs(ci);
+    const int n_in = cn_.num_cell_inputs(ci);
+    for (int i = 0; i < n_in; ++i) {
+      in[i] = values_[static_cast<std::size_t>(ins[i])];
+    }
+    eval_cell_u64(cn_.cell_type(ci), in, out);
+    const NetId* outs = cn_.cell_outputs(ci);
+    const int n_out = cn_.num_cell_outputs(ci);
+    for (int i = 0; i < n_out; ++i) {
+      values_[static_cast<std::size_t>(outs[i])] = out[i];
+    }
+    ++cells_evaluated_;
+  }
+  // Any events recorded before the first eval are subsumed by the full pass.
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  for (auto& bucket : dirty_levels_) bucket.clear();
+  std::fill(dff_pending_.begin(), dff_pending_.end(), 0);
+  pending_dffs_.clear();
+  first_eval_ = false;
+}
+
+void NetlistSim::eval_event_driven() {
+  if (first_eval_) {
+    first_full_pass();
+    return;
+  }
+
+  // Present freshly latched / forced DFF states on their Q nets.
+  for (const int ci : pending_dffs_) {
+    dff_pending_[static_cast<std::size_t>(ci)] = 0;
+    const NetId q = cn_.cell_outputs(ci)[0];
+    const std::uint64_t prev = values_[static_cast<std::size_t>(q)];
+    const std::uint64_t next = dff_state_[static_cast<std::size_t>(ci)];
+    if (prev == next) continue;
+    toggles_[static_cast<std::size_t>(ci)] +=
+        static_cast<std::uint64_t>(std::popcount((prev ^ next) & lane_mask_));
+    values_[static_cast<std::size_t>(q)] = next;
+    mark_fanout(q);
+  }
+  pending_dffs_.clear();
+
+  // Level-ordered wavefront: a cell's fanout always sits on a deeper level,
+  // so each dirty cell evaluates exactly once per eval.
+  std::uint64_t in[4];
+  std::uint64_t out[2];
+  const int num_levels = cn_.num_levels();
+  for (int lev = 0; lev < num_levels; ++lev) {
+    std::vector<int>& bucket = dirty_levels_[static_cast<std::size_t>(lev)];
+    for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
+      const int ci = bucket[bi];
+      dirty_[static_cast<std::size_t>(ci)] = 0;
+      const NetId* ins = cn_.cell_inputs(ci);
+      const int n_in = cn_.num_cell_inputs(ci);
+      for (int i = 0; i < n_in; ++i) {
+        in[i] = values_[static_cast<std::size_t>(ins[i])];
+      }
+      eval_cell_u64(cn_.cell_type(ci), in, out);
+      ++cells_evaluated_;
+      const NetId* outs = cn_.cell_outputs(ci);
+      const int n_out = cn_.num_cell_outputs(ci);
+      for (int i = 0; i < n_out; ++i) {
+        const NetId n = outs[i];
+        const std::uint64_t prev = values_[static_cast<std::size_t>(n)];
+        if (prev == out[i]) continue;
+        toggles_[static_cast<std::size_t>(ci)] += static_cast<std::uint64_t>(
+            std::popcount((prev ^ out[i]) & lane_mask_));
+        values_[static_cast<std::size_t>(n)] = out[i];
+        mark_fanout(n);
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void NetlistSim::eval_reference() {
+  // The seed algorithm: one scalar lane, full topological order per eval.
   bool in[4];
   bool out[2];
-  for (const int ci : nl_.topo_order()) {
-    const Cell& cell = nl_.cell(ci);
-    if (cell.type == CellType::kDff) {
+  for (const int ci : cn_.full_order()) {
+    const CellType type = cn_.cell_type(ci);
+    if (type == CellType::kDff) {
       // The DFF output shows the stored state, not the D input.
-      const NetId q = cell.outputs[0];
-      const bool prev = values_[static_cast<std::size_t>(q)] != 0;
-      const bool next = dff_state_[static_cast<std::size_t>(ci)] != 0;
+      const NetId q = cn_.cell_outputs(ci)[0];
+      const bool prev = (values_[static_cast<std::size_t>(q)] & 1u) != 0;
+      const bool next = (dff_state_[static_cast<std::size_t>(ci)] & 1u) != 0;
       if (!first_eval_ && prev != next) ++toggles_[static_cast<std::size_t>(ci)];
-      values_[static_cast<std::size_t>(q)] = next ? 1 : 0;
+      values_[static_cast<std::size_t>(q)] = broadcast(next);
       continue;
     }
-    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
-      in[i] = values_[static_cast<std::size_t>(cell.inputs[i])] != 0;
+    const NetId* ins = cn_.cell_inputs(ci);
+    const int n_in = cn_.num_cell_inputs(ci);
+    for (int i = 0; i < n_in; ++i) {
+      in[i] = (values_[static_cast<std::size_t>(ins[i])] & 1u) != 0;
     }
-    eval_cell(cell.type, in, out);
-    for (std::size_t i = 0; i < cell.outputs.size(); ++i) {
-      const NetId n = cell.outputs[i];
-      const bool prev = values_[static_cast<std::size_t>(n)] != 0;
+    eval_cell(type, in, out);
+    ++cells_evaluated_;
+    const NetId* outs = cn_.cell_outputs(ci);
+    const int n_out = cn_.num_cell_outputs(ci);
+    for (int i = 0; i < n_out; ++i) {
+      const NetId n = outs[i];
+      const bool prev = (values_[static_cast<std::size_t>(n)] & 1u) != 0;
       if (!first_eval_ && prev != out[i]) {
         ++toggles_[static_cast<std::size_t>(ci)];
       }
-      values_[static_cast<std::size_t>(n)] = out[i] ? 1 : 0;
+      values_[static_cast<std::size_t>(n)] = broadcast(out[i]);
     }
   }
   first_eval_ = false;
 }
 
+void NetlistSim::eval() {
+  if (engine_ == SimEngine::kEventDriven) {
+    eval_event_driven();
+  } else {
+    eval_reference();
+  }
+}
+
 void NetlistSim::step() {
   eval();
-  for (int ci = 0; ci < nl_.num_cells(); ++ci) {
-    const Cell& cell = nl_.cell(ci);
-    if (cell.type != CellType::kDff) continue;
-    dff_state_[static_cast<std::size_t>(ci)] =
-        values_[static_cast<std::size_t>(cell.inputs[0])];
+  // Latch from the precomputed DFF list (the seed scanned every cell here).
+  for (const int ci : cn_.dff_cells()) {
+    const NetId d = cn_.cell_inputs(ci)[0];
+    const std::uint64_t next = values_[static_cast<std::size_t>(d)];
+    dff_state_[static_cast<std::size_t>(ci)] = next;
+    if (engine_ == SimEngine::kEventDriven &&
+        next != values_[static_cast<std::size_t>(cn_.cell_outputs(ci)[0])]) {
+      mark_dff_pending(ci);
+    }
   }
 }
 
@@ -82,7 +269,7 @@ BitVec NetlistSim::get(const std::string& bus) const {
   BitVec out(static_cast<int>(nets.size()));
   for (std::size_t i = 0; i < nets.size(); ++i) {
     out.set_bit(static_cast<int>(i),
-                values_[static_cast<std::size_t>(nets[i])] != 0);
+                (values_[static_cast<std::size_t>(nets[i])] & 1u) != 0);
   }
   return out;
 }
@@ -91,17 +278,38 @@ std::uint64_t NetlistSim::get_u64(const std::string& bus) const {
   return get(bus).to_u64();
 }
 
-bool NetlistSim::net_value(NetId net) const {
-  AF_CHECK(net >= 0 && net < nl_.num_nets(), "net out of range");
-  return values_[static_cast<std::size_t>(net)] != 0;
+std::uint64_t NetlistSim::get_u64_lane(const std::string& bus,
+                                       int lane) const {
+  AF_CHECK(lane >= 0 && lane < kLanes, "lane " << lane << " out of range");
+  const Bus& nets = find_bus(bus);
+  AF_CHECK(nets.size() <= 64, "bus '" << bus << "' wider than 64 bits");
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    out |= ((values_[static_cast<std::size_t>(nets[i])] >> lane) & 1u) << i;
+  }
+  return out;
+}
+
+bool NetlistSim::net_value(NetId net) const { return net_value_lane(net, 0); }
+
+bool NetlistSim::net_value_lane(NetId net, int lane) const {
+  AF_CHECK(net >= 0 && net < cn_.num_nets(), "net out of range");
+  AF_CHECK(lane >= 0 && lane < kLanes, "lane " << lane << " out of range");
+  return ((values_[static_cast<std::size_t>(net)] >> lane) & 1u) != 0;
 }
 
 void NetlistSim::set_dff_state(int cell_index, bool value) {
-  AF_CHECK(cell_index >= 0 && cell_index < nl_.num_cells(),
+  AF_CHECK(cell_index >= 0 && cell_index < cn_.num_cells(),
            "cell index out of range");
-  AF_CHECK(nl_.cell(cell_index).type == CellType::kDff,
+  AF_CHECK(cn_.cell_type(cell_index) == CellType::kDff,
            "cell " << cell_index << " is not a DFF");
-  dff_state_[static_cast<std::size_t>(cell_index)] = value ? 1 : 0;
+  const std::uint64_t next = broadcast(value);
+  dff_state_[static_cast<std::size_t>(cell_index)] = next;
+  if (engine_ == SimEngine::kEventDriven &&
+      next !=
+          values_[static_cast<std::size_t>(cn_.cell_outputs(cell_index)[0])]) {
+    mark_dff_pending(cell_index);
+  }
 }
 
 std::uint64_t NetlistSim::total_toggles() const {

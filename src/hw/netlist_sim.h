@@ -3,29 +3,69 @@
 // Used to verify that the datapath builders are logically correct: the
 // generated Wallace multiplier must multiply, the Brent–Kung adder must add,
 // the carry-save column must preserve sums.  Also counts toggles per cell,
-// which feeds the netlist-level power model.
+// which feeds the netlist-level power model (the SAIF/VCD analog of the
+// paper's toggle-annotated power numbers).
+//
+// Two engines share one interface:
+//
+//   * SimEngine::kEventDriven (default) — compiled, event-driven, 64-lane
+//     bit-parallel.  Nets carry a uint64_t word whose bit `l` is stimulus
+//     lane `l`, so one eval() applies up to 64 independent input vectors;
+//     toggles accumulate via popcount over the active lanes.  eval() sweeps
+//     a dirty-cell wavefront through the CompiledNetlist's CSR fanout in
+//     level order, so steady-state cost is proportional to switching
+//     activity, not design size, and every cell evaluates at most once.
+//
+//   * SimEngine::kReferenceFullOrder — the original engine: re-evaluates
+//     the entire topological order per eval(), one scalar lane.  Kept as
+//     the equivalence oracle and the baseline for bench_netlist_sim.
+//
+// The scalar API (set_input / get / net_value / set_dff_state) broadcasts
+// to all lanes and reads lane 0, so scalar callers behave identically on
+// both engines, per-cell toggle counts included.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hw/bitvec.h"
+#include "hw/compiled_netlist.h"
 #include "hw/netlist.h"
 
 namespace af::hw {
 
+enum class SimEngine : std::uint8_t {
+  kEventDriven,        // compiled + event-driven + 64-lane bit-parallel
+  kReferenceFullOrder, // full topological order, one scalar lane (oracle)
+};
+
 class NetlistSim {
  public:
-  explicit NetlistSim(const Netlist& nl);
+  // Number of independent stimulus lanes carried per net.
+  static constexpr int kLanes = 64;
+
+  // Compiles the netlist privately.
+  explicit NetlistSim(const Netlist& nl,
+                      SimEngine engine = SimEngine::kEventDriven);
+  // Shares an existing compilation (e.g. with Sta or other sims); the
+  // CompiledNetlist must outlive the simulator.
+  explicit NetlistSim(const CompiledNetlist& cn,
+                      SimEngine engine = SimEngine::kEventDriven);
+
+  SimEngine engine() const { return engine_; }
+  const CompiledNetlist& compiled() const { return cn_; }
+
+  // --- scalar API (value broadcast to every lane; reads observe lane 0) ---
 
   // Assign a primary input bus (LSB-first from the low bits of `value`).
   void set_input(const std::string& bus, const BitVec& value);
   void set_input_u64(const std::string& bus, std::uint64_t value);
 
-  // Re-evaluate all combinational logic from the current inputs and DFF
-  // states.  Counts toggles relative to the previous evaluation.
+  // Re-evaluate combinational logic from the current inputs and DFF states.
+  // Counts toggles relative to the previous evaluation.
   void eval();
 
   // eval(), then latch every DFF: q <- d.  Models one clock edge.
@@ -40,20 +80,64 @@ class NetlistSim {
   // Force a DFF state (by cell index); used to initialize registers.
   void set_dff_state(int cell_index, bool value);
 
-  // Toggle counters: number of output transitions observed per cell since
-  // construction or reset_activity().
+  // --- 64-lane API (event-driven engine only) -----------------------------
+
+  // Load `n` (1..64) stimulus vectors onto an input bus: values[l] is the
+  // bus value for lane l.  Lanes n..63 replicate values[n-1] so inactive
+  // lanes never generate spurious events.
+  void set_input_lanes(const std::string& bus, const std::uint64_t* values,
+                       int n);
+  void set_input_lanes(const std::string& bus,
+                       const std::vector<std::uint64_t>& values);
+
+  // Number of lanes whose transitions count toward toggles() (default 1, so
+  // scalar use matches the reference engine exactly).
+  void set_active_lanes(int n);
+  int active_lanes() const;
+
+  std::uint64_t get_u64_lane(const std::string& bus, int lane) const;
+  bool net_value_lane(NetId net, int lane) const;
+
+  // --- activity ------------------------------------------------------------
+
+  // Toggle counters: number of output transitions observed per cell, summed
+  // over the active lanes, since construction or reset_activity().
   const std::vector<std::uint64_t>& toggles() const { return toggles_; }
   std::uint64_t total_toggles() const;
   void reset_activity();
 
+  // Diagnostic: cell evaluations performed so far (word-wide in the
+  // event-driven engine, scalar in the reference engine).  Event-driven
+  // evals of a quiet design should barely move this counter.
+  std::uint64_t cells_evaluated() const { return cells_evaluated_; }
+
  private:
   const Bus& find_bus(const std::string& name) const;
+  void set_input_word(NetId net, std::uint64_t word);
+  void mark_fanout(NetId net);
+  void mark_dff_pending(int cell_index);
+  void eval_event_driven();
+  void eval_reference();
+  void first_full_pass();
 
-  const Netlist& nl_;
-  std::vector<std::uint8_t> values_;       // per net
-  std::vector<std::uint8_t> dff_state_;    // per cell (only DFFs meaningful)
-  std::vector<std::uint64_t> toggles_;     // per cell
+  std::unique_ptr<const CompiledNetlist> owned_;
+  const CompiledNetlist& cn_;
+  SimEngine engine_;
+
+  std::vector<std::uint64_t> values_;     // per net, one bit per lane
+  std::vector<std::uint64_t> dff_state_;  // per cell (only DFFs meaningful)
+  std::vector<std::uint64_t> toggles_;    // per cell
+  std::uint64_t lane_mask_ = 1;           // active lanes for toggle counting
   bool first_eval_ = true;
+  std::uint64_t cells_evaluated_ = 0;
+
+  // Event-driven machinery: per-cell dirty flags plus per-level worklists
+  // (fanout always lands on a strictly deeper level, so one ascending sweep
+  // evaluates each dirty cell exactly once).
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::vector<int>> dirty_levels_;
+  std::vector<int> pending_dffs_;  // DFFs whose q must present a new state
+  std::vector<std::uint8_t> dff_pending_;
 };
 
 }  // namespace af::hw

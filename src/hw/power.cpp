@@ -53,6 +53,13 @@ PowerBreakdown power_from_activity(const Netlist& nl,
   return out;
 }
 
+PowerBreakdown power_from_activity(const CompiledNetlist& cn,
+                                   const std::vector<std::uint64_t>& toggles,
+                                   std::uint64_t cycles,
+                                   const PowerOptions& options) {
+  return power_from_activity(cn.netlist(), toggles, cycles, options);
+}
+
 PowerBreakdown power_from_factors(
     const Netlist& nl, double activity,
     const std::map<std::string, double>& group_activity,

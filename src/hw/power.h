@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/compiled_netlist.h"
 #include "hw/netlist.h"
 
 namespace af::hw {
@@ -38,8 +39,18 @@ struct PowerOptions {
 };
 
 // Simulation-driven: `toggles` is per-cell output-transition counts observed
-// over `cycles` evaluated clock cycles.
+// over `cycles` evaluated clock cycles.  With the 64-lane simulator,
+// `cycles` is evals x active lanes (each lane is an independent stimulus
+// stream contributing one cycle per eval).
 PowerBreakdown power_from_activity(const Netlist& nl,
+                                   const std::vector<std::uint64_t>& toggles,
+                                   std::uint64_t cycles,
+                                   const PowerOptions& options);
+
+// Convenience overload for callers already holding the compilation their
+// simulator ran on (pricing itself only walks the cell list, so this simply
+// forwards to the Netlist form).
+PowerBreakdown power_from_activity(const CompiledNetlist& cn,
                                    const std::vector<std::uint64_t>& toggles,
                                    std::uint64_t cycles,
                                    const PowerOptions& options);

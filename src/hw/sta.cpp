@@ -12,14 +12,22 @@ constexpr double kMinusInf = -std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-Sta::Sta(const Netlist& nl, const Technology& tech) : nl_(nl), tech_(tech) {}
+Sta::Sta(const Netlist& nl, const Technology& tech)
+    : owned_(std::make_unique<CompiledNetlist>(nl)),
+      cn_(*owned_),
+      tech_(tech) {}
+
+Sta::Sta(const CompiledNetlist& cn, const Technology& tech)
+    : cn_(cn), tech_(tech) {}
 
 void Sta::add_false_path_prefix(const std::string& prefix) {
   false_prefixes_.push_back(prefix);
 }
 
 TimingReport Sta::run() const {
-  const int num_nets = nl_.num_nets();
+  const Netlist& nl = cn_.netlist();
+  const int num_nets = cn_.num_nets();
+  const int num_cells = cn_.num_cells();
   // arrival[n]: worst data arrival time at net n; -inf = unreachable
   // (undriven or only reachable through excluded cells).
   std::vector<double> arrival(static_cast<std::size_t>(num_nets), kMinusInf);
@@ -27,47 +35,62 @@ TimingReport Sta::run() const {
   std::vector<int> from_cell(static_cast<std::size_t>(num_nets),
                              Netlist::kNoCell);
 
-  for (const auto& [name, bus] : nl_.inputs()) {
+  for (const auto& [name, bus] : nl.inputs()) {
     for (const NetId n : bus) {
       arrival[static_cast<std::size_t>(n)] = input_arrival_ps_;
     }
   }
 
-  const auto is_false = [&](const std::string& cell_name) {
-    return std::any_of(false_prefixes_.begin(), false_prefixes_.end(),
-                       [&](const std::string& p) {
-                         return starts_with(cell_name, p);
-                       });
+  // Resolve false-path prefixes against cell names once per run instead of
+  // per visit.
+  std::vector<std::uint8_t> excluded;
+  if (!false_prefixes_.empty()) {
+    excluded.assign(static_cast<std::size_t>(num_cells), 0);
+    for (int ci = 0; ci < num_cells; ++ci) {
+      const std::string& name = nl.cell(ci).name;
+      for (const std::string& p : false_prefixes_) {
+        if (starts_with(name, p)) {
+          excluded[static_cast<std::size_t>(ci)] = 1;
+          break;
+        }
+      }
+    }
+  }
+  const auto is_false = [&](int ci) {
+    return !excluded.empty() && excluded[static_cast<std::size_t>(ci)] != 0;
   };
 
-  for (const int ci : nl_.topo_order()) {
-    const Cell& cell = nl_.cell(ci);
-    if (is_false(cell.name)) continue;
+  for (const int ci : cn_.full_order()) {
+    if (is_false(ci)) continue;
+    const CellType type = cn_.cell_type(ci);
 
-    if (cell.type == CellType::kDff) {
+    if (type == CellType::kDff) {
       // Launch point: Q is valid clk-to-q after the edge.
-      const NetId q = cell.outputs[0];
+      const NetId q = cn_.cell_outputs(ci)[0];
       if (tech_.scaled_clk_to_q_ps() > arrival[static_cast<std::size_t>(q)]) {
         arrival[static_cast<std::size_t>(q)] = tech_.scaled_clk_to_q_ps();
         from_cell[static_cast<std::size_t>(q)] = ci;
       }
       continue;
     }
-    if (cell.type == CellType::kTie0 || cell.type == CellType::kTie1) {
+    if (type == CellType::kTie0 || type == CellType::kTie1) {
       // Constants are timing-stable; they never launch a path.
       continue;
     }
 
+    const NetId* ins = cn_.cell_inputs(ci);
+    const int n_in = cn_.num_cell_inputs(ci);
     double worst_in = kMinusInf;
-    for (const NetId n : cell.inputs) {
-      worst_in = std::max(worst_in, arrival[static_cast<std::size_t>(n)]);
+    for (int i = 0; i < n_in; ++i) {
+      worst_in = std::max(worst_in, arrival[static_cast<std::size_t>(ins[i])]);
     }
     if (worst_in == kMinusInf) continue;  // feeds only from excluded logic
 
-    for (std::size_t oi = 0; oi < cell.outputs.size(); ++oi) {
-      const double t =
-          worst_in + tech_.scaled_delay_ps(cell.type, static_cast<int>(oi));
-      const NetId n = cell.outputs[oi];
+    const NetId* outs = cn_.cell_outputs(ci);
+    const int n_out = cn_.num_cell_outputs(ci);
+    for (int oi = 0; oi < n_out; ++oi) {
+      const double t = worst_in + tech_.scaled_delay_ps(type, oi);
+      const NetId n = outs[oi];
       if (t > arrival[static_cast<std::size_t>(n)]) {
         arrival[static_cast<std::size_t>(n)] = t;
         from_cell[static_cast<std::size_t>(n)] = ci;
@@ -81,7 +104,7 @@ TimingReport Sta::run() const {
   NetId worst_net = kNoNet;
   std::string endpoint = "none";
 
-  for (const auto& [name, bus] : nl_.outputs()) {
+  for (const auto& [name, bus] : nl.outputs()) {
     for (const NetId n : bus) {
       const double t = arrival[static_cast<std::size_t>(n)];
       if (t != kMinusInf && t > worst) {
@@ -91,17 +114,16 @@ TimingReport Sta::run() const {
       }
     }
   }
-  for (int ci = 0; ci < nl_.num_cells(); ++ci) {
-    const Cell& cell = nl_.cell(ci);
-    if (cell.type != CellType::kDff || is_false(cell.name)) continue;
-    const NetId d = cell.inputs[0];
+  for (const int ci : cn_.dff_cells()) {
+    if (is_false(ci)) continue;
+    const NetId d = cn_.cell_inputs(ci)[0];
     const double t = arrival[static_cast<std::size_t>(d)];
     if (t == kMinusInf) continue;
     const double required = t + tech_.scaled_setup_ps();
     if (required > worst) {
       worst = required;
       worst_net = d;
-      endpoint = "dff:" + cell.name;
+      endpoint = "dff:" + nl.cell(ci).name;
     }
   }
 
@@ -114,7 +136,7 @@ TimingReport Sta::run() const {
   while (n != kNoNet) {
     const int ci = from_cell[static_cast<std::size_t>(n)];
     if (ci == Netlist::kNoCell) break;
-    const Cell& cell = nl_.cell(ci);
+    const Cell& cell = nl.cell(ci);
     path.push_back(TimingPathStep{cell.name, cell_type_name(cell.type),
                                   arrival[static_cast<std::size_t>(n)]});
     if (cell.type == CellType::kDff) break;  // reached a launch point

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hw/cells.h"
+#include "hw/compiled_netlist.h"
 #include "hw/netlist.h"
 
 namespace af::hw {
@@ -43,7 +45,11 @@ struct TimingReport {
 
 class Sta {
  public:
-  explicit Sta(const Netlist& nl, const Technology& tech);
+  // Compiles the netlist privately.
+  Sta(const Netlist& nl, const Technology& tech);
+  // Shares an existing compilation (e.g. with NetlistSim); the
+  // CompiledNetlist must outlive the analyzer.
+  Sta(const CompiledNetlist& cn, const Technology& tech);
 
   // Exclude every cell whose hierarchical name starts with `prefix` from
   // timing propagation (false path / disabled arc).
@@ -57,7 +63,8 @@ class Sta {
   TimingReport run() const;
 
  private:
-  const Netlist& nl_;
+  std::unique_ptr<const CompiledNetlist> owned_;
+  const CompiledNetlist& cn_;
   const Technology& tech_;
   std::vector<std::string> false_prefixes_;
   double input_arrival_ps_ = 0.0;

@@ -35,4 +35,11 @@ constexpr bool is_power_of_two(std::uint64_t x) {
   return x != 0 && (x & (x - 1)) == 0;
 }
 
+// Mask with the low `bits` bits set; bits >= 64 yields all ones (avoiding
+// the undefined 64-bit shift).
+constexpr std::uint64_t mask_low_bits(int bits) {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << bits) - 1);
+}
+
 }  // namespace af

@@ -4,6 +4,7 @@
 
 #include "hw/area.h"
 #include "hw/builders/pe_datapath.h"
+#include "hw/compiled_netlist.h"
 #include "hw/netlist.h"
 #include "hw/netlist_sim.h"
 #include "hw/power.h"
@@ -80,7 +81,9 @@ TEST(PowerTest, ActivityDrivenPowerCountsToggles) {
   nl.bind_output("y", y);
   nl.add_cell(CellType::kInv, "i", {a[0]}, {y[0]});
 
-  NetlistSim sim(nl);
+  // One compilation shared by the simulator and the power query.
+  const CompiledNetlist cn(nl);
+  NetlistSim sim(cn);
   sim.set_input_u64("a", 0);
   sim.eval();
   for (int cycle = 0; cycle < 10; ++cycle) {
@@ -90,7 +93,7 @@ TEST(PowerTest, ActivityDrivenPowerCountsToggles) {
   PowerOptions opt;
   opt.frequency_ghz = 2.0;
   const PowerBreakdown p =
-      power_from_activity(nl, sim.toggles(), 10, opt);
+      power_from_activity(cn, sim.toggles(), 10, opt);
   // The input alternates 0,1,0,... starting from a 0 baseline: 9 output
   // transitions over 10 cycles = alpha 0.9: P = 0.9 * E * f.
   EXPECT_NEAR(p.dynamic_mw,

@@ -1,0 +1,86 @@
+// Monte-Carlo energy characterization: simulation-derived EnergyParams must
+// be deterministic, physically sensible, and plug into the array power model.
+
+#include <gtest/gtest.h>
+
+#include "arch/clocking.h"
+#include "arch/power_model.h"
+#include "hw/energy_characterization.h"
+
+namespace af::hw {
+namespace {
+
+EnergyCharacterizationOptions small_options() {
+  EnergyCharacterizationOptions opt;
+  opt.input_bits = 8;
+  opt.acc_bits = 20;
+  opt.cycles = 64;
+  return opt;
+}
+
+TEST(EnergyCharacterizationTest, MeasuredFieldsArePositiveAndOrdered) {
+  const CharacterizedEnergy ch = characterize_energy(small_options());
+  EXPECT_GT(ch.cells, 0);
+  EXPECT_GT(ch.total_toggles, 0u);
+  EXPECT_GT(ch.params.e_mult_fj, 0.0);
+  EXPECT_GT(ch.params.e_csa_fj, 0.0);
+  EXPECT_GT(ch.params.e_cpa_fj, 0.0);
+  EXPECT_GT(ch.params.e_bypass_mux_fj, 0.0);
+  EXPECT_GT(ch.params.e_reg_bit_fj, 0.0);
+  EXPECT_GT(ch.params.leak_mw_per_pe, 0.0);
+  // The multiplier dominates the per-op datapath energy; a 3:2 CSA row is a
+  // single FA per bit and must come in well below it.
+  EXPECT_GT(ch.params.e_mult_fj, ch.params.e_csa_fj);
+  // A register bit's data energy cannot exceed one DFF transition.
+  EXPECT_LE(ch.params.e_reg_bit_fj,
+            cell_info(CellType::kDff).switch_energy_fj);
+}
+
+TEST(EnergyCharacterizationTest, UnobservableFieldsCarryOverFromBase) {
+  arch::EnergyParams base = arch::EnergyParams::generic28nm();
+  base.e_acc_fj = 123.0;
+  base.glitch_per_stage = 0.21;
+  base.clock_trunk_fraction = 0.4;
+  const CharacterizedEnergy ch = characterize_energy(small_options(), base);
+  EXPECT_DOUBLE_EQ(ch.params.e_acc_fj, 123.0);
+  EXPECT_DOUBLE_EQ(ch.params.glitch_per_stage, 0.21);
+  EXPECT_DOUBLE_EQ(ch.params.clock_trunk_fraction, 0.4);
+  // Clock pin energy comes straight from the cell library.
+  EXPECT_DOUBLE_EQ(ch.params.e_clk_bit_fj,
+                   cell_info(CellType::kDff).switch_energy_fj);
+}
+
+TEST(EnergyCharacterizationTest, DeterministicGivenSeed) {
+  const CharacterizedEnergy a = characterize_energy(small_options());
+  const CharacterizedEnergy b = characterize_energy(small_options());
+  EXPECT_DOUBLE_EQ(a.params.e_mult_fj, b.params.e_mult_fj);
+  EXPECT_DOUBLE_EQ(a.params.e_csa_fj, b.params.e_csa_fj);
+  EXPECT_DOUBLE_EQ(a.params.e_cpa_fj, b.params.e_cpa_fj);
+  EXPECT_EQ(a.total_toggles, b.total_toggles);
+
+  EnergyCharacterizationOptions other = small_options();
+  other.seed ^= 0xabcdef;
+  const CharacterizedEnergy c = characterize_energy(other);
+  EXPECT_NE(a.total_toggles, c.total_toggles);
+  // Different stimulus, same physics: per-op energies agree within the
+  // Monte-Carlo noise floor.
+  EXPECT_NEAR(c.params.e_mult_fj / a.params.e_mult_fj, 1.0, 0.05);
+}
+
+TEST(EnergyCharacterizationTest, PlugsIntoArrayPowerModel) {
+  const CharacterizedEnergy ch = characterize_energy(small_options());
+  arch::ArrayConfig cfg = arch::ArrayConfig::square(32);
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const arch::SaPowerModel characterized(cfg, clock, ch.params);
+  const arch::SaPowerModel hand_fit(cfg, clock);
+  const gemm::GemmShape shape{64, 128, 32};
+  const arch::PowerResult a = characterized.arrayflex(shape, 2);
+  const arch::PowerResult b = hand_fit.arrayflex(shape, 2);
+  EXPECT_GT(a.power_mw(), 0.0);
+  EXPECT_GT(a.energy_pj, 0.0);
+  // Same workload, same clock: only the energy axis moves.
+  EXPECT_DOUBLE_EQ(a.time_ps, b.time_ps);
+}
+
+}  // namespace
+}  // namespace af::hw

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "hw/compiled_netlist.h"
 #include "hw/netlist.h"
 #include "hw/netlist_sim.h"
 #include "util/status.h"
@@ -178,6 +182,106 @@ TEST(NetlistSimTest, InputWidthChecked) {
   nl.bind_input("a", a);
   NetlistSim sim(nl);
   EXPECT_THROW(sim.set_input("a", BitVec(5, 0)), Error);
+}
+
+TEST(NetlistSimTest, LaneApiCarriesIndependentVectors) {
+  Netlist nl;
+  const Bus a = nl.new_bus(4);
+  const Bus b = nl.new_bus(4);
+  Bus y(4);
+  for (int i = 0; i < 4; ++i) {
+    y[static_cast<std::size_t>(i)] = nl.new_net();
+    nl.add_cell(CellType::kXor2, "x" + std::to_string(i),
+                {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]},
+                {y[static_cast<std::size_t>(i)]});
+  }
+  nl.bind_input("a", a);
+  nl.bind_input("b", b);
+  nl.bind_output("y", y);
+
+  NetlistSim sim(nl);
+  std::vector<std::uint64_t> as, bs;
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    as.push_back(l & 0xF);
+    bs.push_back((l * 7) & 0xF);
+  }
+  sim.set_input_lanes("a", as);
+  sim.set_input_lanes("b", bs);
+  sim.set_active_lanes(64);
+  sim.eval();
+  for (int l = 0; l < 64; ++l) {
+    EXPECT_EQ(sim.get_u64_lane("y", l),
+              as[static_cast<std::size_t>(l)] ^ bs[static_cast<std::size_t>(l)]);
+  }
+  // Lane 0 is what the scalar getters observe.
+  EXPECT_EQ(sim.get_u64("y"), as[0] ^ bs[0]);
+}
+
+TEST(NetlistSimTest, LaneApiValidation) {
+  Netlist nl;
+  const Bus a = nl.new_bus(2);
+  nl.bind_input("a", a);
+  NetlistSim evt(nl);
+  const std::uint64_t v[2] = {1, 2};
+  EXPECT_THROW(evt.set_input_lanes("a", v, 0), Error);
+  EXPECT_THROW(evt.set_input_lanes("a", v, 65), Error);
+  EXPECT_THROW(evt.set_active_lanes(0), Error);
+  EXPECT_THROW(evt.get_u64_lane("a", 64), Error);
+
+  NetlistSim ref(nl, SimEngine::kReferenceFullOrder);
+  EXPECT_THROW(ref.set_input_lanes("a", v, 2), Error);
+  EXPECT_THROW(ref.set_active_lanes(2), Error);
+  EXPECT_NO_THROW(ref.set_active_lanes(1));
+}
+
+TEST(NetlistSimTest, SharedCompilationAcrossSimulators) {
+  Netlist nl;
+  const Bus a = nl.new_bus(1);
+  const Bus y = nl.new_bus(1);
+  nl.bind_input("a", a);
+  nl.bind_output("y", y);
+  nl.add_cell(CellType::kInv, "i", {a[0]}, {y[0]});
+  const CompiledNetlist cn(nl);
+  NetlistSim s1(cn);
+  NetlistSim s2(cn, SimEngine::kReferenceFullOrder);
+  s1.set_input_u64("a", 1);
+  s2.set_input_u64("a", 1);
+  s1.eval();
+  s2.eval();
+  EXPECT_EQ(s1.get_u64("y"), 0u);
+  EXPECT_EQ(s2.get_u64("y"), 0u);
+}
+
+TEST(CompiledNetlistTest, LevelizesAndIndexesStructure) {
+  Netlist nl;
+  const Bus a = nl.new_bus(2);
+  nl.bind_input("a", a);
+  const NetId m = nl.new_net();
+  const NetId y = nl.new_net();
+  const NetId q = nl.new_net();
+  const int g0 = nl.add_cell(CellType::kAnd2, "g0", {a[0], a[1]}, {m});
+  const int g1 = nl.add_cell(CellType::kInv, "g1", {m}, {y});
+  const int ff = nl.add_cell(CellType::kDff, "ff", {y}, {q});
+
+  const CompiledNetlist cn(nl);
+  EXPECT_EQ(cn.num_cells(), 3);
+  EXPECT_EQ(cn.level_of(g0), 1);
+  EXPECT_EQ(cn.level_of(g1), 2);
+  EXPECT_EQ(cn.level_of(ff), -1);  // sequential, not in the schedule
+  EXPECT_EQ(cn.num_levels(), 3);   // levels 0..2 (0 reserved for TIEs)
+  ASSERT_EQ(cn.dff_cells().size(), 1u);
+  EXPECT_EQ(cn.dff_cells()[0], ff);
+  EXPECT_EQ(cn.schedule().size(), 2u);
+  EXPECT_EQ(cn.full_order().size(), 3u);
+  // CSR fanout: net m feeds only g1; the DFF's D pin is not combinational
+  // fanout.
+  ASSERT_EQ(cn.fanout_size(m), 1);
+  EXPECT_EQ(cn.fanout_cells(m)[0], g1);
+  EXPECT_EQ(cn.fanout_size(y), 0);
+  // Flat pin tables mirror the cells.
+  EXPECT_EQ(cn.num_cell_inputs(g0), 2);
+  EXPECT_EQ(cn.cell_inputs(g0)[0], a[0]);
+  EXPECT_EQ(cn.cell_outputs(g1)[0], y);
 }
 
 }  // namespace
