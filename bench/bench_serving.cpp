@@ -1,0 +1,171 @@
+// PERF — multi-tenant serving layer throughput/latency tracker.
+//
+// Drives a serve::Server with 4 concurrent client threads submitting GEMM
+// requests against shared stationary weights, across a (shard count x
+// max batch) grid, and reports sustained requests/s plus wall-clock p50 /
+// p99 / mean latency per point.  Batching wins show up twice: fewer fused
+// hardware runs (weight preload amortized across coalesced requests) and
+// fewer mode switches.  Results go to BENCH_serving.json so the serving
+// layer's perf trajectory is tracked across PRs alongside
+// BENCH_sim_throughput.json and BENCH_netlist_sim.json.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gemm/matrix.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace af;
+
+struct Point {
+  int shards = 1;
+  int max_batch = 1;
+  int clients = 0;
+  std::int64_t requests = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  std::int64_t fused_runs = 0;
+  std::int64_t mode_switches = 0;
+  double energy_pj = 0.0;
+  double requests_per_s() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+Point run_point(int shards, int max_batch, int clients, int per_client) {
+  serve::ServerOptions opts;
+  opts.num_shards = shards;
+  opts.max_batch = max_batch;
+  opts.queue_capacity = 512;
+  serve::Server server(arch::ArrayConfig::square(16), opts);
+
+  Rng weight_rng(2026);
+  auto weights = std::make_shared<gemm::Mat32>(
+      gemm::random_matrix(weight_rng, 64, 48, -40, 40));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(100 + static_cast<std::uint64_t>(c));
+      // Each client keeps a window of requests in flight — a loaded
+      // closed-loop workload, so the scheduler actually sees a backlog to
+      // coalesce (a one-at-a-time client never exercises batching).
+      constexpr int kWindow = 8;
+      std::vector<std::future<serve::GemmResult>> in_flight;
+      for (int i = 0; i < per_client; ++i) {
+        // Alternate pipeline modes so batching also has mode switches to
+        // save; every request shares the weight matrix, so same-mode
+        // neighbours fuse.
+        const int k = (i % 4 == 3) ? 2 : 1;
+        in_flight.push_back(server.submit_gemm(
+            "bench", gemm::random_matrix(rng, 8, 64, -40, 40), weights, k));
+        if (in_flight.size() >= kWindow) {
+          in_flight.front().get();
+          in_flight.erase(in_flight.begin());
+        }
+      }
+      for (auto& f : in_flight) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  AF_CHECK(stats.completed == static_cast<std::int64_t>(clients) * per_client,
+           "serving bench lost requests");
+  Point p;
+  p.shards = shards;
+  p.max_batch = max_batch;
+  p.clients = clients;
+  p.requests = stats.completed;
+  p.seconds = seconds;
+  AF_CHECK(stats.tenants.size() == 1, "expected the single bench tenant");
+  p.p50_ms = stats.tenants[0].p50_latency_ms;
+  p.p99_ms = stats.tenants[0].p99_latency_ms;
+  p.mean_ms = stats.tenants[0].mean_latency_ms;
+  p.energy_pj = stats.tenants[0].energy_pj;
+  for (const serve::ShardSnapshot& s : stats.shards) {
+    p.fused_runs += s.fused_runs;
+    p.mode_switches += s.mode_switches;
+  }
+  return p;
+}
+
+void write_json(const std::vector<Point>& points, const std::string& path) {
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"serving\",\n  \"unit\": \"requests/s\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json << "    {\"shards\": " << p.shards
+         << ", \"max_batch\": " << p.max_batch
+         << ", \"clients\": " << p.clients
+         << ", \"requests\": " << p.requests
+         << ", \"seconds\": " << p.seconds
+         << ", \"requests_per_s\": " << p.requests_per_s()
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << ", \"mean_ms\": " << p.mean_ms
+         << ", \"fused_runs\": " << p.fused_runs
+         << ", \"mode_switches\": " << p.mode_switches
+         << ", \"energy_pj\": " << p.energy_pj << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "note: could not write " << path << "\n";
+    return;
+  }
+  out << json.str();
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick shrinks the request volume 4x for sanitized / smoke runs.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  const int clients = 4;
+  const int per_client = quick ? 16 : 64;
+
+  std::vector<Point> points;
+  for (const int shards : {1, 2, 4}) {
+    for (const int max_batch : {1, 8}) {
+      points.push_back(run_point(shards, max_batch, clients, per_client));
+    }
+  }
+
+  std::printf("%7s %9s %8s %9s %12s %8s %8s %10s %12s\n", "shards",
+              "max_batch", "clients", "requests", "requests/s", "p50 ms",
+              "p99 ms", "fused", "mode_sw");
+  for (const Point& p : points) {
+    std::printf("%7d %9d %8d %9lld %12.1f %8.3f %8.3f %10lld %12lld\n",
+                p.shards, p.max_batch, p.clients,
+                static_cast<long long>(p.requests), p.requests_per_s(),
+                p.p50_ms, p.p99_ms, static_cast<long long>(p.fused_runs),
+                static_cast<long long>(p.mode_switches));
+  }
+
+  write_json(points, "BENCH_serving.json");
+  return 0;
+}

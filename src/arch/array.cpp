@@ -388,7 +388,8 @@ TileRunStats SystolicArray::run_tiled(const gemm::Mat32& a,
   };
 
   std::vector<TileRunStats> per_stripe(static_cast<std::size_t>(col_tiles));
-  util::ThreadPool::run_n(pool_.get(), col_tiles, [&](std::int64_t ct) {
+  util::ThreadPool* pool = external_pool_ ? external_pool_ : pool_.get();
+  util::ThreadPool::run_n(pool, col_tiles, [&](std::int64_t ct) {
     run_stripe(ct, &per_stripe[static_cast<std::size_t>(ct)]);
   });
   TileRunStats stats;

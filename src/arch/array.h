@@ -90,12 +90,29 @@ using CycleObserver = std::function<void(const CycleSnapshot&)>;
 // run_gemm_sparse exploit that by dispatching independent output-column
 // stripes across the pool when config().sim.num_threads != 1.  Threaded
 // runs return bit-identical outputs and statistics (modular adds commute).
+//
+// Shared-pool contract: set_thread_pool points the array at an external
+// util::ThreadPool instead of (or in addition to) its private one —
+// components that drive several arrays at once (the serve:: shards, a
+// threaded InferenceRunner) inject ONE pool everywhere so total worker
+// count stays bounded instead of multiplying per component.  The rules:
+//   * the injected pool must outlive every run_* call on this array;
+//   * concurrent run_gemm calls from different threads may share one pool
+//     (parallel_for serializes the fan-outs against each other);
+//   * a run_* call issued from inside a pool task executes its stripes
+//     serially on the calling thread (ThreadPool::run_n's nested-dispatch
+//     fallback), so nesting never deadlocks or oversubscribes.
 class SystolicArray {
  public:
   explicit SystolicArray(const ArrayConfig& config);
   ~SystolicArray();
 
   const ArrayConfig& config() const { return config_; }
+
+  // Injects a shared pool for the tiled entry points; nullptr reverts to
+  // the private pool (if the config requested one).  See the shared-pool
+  // contract above.
+  void set_thread_pool(util::ThreadPool* pool) { external_pool_ = pool; }
 
   // Compute one tile product: A(T x R) x B(R x C) in collapse mode k,
   // adding the result into `acc` (T x C, modular 64-bit).  Returns exact
@@ -132,8 +149,10 @@ class SystolicArray {
 
   ArrayConfig config_;
   // Created when the config requests parallel simulation (lazily shared by
-  // the tiled entry points; tile runs themselves are stateless).
+  // the tiled entry points; tile runs themselves are stateless).  An
+  // injected external pool takes precedence over the private one.
   std::unique_ptr<util::ThreadPool> pool_;
+  util::ThreadPool* external_pool_ = nullptr;
 };
 
 }  // namespace af::arch

@@ -46,15 +46,20 @@ arch::EfficiencyComparison ModelReport::totals() const {
 
 InferenceRunner::InferenceRunner(const arch::ArrayConfig& config,
                                  const arch::ClockModel& clock,
-                                 const arch::EnergyParams& energy)
+                                 const arch::EnergyParams& energy,
+                                 util::ThreadPool* shared_pool)
     : config_(config),
       clock_(clock),
       optimizer_(config, clock),
-      power_(config, clock, energy) {
+      power_(config, clock, energy),
+      external_pool_(shared_pool) {
   config_.validate();
-  const int threads =
-      util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
-  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  if (external_pool_ == nullptr) {
+    const int threads =
+        util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
+    if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  optimizer_.set_thread_pool(exec_pool());
 }
 
 InferenceRunner::~InferenceRunner() = default;
@@ -74,18 +79,27 @@ LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
 
 ModelReport InferenceRunner::run(const Model& model) const {
   AF_CHECK(!model.layers.empty(), "model '" << model.name << "' has no layers");
+  return run_slice(model, 0, model.layers.size());
+}
+
+ModelReport InferenceRunner::run_slice(const Model& model, std::size_t first,
+                                       std::size_t count) const {
+  AF_CHECK(first <= model.layers.size() &&
+               count <= model.layers.size() - first,
+           "layer slice [" << first << ", " << first + count << ") out of "
+                           << model.layers.size() << " layers");
   ModelReport report;
   report.model_name = model.name;
-  const std::int64_t n = static_cast<std::int64_t>(model.layers.size());
-  report.layers.resize(model.layers.size());
+  const std::int64_t n = static_cast<std::int64_t>(count);
+  report.layers.resize(count);
 
   // Layers are independent; fan them out when the config's SimOptions ask
   // for threads.  evaluate_layer is const and touches only read-only model
   // state, so workers share `this` freely; the aggregation below stays
   // sequential in layer order, making the report identical to a serial run.
-  util::ThreadPool::run_n(pool_.get(), n, [&](std::int64_t i) {
+  util::ThreadPool::run_n(exec_pool(), n, [&](std::int64_t i) {
     report.layers[static_cast<std::size_t>(i)] =
-        evaluate_layer(model.layers[static_cast<std::size_t>(i)]);
+        evaluate_layer(model.layers[first + static_cast<std::size_t>(i)]);
   });
   for (const LayerReport& lr : report.layers) {
     report.arrayflex_time_ps += lr.arrayflex.time_ps;

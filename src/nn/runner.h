@@ -68,26 +68,48 @@ struct ModelReport {
 
 class InferenceRunner {
  public:
+  // `shared_pool` (optional, non-owning, must outlive the runner) makes the
+  // runner fan layer evaluation out on an external pool instead of
+  // constructing a private one — the serving layer injects one pool into
+  // every shard's runner and array so a threaded runner driving threaded
+  // arrays stays at one pool's worth of workers instead of threads².  The
+  // pool (shared or private) is also injected into the member optimizer so
+  // best_modes never builds a second pool.
   InferenceRunner(const arch::ArrayConfig& config,
                   const arch::ClockModel& clock,
                   const arch::EnergyParams& energy =
-                      arch::EnergyParams::generic28nm());
+                      arch::EnergyParams::generic28nm(),
+                  util::ThreadPool* shared_pool = nullptr);
   ~InferenceRunner();
 
   LayerReport evaluate_layer(const Layer& layer) const;
   ModelReport run(const Model& model) const;
 
+  // Shard-friendly evaluation: the report for the contiguous layer slice
+  // [first, first + count).  A model sharded across several arrays is
+  // evaluated as one run_slice per shard; concatenating the slice reports
+  // in order reproduces run()'s report bit-exactly (per-layer results are
+  // independent and totals are plain sums).
+  ModelReport run_slice(const Model& model, std::size_t first,
+                        std::size_t count) const;
+
   const arch::ArrayConfig& config() const { return config_; }
 
  private:
+  util::ThreadPool* exec_pool() const {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
+
   arch::ArrayConfig config_;
   const arch::ClockModel& clock_;
   arch::PipelineOptimizer optimizer_;
   arch::SaPowerModel power_;
   // Created once when the config's SimOptions request parallel layer
-  // evaluation; reused across run() calls (layer eval is cheap enough that
-  // per-call pool construction would dominate).
+  // evaluation and no shared pool was injected; reused across run() calls
+  // (layer eval is cheap enough that per-call pool construction would
+  // dominate).
   std::unique_ptr<util::ThreadPool> pool_;
+  util::ThreadPool* external_pool_ = nullptr;
 };
 
 }  // namespace af::nn

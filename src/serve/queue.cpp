@@ -1,0 +1,66 @@
+#include "serve/queue.h"
+
+#include "util/status.h"
+
+namespace af::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  AF_CHECK(capacity > 0, "request queue needs a positive capacity");
+}
+
+bool RequestQueue::push(Request r) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(r));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request r = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return r;
+}
+
+std::optional<Request> RequestQueue::pop_if(
+    const std::function<bool(const Request&)>& pred) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (pred(*it)) {
+      Request r = std::move(*it);
+      items_.erase(it);
+      lock.unlock();
+      not_full_.notify_one();
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace af::serve

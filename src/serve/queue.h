@@ -1,0 +1,61 @@
+// Bounded MPMC request queue: many client threads push, many shard workers
+// pop.  The bound is the server's admission backpressure — a full queue
+// blocks producers instead of growing without limit under overload.
+//
+// Besides plain FIFO pop, the queue supports pop_if: remove the first
+// queued request matching a predicate without waiting.  The batching
+// scheduler uses it to coalesce compatible requests from anywhere in the
+// queue while leaving incompatible older requests at the front, so
+// head-of-line requests are never starved by batch formation.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.h"
+
+namespace af::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Blocks while the queue is full.  Returns false (dropping the request)
+  // once the queue is closed.
+  bool push(Request r);
+
+  // Blocks while the queue is empty and open.  Returns the oldest request,
+  // or nullopt once the queue is closed AND drained — workers use that as
+  // the shutdown signal, so no accepted request is ever lost.
+  std::optional<Request> pop();
+
+  // Non-blocking: removes and returns the first request (front to back)
+  // satisfying `pred`, or nullopt if none is currently queued.
+  std::optional<Request> pop_if(
+      const std::function<bool(const Request&)>& pred);
+
+  // Closing wakes every blocked producer (push fails) and consumer (pop
+  // drains then returns nullopt).  Idempotent.
+  void close();
+
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Request> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace af::serve

@@ -1,0 +1,101 @@
+// Request/response types of the multi-tenant serving layer.
+//
+// Clients hand the serve::Server either a raw GEMM (activations against a
+// shared weight matrix) or a whole nn::Model inference, tagged with a
+// tenant id; they get a std::future back.  Internally every submission
+// becomes one or more Request records flowing through the bounded
+// RequestQueue to the shard workers.  A model inference is split into one
+// kInferSlice request per shard (contiguous layer ranges), joined back into
+// a single ModelReport by the shared InferJoin when the last slice lands —
+// this is how one model is sharded across several simulated arrays.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gemm/matrix.h"
+#include "gemm/reference.h"
+#include "nn/models.h"
+#include "nn/runner.h"
+
+namespace af::serve {
+
+using Clock = std::chrono::steady_clock;
+
+enum class RequestKind { kGemm, kInferSlice };
+
+// Response to a submit_gemm: the product plus the simulated cost of the
+// (possibly fused) hardware run that produced it.
+struct GemmResult {
+  gemm::Mat64 out;              // this request's rows of the fused product
+  int k = 1;                    // pipeline mode the batch ran in
+  int shard = -1;               // shard that executed the batch
+  std::int64_t batch_requests = 1;  // size of the coalesced batch
+  std::int64_t fused_rows = 0;  // total T of the fused run this rode in
+  std::int64_t cycles = 0;      // simulated cycles of the fused run
+  double time_ps = 0.0;         // simulated execution time of the fused run
+  double energy_pj = 0.0;       // this request's attributed energy share
+  double queue_ms = 0.0;        // wall-clock enqueue -> dispatch
+  double latency_ms = 0.0;      // wall-clock enqueue -> completion
+};
+
+// Response to a submit_inference: the merged per-layer report (bit-identical
+// to a direct InferenceRunner::run with the same config) plus serving
+// metadata.
+struct InferenceResult {
+  nn::ModelReport report;
+  int num_slices = 1;           // shard fan-out of this inference
+  double latency_ms = 0.0;      // wall-clock submit -> last slice done
+};
+
+// Join state shared by the slice requests of one sharded inference.  The
+// shard completing the final slice assembles the full report (slices are
+// concatenated in layer order; totals are sums) and fulfills the promise.
+struct InferJoin {
+  std::mutex mutex;
+  std::vector<nn::ModelReport> parts;  // indexed by slice position
+  std::size_t remaining = 0;
+  // Attributed cost of this inference, accumulated slice by slice: each
+  // slice charges its ArrayFlex energy and time divided by the size of the
+  // batch it was coalesced into (the hardware ran that slice once for all
+  // of them), so per-tenant books sum to what the shards actually spent.
+  double energy_pj = 0.0;
+  double sim_time_ps = 0.0;
+  // Set once a slice execution failed and the promise carries the
+  // exception; later slices of this join become no-ops.
+  bool failed = false;
+  std::promise<InferenceResult> promise;
+  Clock::time_point enqueue_time;
+  std::string tenant;
+  std::string model_name;
+};
+
+// One unit of queued work.  Move-only (it carries the client's promise).
+struct Request {
+  RequestKind kind = RequestKind::kGemm;
+  std::uint64_t id = 0;
+  std::string tenant;
+  Clock::time_point enqueue_time;
+
+  // --- kGemm ---------------------------------------------------------------
+  gemm::Mat32 a;                            // activations, t x n
+  std::shared_ptr<const gemm::Mat32> b;     // shared weights, n x m
+  gemm::GemmShape shape;
+  int decided_k = 1;       // mode chosen at admission (request or optimizer)
+  std::promise<GemmResult> gemm_promise;
+
+  // --- kInferSlice ---------------------------------------------------------
+  std::shared_ptr<const nn::Model> model;
+  std::size_t layer_begin = 0;
+  std::size_t layer_count = 0;
+  std::size_t slice_index = 0;
+  std::shared_ptr<InferJoin> join;
+};
+
+}  // namespace af::serve

@@ -1,0 +1,45 @@
+#include "serve/scheduler.h"
+
+#include "util/status.h"
+
+namespace af::serve {
+
+bool compatible(const Request& head, const Request& r) {
+  if (head.kind != r.kind) return false;
+  if (head.kind == RequestKind::kGemm) {
+    // Same pipeline mode: the shard executes the whole batch under one
+    // configuration.  (Same-weight fusion inside the batch is the
+    // executor's business; mode equality is what batch membership needs.)
+    return head.decided_k == r.decided_k;
+  }
+  // Inference slices coalesce only when they are the same analytic work:
+  // identical model (by identity) and identical layer range.
+  return head.model == r.model && head.layer_begin == r.layer_begin &&
+         head.layer_count == r.layer_count;
+}
+
+BatchScheduler::BatchScheduler(RequestQueue* queue, int max_batch)
+    : queue_(queue), max_batch_(max_batch) {
+  AF_CHECK(queue != nullptr, "scheduler needs a queue");
+  AF_CHECK(max_batch >= 1, "max_batch must be at least 1");
+}
+
+std::optional<Batch> BatchScheduler::next_batch() {
+  std::optional<Request> head = queue_->pop();
+  if (!head) return std::nullopt;
+
+  Batch batch;
+  batch.kind = head->kind;
+  batch.k = head->decided_k;
+  batch.requests.push_back(std::move(*head));
+  while (static_cast<int>(batch.requests.size()) < max_batch_) {
+    std::optional<Request> next = queue_->pop_if([&](const Request& r) {
+      return compatible(batch.requests.front(), r);
+    });
+    if (!next) break;
+    batch.requests.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+}  // namespace af::serve

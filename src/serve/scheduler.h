@@ -1,0 +1,55 @@
+// Batch formation over the request queue.
+//
+// Reconfiguring an ArrayFlex shard between pipeline modes means draining
+// the array, so back-to-back requests in the SAME mode are cheaper than an
+// interleaved stream; and GEMM requests against the same stationary weight
+// matrix can be fused outright (activation rows stacked along T) so the
+// weight preload is paid once per tile instead of once per request.  The
+// scheduler therefore coalesces, up to max_batch requests per dispatch:
+//
+//   * GEMMs whose admission-chosen mode k matches the batch head's — the
+//     shard runs them without a mode switch; within the batch the executor
+//     additionally fuses requests sharing (weights, shape);
+//   * inference slices of the same (model, layer range) — identical
+//     analytic work, evaluated once and fanned to every requester (the
+//     serving layer's result coalescing).
+//
+// next_batch blocks on the queue head (strict FIFO for the oldest
+// request), then sweeps compatible requests from anywhere behind it via
+// RequestQueue::pop_if; incompatible requests keep their queue position,
+// so batching never starves the head of line.  Safe to call from many
+// shard workers concurrently.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "serve/queue.h"
+
+namespace af::serve {
+
+struct Batch {
+  RequestKind kind = RequestKind::kGemm;
+  int k = 1;  // mode of a GEMM batch (meaningless for inference slices)
+  std::vector<Request> requests;
+};
+
+// True when `r` can join a batch headed by `head` (see file comment).
+bool compatible(const Request& head, const Request& r);
+
+class BatchScheduler {
+ public:
+  // max_batch = 1 disables coalescing (every request dispatches alone).
+  BatchScheduler(RequestQueue* queue, int max_batch);
+
+  // Blocks for the next request; returns it plus up to max_batch - 1
+  // compatible followers.  nullopt once the queue is closed and drained.
+  std::optional<Batch> next_batch();
+
+ private:
+  RequestQueue* queue_;
+  int max_batch_;
+};
+
+}  // namespace af::serve

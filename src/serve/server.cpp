@@ -1,0 +1,446 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "arch/array.h"
+#include "nn/runner.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace af::serve {
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+// One simulated array plus everything stateful around it.  The clock and
+// power models are per-shard instances (each shard tracks its own mode and
+// is priced independently); `stats` is written only under the server's
+// shard_stats_mutex_ so stats() can snapshot concurrently.
+struct Server::Shard {
+  int index;
+  arch::CalibratedClockModel clock;
+  arch::SystolicArray array;
+  arch::SaPowerModel power;
+  nn::InferenceRunner runner;
+  ShardSnapshot stats;
+  std::thread worker;
+
+  Shard(int idx, const arch::ArrayConfig& config,
+        const arch::EnergyParams& energy, util::ThreadPool* sim_pool)
+      : index(idx),
+        clock(arch::CalibratedClockModel::date23()),
+        array(config),
+        power(config, clock, energy),
+        runner(config, clock, energy, sim_pool) {
+    if (sim_pool != nullptr) array.set_thread_pool(sim_pool);
+    stats.shard = idx;
+  }
+};
+
+Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
+    : shard_config_(shard_config),
+      options_(options),
+      admission_clock_(arch::CalibratedClockModel::date23()),
+      admission_optimizer_(
+          [&] {
+            arch::ArrayConfig c = shard_config;
+            c.sim.num_threads = 1;
+            return c;
+          }(),
+          admission_clock_),
+      queue_(options.queue_capacity),
+      scheduler_(&queue_, options.max_batch),
+      tenants_(options.latency_hist_max_ms) {
+  AF_CHECK(options_.num_shards >= 1, "server needs at least one shard");
+  AF_CHECK(options_.max_batch >= 1, "max_batch must be at least 1");
+  // The shards simulate serially on their own; cross-tile parallelism comes
+  // from the one shared pool below (never a pool per shard — that is the
+  // threads² oversubscription this layer exists to avoid).
+  shard_config_.sim.num_threads = 1;
+  shard_config_.validate();
+  const int sim_threads =
+      util::ThreadPool::resolve_num_threads(options_.sim_threads);
+  if (sim_threads > 1) {
+    sim_pool_ = std::make_unique<util::ThreadPool>(sim_threads);
+  }
+  if (options_.reconfig_cycles < 0) {
+    options_.reconfig_cycles = shard_config_.rows + shard_config_.cols;
+  }
+  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, shard_config_,
+                                              options_.energy,
+                                              sim_pool_.get()));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { shard_loop(*s); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shut_down_.store(true);
+  queue_.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::future<GemmResult> Server::submit_gemm(
+    const std::string& tenant, gemm::Mat32 a,
+    std::shared_ptr<const gemm::Mat32> b, int k) {
+  AF_CHECK(!shut_down_.load(), "submit_gemm on a shut-down server");
+  AF_CHECK(b != nullptr, "weight matrix required");
+  AF_CHECK(a.rows() > 0, "activation matrix must be non-empty");
+  AF_CHECK(a.cols() == b->rows(), "GEMM inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b->rows());
+  Request r;
+  r.kind = RequestKind::kGemm;
+  r.id = next_id_.fetch_add(1);
+  r.tenant = tenant;
+  r.shape = gemm::GemmShape{b->cols(), b->rows(), a.rows()};
+  if (k != 0) {
+    AF_CHECK(shard_config_.supports(k), "mode k=" << k << " not supported");
+    r.decided_k = k;
+  } else {
+    r.decided_k = admission_optimizer_.best_mode(r.shape).k;
+  }
+  r.a = std::move(a);
+  r.b = std::move(b);
+  r.enqueue_time = Clock::now();
+  std::future<GemmResult> future = r.gemm_promise.get_future();
+  // Counted before the push: a fast worker may complete the request before
+  // this thread runs another instruction, and stats() must never show
+  // completed > submitted.
+  submitted_.fetch_add(1);
+  if (!queue_.push(std::move(r))) {
+    submitted_.fetch_sub(1);
+    AF_CHECK(false, "server shut down while enqueueing");
+  }
+  return future;
+}
+
+std::future<InferenceResult> Server::submit_inference(
+    const std::string& tenant, std::shared_ptr<const nn::Model> model) {
+  AF_CHECK(!shut_down_.load(), "submit_inference on a shut-down server");
+  AF_CHECK(model != nullptr && !model->layers.empty(),
+           "inference needs a non-empty model");
+  const std::size_t layers = model->layers.size();
+  const std::size_t slices =
+      std::min<std::size_t>(shards_.size(), layers);
+
+  auto join = std::make_shared<InferJoin>();
+  join->parts.resize(slices);
+  join->remaining = slices;
+  join->enqueue_time = Clock::now();
+  join->tenant = tenant;
+  join->model_name = model->name;
+  std::future<InferenceResult> future = join->promise.get_future();
+
+  // Contiguous slices, sizes as even as possible (the first `layers %
+  // slices` slices take one extra layer).
+  const std::size_t base = layers / slices;
+  const std::size_t extra = layers % slices;
+  std::size_t begin = 0;
+  submitted_.fetch_add(1);
+  for (std::size_t i = 0; i < slices; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    Request r;
+    r.kind = RequestKind::kInferSlice;
+    r.id = next_id_.fetch_add(1);
+    r.tenant = tenant;
+    r.enqueue_time = join->enqueue_time;
+    r.model = model;
+    r.layer_begin = begin;
+    r.layer_count = count;
+    r.slice_index = i;
+    r.join = join;
+    begin += count;
+    if (!queue_.push(std::move(r))) {
+      // Shutdown raced the enqueue: slices pushed so far are already in
+      // workers' hands.  Marking the join failed turns them into no-ops
+      // (execute_infer_batch skips failed joins), so a rejected submission
+      // never half-completes or half-bills.
+      {
+        std::lock_guard<std::mutex> lock(join->mutex);
+        join->failed = true;
+      }
+      submitted_.fetch_sub(1);
+      AF_CHECK(false, "server shut down while enqueueing");
+    }
+  }
+  return future;
+}
+
+void Server::shard_loop(Shard& shard) {
+  while (auto batch = scheduler_.next_batch()) {
+    try {
+      if (batch->kind == RequestKind::kGemm) {
+        execute_gemm_batch(shard, *batch);
+      } else {
+        execute_infer_batch(shard, *batch);
+      }
+    } catch (...) {
+      // A failing batch must not take the whole server down (a worker
+      // thread's escaped exception is std::terminate): deliver the error
+      // to the affected clients and keep serving everyone else.
+      fail_batch(*batch, std::current_exception());
+    }
+  }
+}
+
+void Server::fail_batch(Batch& batch, std::exception_ptr error) {
+  for (Request& r : batch.requests) {
+    if (r.kind == RequestKind::kGemm) {
+      // Counted before the promise resolves so a woken client never sees
+      // completed lagging; rolled back if the promise was already settled.
+      completed_.fetch_add(1);
+      try {
+        r.gemm_promise.set_exception(error);
+      } catch (const std::future_error&) {
+        completed_.fetch_sub(1);  // fulfilled before the failure
+      }
+    } else if (r.join != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(r.join->mutex);
+        if (r.join->failed) continue;  // another slice already reported
+        r.join->failed = true;
+      }
+      completed_.fetch_add(1);
+      try {
+        r.join->promise.set_exception(error);
+      } catch (const std::future_error&) {
+        completed_.fetch_sub(1);
+      }
+    }
+  }
+}
+
+void Server::prepare_mode(Shard& shard, int k) {
+  std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+  if (shard.stats.current_k == k) return;
+  if (shard.stats.current_k != 0) {
+    // A genuine mode switch: drain the pipeline at the new mode's clock,
+    // burning leakage but doing no work.  (current_k == 0 — fresh shard or
+    // post-inference — configures without a drain to bill.)
+    shard.stats.mode_switches += 1;
+    const double time_ps = static_cast<double>(options_.reconfig_cycles) *
+                           shard.clock.period_ps(k);
+    const double leak_mw = options_.energy.leak_mw_per_pe *
+                           static_cast<double>(shard_config_.num_pes());
+    shard.stats.reconfig_time_ps += time_ps;
+    shard.stats.reconfig_energy_pj += leak_mw * time_ps * 1e-3;
+  }
+  shard.stats.current_k = k;
+}
+
+void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
+  const int k = batch.k;
+  const Clock::time_point dispatch_time = Clock::now();
+  prepare_mode(shard, k);
+
+  // Fuse requests naming the same weight matrix and shape: their activation
+  // rows stack along T into one hardware run, so the weight preload (the R
+  // cycles per tile) is paid once per fused run instead of once per
+  // request.  Order of first appearance is preserved.
+  using FuseKey = std::tuple<const gemm::Mat32*, std::int64_t, std::int64_t>;
+  std::vector<std::pair<FuseKey, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& r = batch.requests[i];
+    const FuseKey key{r.b.get(), r.shape.n, r.shape.m};
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == key; });
+    if (it == groups.end()) {
+      groups.push_back({key, {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  const std::int64_t batch_requests =
+      static_cast<std::int64_t>(batch.requests.size());
+  double batch_time_ps = 0.0;
+  double batch_energy_pj = 0.0;
+  std::vector<GemmResult> results(batch.requests.size());
+
+  for (auto& [key, members] : groups) {
+    const Request& head = batch.requests[members.front()];
+    std::int64_t total_t = 0;
+    for (const std::size_t i : members) {
+      total_t += batch.requests[i].shape.t;
+    }
+    gemm::Mat32 stacked(total_t, head.shape.n);
+    std::int64_t row = 0;
+    for (const std::size_t i : members) {
+      const gemm::Mat32& a = batch.requests[i].a;
+      for (std::int64_t t = 0; t < a.rows(); ++t, ++row) {
+        for (std::int64_t c = 0; c < a.cols(); ++c) {
+          stacked.at(row, c) = a.at(t, c);
+        }
+      }
+    }
+
+    gemm::Mat64 fused_out;
+    const arch::TileRunStats run =
+        shard.array.run_gemm(stacked, *head.b, k, &fused_out);
+    const double period_ps = shard.clock.period_ps(k);
+    const arch::PowerResult priced = shard.power.from_counters(
+        run.activity, run.total_cycles, period_ps, /*arrayflex_hardware=*/true,
+        k);
+    batch_time_ps += priced.time_ps;
+    batch_energy_pj += priced.energy_pj;
+
+    // Unstack the fused product.  Energy is attributed by each request's
+    // share of the fused rows; completion (and thus simulated service
+    // time) is the whole fused run for every member.
+    row = 0;
+    for (const std::size_t i : members) {
+      const Request& r = batch.requests[i];
+      GemmResult& result = results[i];
+      result.out = gemm::Mat64(r.shape.t, r.shape.m);
+      for (std::int64_t t = 0; t < r.shape.t; ++t, ++row) {
+        for (std::int64_t c = 0; c < r.shape.m; ++c) {
+          result.out.at(t, c) = fused_out.at(row, c);
+        }
+      }
+      result.k = k;
+      result.shard = shard.index;
+      result.batch_requests = batch_requests;
+      result.fused_rows = total_t;
+      result.cycles = run.total_cycles;
+      result.time_ps = priced.time_ps;
+      result.energy_pj = priced.energy_pj * static_cast<double>(r.shape.t) /
+                         static_cast<double>(total_t);
+      result.queue_ms = ms_between(r.enqueue_time, dispatch_time);
+    }
+  }
+
+  {
+    // All accounting lands before any client future resolves, so a client
+    // that waits on its result always sees the books already balanced.
+    std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+    shard.stats.batches += 1;
+    shard.stats.requests += batch_requests;
+    shard.stats.fused_runs += static_cast<std::int64_t>(groups.size());
+    shard.stats.busy_time_ps += batch_time_ps;
+    shard.stats.energy_pj += batch_energy_pj;
+    shard.stats.busy_ps_by_mode[k] += batch_time_ps;
+  }
+
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    Request& r = batch.requests[i];
+    GemmResult& result = results[i];
+    result.latency_ms = ms_between(r.enqueue_time, Clock::now());
+    // Tenant books use the same row-share as energy, so summing tenants'
+    // sim_time reproduces the shards' busy time; the full fused-run time
+    // stays visible in GemmResult::time_ps (the request's service time).
+    const double time_share =
+        result.time_ps * static_cast<double>(r.shape.t) /
+        static_cast<double>(result.fused_rows);
+    tenants_.record(r.tenant, /*is_inference=*/false, result.latency_ms,
+                    result.energy_pj, time_share,
+                    r.shape.t * r.shape.n * r.shape.m);
+    completed_.fetch_add(1);
+    r.gemm_promise.set_value(std::move(result));
+  }
+}
+
+void Server::execute_infer_batch(Shard& shard, Batch& batch) {
+  // Slices whose join already failed (a sibling slice errored, or shutdown
+  // interrupted their submission) must neither execute nor bill.
+  std::erase_if(batch.requests, [](const Request& r) {
+    std::lock_guard<std::mutex> lock(r.join->mutex);
+    return r.join->failed;
+  });
+  if (batch.requests.empty()) return;
+
+  // Every request in the batch is the same (model, layer range) — see
+  // serve::compatible — so the analytic slice report is computed once and
+  // fanned to all of them; its energy is split across the coalesced
+  // requesters (the hardware ran the slice once on their shared behalf).
+  Request& head = batch.requests.front();
+  const nn::ModelReport part =
+      shard.runner.run_slice(*head.model, head.layer_begin, head.layer_count);
+  const double share =
+      1.0 / static_cast<double>(batch.requests.size());
+
+  {
+    std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+    shard.stats.batches += 1;
+    shard.stats.requests += static_cast<std::int64_t>(batch.requests.size());
+    shard.stats.busy_time_ps += part.arrayflex_time_ps;
+    shard.stats.energy_pj += part.arrayflex_energy_pj;
+    // Per-layer mode choices leave the array outside any single GEMM mode;
+    // the next GEMM batch reconfigures from scratch.
+    shard.stats.current_k = 0;
+  }
+
+  for (Request& r : batch.requests) {
+    std::shared_ptr<InferJoin> join = r.join;
+    nn::ModelReport assembled;
+    double energy_pj = 0.0;
+    double sim_time_ps = 0.0;
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(join->mutex);
+      if (join->failed) continue;  // a sibling slice already errored out
+      join->parts[r.slice_index] = part;
+      join->energy_pj += part.arrayflex_energy_pj * share;
+      join->sim_time_ps += part.arrayflex_time_ps * share;
+      last = (--join->remaining == 0);
+      if (last) {
+        // Assemble exactly the way InferenceRunner::run aggregates — layer
+        // order first, then one sequential totals pass — so the merged
+        // report is bit-identical to an unsharded run.
+        assembled.model_name = join->model_name;
+        for (nn::ModelReport& p : join->parts) {
+          for (nn::LayerReport& lr : p.layers) {
+            assembled.layers.push_back(std::move(lr));
+          }
+        }
+        for (const nn::LayerReport& lr : assembled.layers) {
+          assembled.arrayflex_time_ps += lr.arrayflex.time_ps;
+          assembled.conventional_time_ps += lr.conventional.time_ps;
+          assembled.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
+          assembled.conventional_energy_pj += lr.conventional_power.energy_pj;
+        }
+        energy_pj = join->energy_pj;
+        sim_time_ps = join->sim_time_ps;
+      }
+    }
+    if (last) {
+      InferenceResult result;
+      result.num_slices = static_cast<int>(join->parts.size());
+      result.latency_ms = ms_between(join->enqueue_time, Clock::now());
+      tenants_.record(join->tenant, /*is_inference=*/true, result.latency_ms,
+                      energy_pj, sim_time_ps, r.model->total_macs());
+      completed_.fetch_add(1);
+      result.report = std::move(assembled);
+      join->promise.set_value(std::move(result));
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.submitted = submitted_.load();
+  out.completed = completed_.load();
+  {
+    std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+    out.shards.reserve(shards_.size());
+    for (const auto& shard : shards_) out.shards.push_back(shard->stats);
+  }
+  out.tenants = tenants_.snapshot();
+  return out;
+}
+
+}  // namespace af::serve

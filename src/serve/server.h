@@ -1,0 +1,164 @@
+// Multi-tenant batch serving over a pool of simulated ArrayFlex shards.
+//
+//   clients ──submit──▶ RequestQueue ──▶ BatchScheduler ──▶ shard workers
+//                      (bounded MPMC)    (mode/model         (one thread +
+//                                         coalescing)         one simulated
+//                                                             array each)
+//
+// The Server owns N identical arch::SystolicArray shards.  Each shard
+// carries its own clock model, power model, InferenceRunner and pipeline-
+// mode state (the paper's configurable transparent pipelining: switching a
+// shard between modes drains the array, so the scheduler batches same-mode
+// work and the shard accounts every reconfiguration).  Client threads
+// submit GEMMs (activations against shared stationary weights) or whole
+// nn::Model inferences and block on the returned future; a model inference
+// is split into contiguous layer slices, one per shard, and joined back
+// into a report bit-identical to a direct InferenceRunner::run.
+//
+// Simulation threading: all shards share ONE optional util::ThreadPool
+// (ServerOptions::sim_threads), injected into every array and runner —
+// never a pool per component, so an S-shard server runs at most
+// num_shards worker threads + sim_threads pool threads regardless of
+// nesting (see the shared-pool contract in arch/array.h).
+//
+// Accounting: per-tenant latency percentiles / energy / MACs via
+// TenantAccountant, per-shard utilization (busy time by mode, mode
+// switches, reconfiguration overhead) via ShardSnapshot.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/clocking.h"
+#include "arch/config.h"
+#include "arch/optimizer.h"
+#include "arch/power_model.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+#include "serve/tenant_stats.h"
+
+namespace af::util {
+class ThreadPool;
+}
+
+namespace af::serve {
+
+struct ServerOptions {
+  int num_shards = 2;
+  // Coalescing cap per dispatch; 1 disables batching entirely.
+  int max_batch = 8;
+  // Admission bound: submit blocks once this many requests are queued.
+  std::size_t queue_capacity = 256;
+  // Shared simulation pool threads; 1 (default) keeps every shard's
+  // simulator serial (parallelism then comes from the shards themselves),
+  // 0 means all hardware threads — the repo-wide num_threads convention.
+  int sim_threads = 1;
+  // Range of the per-tenant latency histogram (percentile resolution).
+  double latency_hist_max_ms = 10e3;
+  // Cycles to drain + reconfigure a shard between pipeline modes; -1 means
+  // rows + cols of the shard config (full pipeline flush).
+  std::int64_t reconfig_cycles = -1;
+  arch::EnergyParams energy = arch::EnergyParams::generic28nm();
+};
+
+struct ShardSnapshot {
+  int shard = 0;
+  std::int64_t batches = 0;        // dispatches executed
+  std::int64_t requests = 0;       // requests served (incl. coalesced)
+  std::int64_t fused_runs = 0;     // hardware GEMM runs after fusion
+  std::int64_t mode_switches = 0;  // reconfigurations between modes
+  double busy_time_ps = 0.0;       // simulated execution time
+  double energy_pj = 0.0;          // simulated energy of useful work
+  double reconfig_time_ps = 0.0;   // simulated drain/reconfigure time
+  double reconfig_energy_pj = 0.0; // leakage burned while reconfiguring
+  std::map<int, double> busy_ps_by_mode;
+  int current_k = 0;               // 0 = not in a uniform GEMM mode
+};
+
+struct ServerStats {
+  std::int64_t submitted = 0;  // logical requests accepted
+  std::int64_t completed = 0;  // logical requests fulfilled
+  std::vector<ShardSnapshot> shards;
+  std::vector<TenantSnapshot> tenants;
+};
+
+class Server {
+ public:
+  // `shard_config` describes one shard's array; its SimOptions thread count
+  // is ignored (the server controls simulation threading via options).
+  explicit Server(const arch::ArrayConfig& shard_config,
+                  ServerOptions options = {});
+  ~Server();  // drains accepted work, then stops the shards
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // X = a x *b in mode k (0 = per-request optimizer choice).  `b` is the
+  // shared stationary weight matrix — requests naming the same matrix (by
+  // pointer) with equal shapes and modes are fused into one hardware run.
+  // Blocks while the queue is full; throws af::Error after shutdown.
+  std::future<GemmResult> submit_gemm(const std::string& tenant,
+                                      gemm::Mat32 a,
+                                      std::shared_ptr<const gemm::Mat32> b,
+                                      int k = 0);
+
+  // Whole-model inference, sharded: the model's layers are split into up to
+  // num_shards contiguous slices evaluated on different shards; the merged
+  // report is bit-identical to InferenceRunner::run on one array with this
+  // shard config.  Coalesces with concurrent submissions of the same model
+  // (by shared_ptr identity).
+  std::future<InferenceResult> submit_inference(
+      const std::string& tenant, std::shared_ptr<const nn::Model> model);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const arch::ArrayConfig& shard_config() const { return shard_config_; }
+
+  ServerStats stats() const;
+
+  // Closes admission, drains every accepted request, joins the shard
+  // workers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Shard;
+
+  void shard_loop(Shard& shard);
+  void execute_gemm_batch(Shard& shard, Batch& batch);
+  void execute_infer_batch(Shard& shard, Batch& batch);
+  // Delivers `error` to every still-pending client of the batch (promise
+  // set_exception; inference joins are marked failed so sibling slices
+  // stand down) — a bad request fails its own futures, not the server.
+  void fail_batch(Batch& batch, std::exception_ptr error);
+  // Mode bookkeeping before a GEMM batch runs in mode k: counts the switch
+  // and bills the drain (time at the new mode's clock, leakage energy) to
+  // the shard when it was configured differently.
+  void prepare_mode(Shard& shard, int k);
+
+  arch::ArrayConfig shard_config_;
+  ServerOptions options_;
+  std::unique_ptr<util::ThreadPool> sim_pool_;
+  arch::CalibratedClockModel admission_clock_;
+  arch::PipelineOptimizer admission_optimizer_;
+  RequestQueue queue_;
+  BatchScheduler scheduler_;
+  TenantAccountant tenants_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  mutable std::mutex shard_stats_mutex_;  // guards every Shard::stats
+  std::mutex shutdown_mutex_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace af::serve

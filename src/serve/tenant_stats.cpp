@@ -1,0 +1,64 @@
+#include "serve/tenant_stats.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace af::serve {
+
+TenantAccountant::TenantAccountant(double latency_hist_max_ms,
+                                   int latency_buckets)
+    : hist_max_ms_(latency_hist_max_ms), buckets_(latency_buckets) {
+  AF_CHECK(latency_hist_max_ms > 0, "latency histogram range must be positive");
+  AF_CHECK(latency_buckets > 0, "latency histogram needs buckets");
+}
+
+void TenantAccountant::record(const std::string& tenant, bool is_inference,
+                              double latency_ms, double energy_pj,
+                              double sim_time_ps, std::int64_t macs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    it = accounts_.emplace(tenant, Account(hist_max_ms_, buckets_)).first;
+  }
+  Account& acc = it->second;
+  (is_inference ? acc.infer_requests : acc.gemm_requests) += 1;
+  acc.macs += macs;
+  acc.energy_pj += energy_pj;
+  acc.sim_time_ps += sim_time_ps;
+  acc.latency_ms.add(latency_ms);
+  acc.latency_hist.add(latency_ms);
+}
+
+std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantSnapshot> out;
+  out.reserve(accounts_.size());
+  for (const auto& [name, acc] : accounts_) {
+    TenantSnapshot s;
+    s.tenant = name;
+    s.gemm_requests = acc.gemm_requests;
+    s.infer_requests = acc.infer_requests;
+    s.requests = acc.gemm_requests + acc.infer_requests;
+    s.macs = acc.macs;
+    s.energy_pj = acc.energy_pj;
+    s.sim_time_ps = acc.sim_time_ps;
+    if (acc.latency_ms.count() > 0) {
+      s.mean_latency_ms = acc.latency_ms.mean();
+      s.max_latency_ms = acc.latency_ms.max();
+      // The histogram's within-bucket interpolation can stray past the
+      // observed extrema by up to one bucket width; the RunningStat knows
+      // them exactly, so clamp the estimates into the true range.
+      const auto clamped = [&](double q) {
+        return std::clamp(acc.latency_hist.quantile(q), acc.latency_ms.min(),
+                          acc.latency_ms.max());
+      };
+      s.p50_latency_ms = clamped(0.50);
+      s.p99_latency_ms = clamped(0.99);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace af::serve

@@ -1,0 +1,70 @@
+// Per-tenant serving accounting: request counts, wall-clock latency
+// distribution (mean/min/max via sim::RunningStat, percentiles via a
+// sim::Histogram), simulated hardware time, attributed energy (from the
+// power models' per-run pricing) and MAC volume.  Thread-safe; shard
+// workers record concurrently, stats() snapshots under the same lock.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace af::serve {
+
+struct TenantSnapshot {
+  std::string tenant;
+  std::int64_t requests = 0;        // completed (gemm + inference)
+  std::int64_t gemm_requests = 0;
+  std::int64_t infer_requests = 0;
+  std::int64_t macs = 0;            // useful work volume
+  // Attributed simulated energy / hardware time.  Both are share-weighted
+  // for fused and coalesced runs (a request that rode a shared hardware
+  // run is billed its fraction), so summing either column over all tenants
+  // reproduces what the shards actually spent.
+  double energy_pj = 0.0;
+  double sim_time_ps = 0.0;
+  double mean_latency_ms = 0.0;     // wall-clock, enqueue -> completion
+  double max_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+class TenantAccountant {
+ public:
+  // Latencies land in a histogram over [0, latency_hist_max_ms) for
+  // percentile extraction; slower samples clamp into the top bucket (their
+  // exact values still reach the RunningStat's max).
+  explicit TenantAccountant(double latency_hist_max_ms = 10e3,
+                            int latency_buckets = 4096);
+
+  void record(const std::string& tenant, bool is_inference,
+              double latency_ms, double energy_pj, double sim_time_ps,
+              std::int64_t macs);
+
+  std::vector<TenantSnapshot> snapshot() const;
+
+ private:
+  struct Account {
+    std::int64_t gemm_requests = 0;
+    std::int64_t infer_requests = 0;
+    std::int64_t macs = 0;
+    double energy_pj = 0.0;
+    double sim_time_ps = 0.0;
+    sim::RunningStat latency_ms;
+    sim::Histogram latency_hist;
+    explicit Account(double hist_max_ms, int buckets)
+        : latency_hist(0.0, hist_max_ms, buckets) {}
+  };
+
+  const double hist_max_ms_;
+  const int buckets_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Account> accounts_;
+};
+
+}  // namespace af::serve

@@ -19,9 +19,20 @@ void RunningStat::add(double x) {
 }
 
 void RunningStat::merge(const RunningStat& o) {
+  // Empty operands never reach the Chan combination below: it divides by
+  // the merged count, and folding an empty collector's sentinel
+  // min_/max_/mean_ through it would poison the result.
   if (o.count_ == 0) return;
   if (count_ == 0) {
     *this = o;
+    return;
+  }
+  if (&o == this) {
+    // Self-merge: every sample counted twice.  The mean and extrema are
+    // unchanged; deviations (and hence m2_) simply double.  Handled apart
+    // because the general path reads o's fields after mutating ours.
+    m2_ *= 2.0;
+    count_ *= 2;
     return;
   }
   const double na = static_cast<double>(count_);
@@ -52,6 +63,24 @@ void Histogram::add(double x) {
   idx = std::clamp(idx, 0, static_cast<int>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  AF_CHECK(total_ > 0, "quantile of an empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo_ + step * (static_cast<double>(i) + std::clamp(frac, 0.0, 1.0));
+    }
+    cumulative = next;
+  }
+  return hi_;
 }
 
 std::int64_t Histogram::bucket_count(int i) const {

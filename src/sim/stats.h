@@ -42,6 +42,11 @@ class Histogram {
   std::int64_t bucket_count(int i) const;
   int buckets() const { return static_cast<int>(counts_.size()); }
   std::int64_t total() const { return total_; }
+  // Estimated q-quantile (q in [0, 1]), linearly interpolated inside the
+  // bucket where the cumulative count crosses q * total.  Resolution is one
+  // bucket width — the serving layer's latency percentiles (p50/p99) use
+  // this with a few thousand buckets.  Requires at least one sample.
+  double quantile(double q) const;
   // "lo..hi: count" lines for reports.
   std::string render() const;
 

@@ -3,6 +3,21 @@
 #include <algorithm>
 
 namespace af::util {
+namespace {
+
+// Set while the current thread runs a parallel_for body.  Guards against
+// the two nested-dispatch hazards: re-entering parallel_for on the pool the
+// thread is already working for (deadlock on job_mutex_ / in_flight_), and
+// fanning a nested job out to a second pool (threads² oversubscription).
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tls_in_parallel_region) { tls_in_parallel_region = true; }
+  ~RegionGuard() { tls_in_parallel_region = prev; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -23,12 +38,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_n(ThreadPool* pool, std::int64_t n,
                        const std::function<void(std::int64_t)>& body) {
-  if (pool != nullptr && n > 1) {
+  if (pool != nullptr && n > 1 && !tls_in_parallel_region) {
     pool->parallel_for(n, body);
   } else {
     for (std::int64_t i = 0; i < n; ++i) body(i);
   }
 }
+
+bool ThreadPool::in_parallel_region() { return tls_in_parallel_region; }
 
 int ThreadPool::resolve_num_threads(int requested) {
   if (requested == 0) {
@@ -62,6 +79,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_indices(const std::function<void(std::int64_t)>& body) {
+  RegionGuard region;
   for (;;) {
     std::int64_t i;
     {
@@ -82,7 +100,22 @@ void ThreadPool::run_indices(const std::function<void(std::int64_t)>& body) {
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& body) {
   if (n <= 0) return;
-  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  if (tls_in_parallel_region) {
+    // Re-entrant call from inside a pool task: the worker's slot in the
+    // outer job is occupied (and, for this pool, job_mutex_ may be held by
+    // the outer caller), so dispatching would deadlock.  Run inline.
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::unique_lock<std::mutex> job_lock(job_mutex_, std::try_to_lock);
+  if (!job_lock.owns_lock()) {
+    // Another thread's job owns the pool.  Waiting would stall this caller
+    // for the other fan-out's full duration, so do the work serially here
+    // (see the header note) — several serving shards sharing one sim pool
+    // keep making progress instead of convoying behind the lock.
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     body_ = &body;

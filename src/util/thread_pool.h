@@ -7,6 +7,17 @@
 // until every index is done — so callers never deal with futures or task
 // lifetimes.  Exceptions thrown by the body are captured and the first one
 // is rethrown on the calling thread.
+//
+// Sharing and nesting: one pool may be shared by many components (the
+// serving layer injects a single pool into every shard's SystolicArray and
+// InferenceRunner).  At most one job runs on the workers at a time; a
+// parallel_for that finds the pool busy with another thread's job runs its
+// indices inline rather than queueing behind it.  A parallel_for issued
+// from INSIDE a pool task is detected via a thread-local flag and runs
+// inline on the calling thread instead of deadlocking on the job lock, and
+// run_n falls back to plain serial execution in that situation, so nested
+// parallelism degrades to the outer level's thread count rather than
+// oversubscribing.
 
 #pragma once
 
@@ -35,9 +46,15 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
   // Runs body(i) for every i in [0, n).  Blocks until all iterations have
-  // finished; serialized against concurrent parallel_for calls on the same
-  // pool.  Iterations are claimed dynamically, so uneven per-index cost
-  // (e.g. skipped sparse tiles) still balances.
+  // finished.  Iterations are claimed dynamically, so uneven per-index
+  // cost (e.g. skipped sparse tiles) still balances.  Called from inside a
+  // pool task (this pool or any other), the loop runs inline on the
+  // calling thread — re-entry can never deadlock.  When another thread's
+  // job already occupies the pool, the call does NOT queue behind it: it
+  // runs its own indices inline instead (the callers of this pool — shard
+  // workers, tiled GEMMs — are always free to do their work serially, and
+  // stalling them behind an unrelated fan-out wastes more than the lost
+  // parallelism).
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& body);
 
@@ -45,10 +62,16 @@ class ThreadPool {
   // threads", anything else passes through (clamped to >= 1).
   static int resolve_num_threads(int requested);
 
+  // True while the calling thread is executing a parallel_for body (of any
+  // pool).  Nested dispatch helpers consult this to stay serial.
+  static bool in_parallel_region();
+
   // The shared fan-out idiom: body(i) for i in [0, n), on `pool` when one
-  // exists and there is more than one index, inline on the caller
-  // otherwise.  Lets call sites own (and cache) their pool while sharing
-  // the dispatch logic.
+  // exists, there is more than one index and the caller is not already
+  // inside a pool task; inline on the caller otherwise.  Lets call sites
+  // own (and cache) their pool while sharing the dispatch logic, and makes
+  // nested fan-out (a threaded runner driving threaded arrays) degrade to
+  // serial instead of oversubscribing.
   static void run_n(ThreadPool* pool, std::int64_t n,
                     const std::function<void(std::int64_t)>& body);
 

@@ -6,9 +6,68 @@
 #include "arch/clocking.h"
 #include "nn/models.h"
 #include "nn/runner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace af::nn {
 namespace {
+
+// Bitwise comparison of every numeric field two reports can differ in —
+// threaded evaluation must not perturb a single ULP.
+void expect_reports_identical(const ModelReport& a, const ModelReport& b) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const LayerReport& x = a.layers[i];
+    const LayerReport& y = b.layers[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.k_hat, y.k_hat) << x.name;
+    EXPECT_EQ(x.arrayflex.k, y.arrayflex.k) << x.name;
+    EXPECT_EQ(x.arrayflex.cycles, y.arrayflex.cycles) << x.name;
+    EXPECT_EQ(x.arrayflex.time_ps, y.arrayflex.time_ps) << x.name;
+    EXPECT_EQ(x.conventional.time_ps, y.conventional.time_ps) << x.name;
+    EXPECT_EQ(x.arrayflex_power.energy_pj, y.arrayflex_power.energy_pj)
+        << x.name;
+    EXPECT_EQ(x.conventional_power.energy_pj, y.conventional_power.energy_pj)
+        << x.name;
+  }
+  EXPECT_EQ(a.arrayflex_time_ps, b.arrayflex_time_ps);
+  EXPECT_EQ(a.conventional_time_ps, b.conventional_time_ps);
+  EXPECT_EQ(a.arrayflex_energy_pj, b.arrayflex_energy_pj);
+  EXPECT_EQ(a.conventional_energy_pj, b.conventional_energy_pj);
+}
+
+// A randomized model with enough layer variety to give every worker thread
+// interleaving a chance to scramble the aggregation if it could.
+Model random_model(Rng& rng, int layers) {
+  Model m;
+  m.name = "random";
+  for (int i = 0; i < layers; ++i) {
+    const std::string name = "l" + std::to_string(i);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const int side = static_cast<int>(rng.next_in(7, 56));
+        m.layers.push_back(Layer::conv(name,
+                                       static_cast<int>(rng.next_in(16, 256)),
+                                       static_cast<int>(rng.next_in(16, 256)),
+                                       3, 1, 1, side, side));
+        break;
+      }
+      case 1: {
+        const int side = static_cast<int>(rng.next_in(7, 56));
+        m.layers.push_back(
+            Layer::pointwise(name, static_cast<int>(rng.next_in(16, 384)),
+                             static_cast<int>(rng.next_in(16, 384)), side,
+                             side));
+        break;
+      }
+      default:
+        m.layers.push_back(
+            Layer::linear(name, static_cast<int>(rng.next_in(64, 2048)),
+                          static_cast<int>(rng.next_in(64, 2048))));
+    }
+  }
+  return m;
+}
 
 class RunnerTest : public ::testing::Test {
  protected:
@@ -131,6 +190,52 @@ TEST_F(RunnerTest, EmptyModelRejected) {
   Model empty;
   empty.name = "empty";
   EXPECT_THROW(runner128_.run(empty), Error);
+}
+
+TEST_F(RunnerTest, ThreadedRunBitIdenticalToSerial) {
+  // The concurrent-aggregation guarantee: a threaded run's ModelReport is
+  // bit-identical to the serial one, across thread counts and random
+  // workloads (satellite of the serving-layer PR; the serve:: shards rely
+  // on it).
+  Rng rng(2024);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Model model = random_model(rng, 24);
+    arch::ArrayConfig config = arch::ArrayConfig::square(128);
+    config.sim.num_threads = 1;
+    const ModelReport serial = InferenceRunner(config, clock_).run(model);
+    for (const int threads : {1, 2, 8}) {
+      config.sim.num_threads = threads;
+      const ModelReport threaded = InferenceRunner(config, clock_).run(model);
+      expect_reports_identical(serial, threaded);
+    }
+  }
+}
+
+TEST_F(RunnerTest, SharedPoolInjectionMatchesPrivatePool) {
+  util::ThreadPool pool(4);
+  const arch::ArrayConfig config = arch::ArrayConfig::square(128);
+  const InferenceRunner shared(config, clock_,
+                               arch::EnergyParams::generic28nm(), &pool);
+  const Model model = convnext_tiny();
+  expect_reports_identical(runner128_.run(model), shared.run(model));
+}
+
+TEST_F(RunnerTest, RunSliceConcatenationReproducesFullRun) {
+  const Model model = convnext_tiny();
+  const ModelReport full = runner128_.run(model);
+  const std::size_t half = model.layers.size() / 2;
+  const ModelReport a = runner128_.run_slice(model, 0, half);
+  const ModelReport b =
+      runner128_.run_slice(model, half, model.layers.size() - half);
+  ASSERT_EQ(a.layers.size() + b.layers.size(), full.layers.size());
+  for (std::size_t i = 0; i < full.layers.size(); ++i) {
+    const LayerReport& got =
+        i < half ? a.layers[i] : b.layers[i - half];
+    EXPECT_EQ(got.name, full.layers[i].name);
+    EXPECT_EQ(got.arrayflex.time_ps, full.layers[i].arrayflex.time_ps);
+  }
+  EXPECT_THROW(runner128_.run_slice(model, 0, model.layers.size() + 1), Error);
+  EXPECT_THROW(runner128_.run_slice(model, model.layers.size(), 1), Error);
 }
 
 TEST_F(RunnerTest, EvaluateSingleLayerStandalone) {

@@ -1,0 +1,447 @@
+// Multi-tenant serving layer: queue semantics, batch formation, same-weight
+// fusion, sharded inference, tenant/shard accounting, and a concurrent
+// multi-client stress run (the CI sanitizer job repeats this binary to
+// shake out ordering-dependent races).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gemm/reference.h"
+#include "nn/models.h"
+#include "nn/runner.h"
+#include "serve/queue.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace af::serve {
+namespace {
+
+Request make_gemm_request(std::uint64_t id, int k) {
+  Request r;
+  r.kind = RequestKind::kGemm;
+  r.id = id;
+  r.decided_k = k;
+  return r;
+}
+
+TEST(RequestQueueTest, FifoOrderAndBoundedCapacity) {
+  RequestQueue q(2);
+  ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
+  ASSERT_TRUE(q.push(make_gemm_request(1, 1)));
+  EXPECT_EQ(q.size(), 2u);
+
+  // A third push blocks until a slot frees up.
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(make_gemm_request(2, 1));
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+
+  auto r0 = q.pop();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->id, 0u);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenSignalsShutdown) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
+  q.close();
+  EXPECT_FALSE(q.push(make_gemm_request(1, 1)));  // admission refused
+  ASSERT_TRUE(q.pop().has_value());               // accepted work drains
+  EXPECT_FALSE(q.pop().has_value());              // then shutdown signal
+}
+
+TEST(RequestQueueTest, PopIfTakesFirstMatchLeavingOthersInPlace) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
+  ASSERT_TRUE(q.push(make_gemm_request(1, 2)));
+  ASSERT_TRUE(q.push(make_gemm_request(2, 1)));
+
+  auto taken = q.pop_if([](const Request& r) { return r.decided_k == 2; });
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->id, 1u);
+  EXPECT_FALSE(
+      q.pop_if([](const Request& r) { return r.decided_k == 4; }).has_value());
+  EXPECT_EQ(q.pop()->id, 0u);
+  EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(BatchSchedulerTest, CoalescesSameModeAcrossIncompatibleMiddle) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
+  ASSERT_TRUE(q.push(make_gemm_request(1, 2)));
+  ASSERT_TRUE(q.push(make_gemm_request(2, 1)));
+  ASSERT_TRUE(q.push(make_gemm_request(3, 1)));
+  q.close();
+
+  BatchScheduler sched(&q, /*max_batch=*/8);
+  auto b1 = sched.next_batch();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->k, 1);
+  ASSERT_EQ(b1->requests.size(), 3u);  // ids 0, 2, 3 — id 1 kept its place
+  EXPECT_EQ(b1->requests[0].id, 0u);
+  EXPECT_EQ(b1->requests[1].id, 2u);
+  EXPECT_EQ(b1->requests[2].id, 3u);
+
+  auto b2 = sched.next_batch();
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->k, 2);
+  EXPECT_EQ(b2->requests.size(), 1u);
+  EXPECT_FALSE(sched.next_batch().has_value());
+}
+
+TEST(BatchSchedulerTest, MaxBatchOneDisablesCoalescing) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
+  ASSERT_TRUE(q.push(make_gemm_request(1, 1)));
+  q.close();
+  BatchScheduler sched(&q, /*max_batch=*/1);
+  EXPECT_EQ(sched.next_batch()->requests.size(), 1u);
+  EXPECT_EQ(sched.next_batch()->requests.size(), 1u);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static arch::ArrayConfig shard16() { return arch::ArrayConfig::square(16); }
+
+  static std::shared_ptr<gemm::Mat32> random_weights(Rng& rng,
+                                                     std::int64_t n,
+                                                     std::int64_t m) {
+    return std::make_shared<gemm::Mat32>(
+        gemm::random_matrix(rng, n, m, -50, 50));
+  }
+};
+
+TEST_F(ServeTest, GemmResultsMatchReference) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 4;
+  Server server(shard16(), opts);
+
+  Rng rng(42);
+  auto weights = random_weights(rng, 32, 24);
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 4 + i % 3, 32, -50, 50));
+    futures.push_back(server.submit_gemm("tenant-a", inputs.back(), weights));
+  }
+  for (int i = 0; i < 10; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    const gemm::Mat64 want = gemm::reference_gemm(
+        inputs[static_cast<std::size_t>(i)], *weights);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "") << "request " << i;
+    EXPECT_GT(r.energy_pj, 0.0);
+    EXPECT_GT(r.time_ps, 0.0);
+    EXPECT_GE(r.latency_ms, r.queue_ms);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 10);
+  EXPECT_EQ(stats.completed, 10);
+}
+
+TEST_F(ServeTest, SameWeightRequestsFuseBehindAPlug) {
+  ServerOptions opts;
+  opts.num_shards = 1;  // single shard makes the schedule deterministic
+  opts.max_batch = 8;
+  Server server(shard16(), opts);
+
+  Rng rng(7);
+  // A long-running k=4 plug occupies the shard while the small k=1
+  // requests pile up behind it; k=1 requests can never join the plug's
+  // batch (mode mismatch), so they form one fused batch of their own.
+  auto plug_weights = random_weights(rng, 128, 128);
+  gemm::Mat32 plug_a = gemm::random_matrix(rng, 512, 128, -4, 4);
+  auto plug_future =
+      server.submit_gemm("plug", std::move(plug_a), plug_weights, /*k=*/4);
+
+  auto weights = random_weights(rng, 32, 16);
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 5, 32, -50, 50));
+    futures.push_back(
+        server.submit_gemm("tenant-b", inputs.back(), weights, /*k=*/1));
+  }
+
+  plug_future.get();
+  // How the trio splits into batches depends on submission/service timing
+  // (usually one batch of 3 behind the plug), so assert only the
+  // schedule-independent invariants: any k=1 batch consists solely of
+  // same-weight 5-row requests, which ALWAYS fuse into a single hardware
+  // run of batch_requests * 5 stacked rows.
+  for (int i = 0; i < 3; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.k, 1);
+    EXPECT_GE(r.batch_requests, 1);
+    EXPECT_LE(r.batch_requests, 3);
+    EXPECT_EQ(r.fused_rows, r.batch_requests * 5);
+    const gemm::Mat64 want = gemm::reference_gemm(
+        inputs[static_cast<std::size_t>(i)], *weights);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "") << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].requests, 4);
+  // One run for the plug plus one per k=1 batch — at most 4 total, and
+  // exactly 2 when the trio coalesced (the common schedule).
+  EXPECT_GE(stats.shards[0].fused_runs, 2);
+  EXPECT_LE(stats.shards[0].fused_runs, 4);
+  EXPECT_EQ(stats.shards[0].mode_switches, 1);  // k=4 -> k=1, batching or not
+  EXPECT_EQ(stats.shards[0].current_k, 1);
+}
+
+TEST_F(ServeTest, ModeSwitchAccounting) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  Server server(shard16(), opts);
+
+  Rng rng(3);
+  auto weights = random_weights(rng, 16, 16);
+  const auto submit_and_wait = [&](int k) {
+    server
+        .submit_gemm("t", gemm::random_matrix(rng, 4, 16, -10, 10), weights, k)
+        .get();
+  };
+  submit_and_wait(1);  // initial configuration: free, not a switch
+  submit_and_wait(2);
+  submit_and_wait(1);
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].mode_switches, 2);
+  EXPECT_GT(stats.shards[0].reconfig_time_ps, 0.0);
+  EXPECT_GT(stats.shards[0].reconfig_energy_pj, 0.0);
+  EXPECT_EQ(stats.shards[0].current_k, 1);
+  EXPECT_EQ(stats.shards[0].busy_ps_by_mode.size(), 2u);
+}
+
+TEST_F(ServeTest, ShardedInferenceBitIdenticalToDirectRun) {
+  ServerOptions opts;
+  opts.num_shards = 3;
+  Server server(shard16(), opts);
+
+  auto model = std::make_shared<nn::Model>(nn::convnext_tiny());
+  InferenceResult result = server.submit_inference("tenant-i", model).get();
+  EXPECT_EQ(result.num_slices, 3);
+
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const nn::InferenceRunner direct(shard16(), clock);
+  const nn::ModelReport want = direct.run(*model);
+
+  ASSERT_EQ(result.report.layers.size(), want.layers.size());
+  for (std::size_t i = 0; i < want.layers.size(); ++i) {
+    const nn::LayerReport& got = result.report.layers[i];
+    const nn::LayerReport& ref = want.layers[i];
+    EXPECT_EQ(got.name, ref.name);
+    EXPECT_EQ(got.arrayflex.k, ref.arrayflex.k) << ref.name;
+    EXPECT_EQ(got.arrayflex.time_ps, ref.arrayflex.time_ps) << ref.name;
+    EXPECT_EQ(got.conventional.time_ps, ref.conventional.time_ps) << ref.name;
+    EXPECT_EQ(got.arrayflex_power.energy_pj, ref.arrayflex_power.energy_pj)
+        << ref.name;
+  }
+  EXPECT_EQ(result.report.arrayflex_time_ps, want.arrayflex_time_ps);
+  EXPECT_EQ(result.report.conventional_time_ps, want.conventional_time_ps);
+  EXPECT_EQ(result.report.arrayflex_energy_pj, want.arrayflex_energy_pj);
+  EXPECT_EQ(result.report.conventional_energy_pj, want.conventional_energy_pj);
+  EXPECT_EQ(result.report.mode_histogram(), want.mode_histogram());
+}
+
+TEST_F(ServeTest, StressManyClientsManyShardsWithBatching) {
+  // The acceptance workload: >= 4 concurrent client threads, >= 2 shards,
+  // batching enabled, every single result verified against the reference
+  // GEMM, and the books must balance afterwards.
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 8;
+  opts.sim_threads = 2;  // exercise the shared simulation pool too
+  Server server(shard16(), opts);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+  Rng weight_rng(99);
+  auto shared_weights = random_weights(weight_rng, 48, 32);
+  auto model = std::make_shared<nn::Model>(nn::mobilenet_v1());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      const std::string tenant = "tenant-" + std::to_string(c);
+      for (int i = 0; i < kPerClient; ++i) {
+        if (i % 8 == 7) {
+          // Sprinkle whole-model inferences between the GEMM traffic.
+          InferenceResult r = server.submit_inference(tenant, model).get();
+          if (r.report.layers.size() != model->layers.size()) ++failures;
+          continue;
+        }
+        gemm::Mat32 a = gemm::random_matrix(rng, 3 + i % 5, 48, -30, 30);
+        const gemm::Mat64 want = gemm::reference_gemm(a, *shared_weights);
+        GemmResult r =
+            server.submit_gemm(tenant, std::move(a), shared_weights).get();
+        if (gemm::first_mismatch(r.out, want) != "") ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  ASSERT_EQ(stats.tenants.size(), static_cast<std::size_t>(kClients));
+  for (const TenantSnapshot& t : stats.tenants) {
+    EXPECT_EQ(t.requests, kPerClient) << t.tenant;
+    EXPECT_GT(t.energy_pj, 0.0) << t.tenant;
+    EXPECT_GT(t.macs, 0) << t.tenant;
+    EXPECT_LE(t.p50_latency_ms, t.p99_latency_ms) << t.tenant;
+    EXPECT_LE(t.p99_latency_ms, t.max_latency_ms + 1e-9) << t.tenant;
+    EXPECT_GT(t.mean_latency_ms, 0.0) << t.tenant;
+  }
+  std::int64_t shard_requests = 0;
+  for (const ShardSnapshot& s : stats.shards) {
+    shard_requests += s.requests;
+    EXPECT_GE(s.batches, 0);
+  }
+  // Every GEMM request and every inference slice landed on some shard.
+  EXPECT_GE(shard_requests, stats.completed);
+}
+
+TEST_F(ServeTest, ShutdownDrainsAcceptedWorkAndRefusesNew) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  Server server(shard16(), opts);
+
+  Rng rng(5);
+  auto weights = random_weights(rng, 16, 16);
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.submit_gemm(
+        "t", gemm::random_matrix(rng, 4, 16, -10, 10), weights));
+  }
+  server.shutdown();
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());  // accepted work completed before stop
+  }
+  EXPECT_THROW(server.submit_gemm(
+                   "t", gemm::random_matrix(rng, 4, 16, -10, 10), weights),
+               Error);
+}
+
+TEST_F(ServeTest, TenantTimeAndEnergyBooksBalanceForGemms) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 4;
+  Server server(shard16(), opts);
+
+  Rng rng(17);
+  auto weights = random_weights(rng, 32, 32);
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(server.submit_gemm(
+        "tenant-" + std::to_string(i % 3),
+        gemm::random_matrix(rng, 4, 32, -20, 20), weights));
+  }
+  for (auto& f : futures) f.get();
+
+  // Share-weighted attribution: per-tenant sums reproduce the shards'
+  // actual spend even when requests rode fused runs.
+  const ServerStats stats = server.stats();
+  double tenant_time = 0.0, tenant_energy = 0.0;
+  for (const TenantSnapshot& t : stats.tenants) {
+    tenant_time += t.sim_time_ps;
+    tenant_energy += t.energy_pj;
+  }
+  double shard_time = 0.0, shard_energy = 0.0;
+  for (const ShardSnapshot& s : stats.shards) {
+    shard_time += s.busy_time_ps;
+    shard_energy += s.energy_pj;
+  }
+  EXPECT_NEAR(tenant_time, shard_time, 1e-6 * shard_time);
+  EXPECT_NEAR(tenant_energy, shard_energy, 1e-6 * shard_energy);
+}
+
+TEST_F(ServeTest, FailingRequestDeliversExceptionWithoutKillingServer) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  Server server(shard16(), opts);
+
+  // A layer with zero output positions (built raw — the factory would
+  // reject it) passes submit-time validation but throws inside the
+  // analytic evaluation (tile T must be positive).
+  auto poisoned = std::make_shared<nn::Model>();
+  poisoned->name = "poisoned";
+  nn::Layer bad;
+  bad.name = "bad";
+  bad.kind = nn::LayerKind::kConv;
+  bad.in_channels = 8;
+  bad.out_channels = 8;
+  bad.kernel_h = bad.kernel_w = 3;
+  bad.in_h = bad.in_w = 2;  // out_h = out_w = 0
+  poisoned->layers.push_back(bad);
+  auto failed = server.submit_inference("tenant-x", poisoned);
+  EXPECT_THROW(failed.get(), Error);
+
+  // The worker survived: subsequent requests are served normally.
+  Rng rng(23);
+  auto weights = random_weights(rng, 16, 16);
+  gemm::Mat32 a = gemm::random_matrix(rng, 4, 16, -10, 10);
+  const gemm::Mat64 want = gemm::reference_gemm(a, *weights);
+  GemmResult ok = server.submit_gemm("tenant-x", std::move(a), weights).get();
+  EXPECT_EQ(gemm::first_mismatch(ok.out, want), "");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);  // the failure resolved its future too
+}
+
+TEST_F(ServeTest, CoalescedInferenceSplitsEnergy) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 4;
+  Server server(shard16(), opts);
+
+  auto model = std::make_shared<nn::Model>(nn::mobilenet_v1());
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        server.submit_inference("tenant-" + std::to_string(i), model));
+  }
+  std::vector<InferenceResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+
+  // All requesters see the same (full-price) report...
+  for (const InferenceResult& r : results) {
+    EXPECT_EQ(r.report.arrayflex_energy_pj,
+              results[0].report.arrayflex_energy_pj);
+    EXPECT_EQ(r.report.layers.size(), model->layers.size());
+  }
+  // ...but the tenants' attributed energy sums to at most what the
+  // hardware actually spent (coalesced slices are charged once, split).
+  const ServerStats stats = server.stats();
+  double attributed = 0.0;
+  for (const TenantSnapshot& t : stats.tenants) attributed += t.energy_pj;
+  double spent = 0.0;
+  for (const ShardSnapshot& s : stats.shards) spent += s.energy_pj;
+  EXPECT_LE(attributed, spent * (1.0 + 1e-9));
+  EXPECT_GT(attributed, 0.0);
+}
+
+}  // namespace
+}  // namespace af::serve

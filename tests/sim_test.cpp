@@ -63,6 +63,73 @@ TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
 }
 
+TEST(RunningStatTest, MergeEmptyIntoEmptyStaysEmptyAndUsable) {
+  RunningStat a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  // The sentinel extrema must not have leaked into real statistics: the
+  // collector still works normally after the no-op merge.
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(RunningStatTest, MergeEmptyIntoNonemptyKeepsExtrema) {
+  RunningStat s, empty;
+  s.add(-1.0);
+  s.add(7.0);
+  s.merge(empty);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.count(), 2);
+}
+
+TEST(RunningStatTest, SelfMergeDoublesEverySample) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  s.merge(s);
+  // Equivalent to the multiset {1, 2, 3, 1, 2, 3}.
+  EXPECT_EQ(s.count(), 6);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0 / 5.0);
+
+  RunningStat empty;
+  empty.merge(empty);  // empty self-merge is a no-op, not a poison
+  EXPECT_EQ(empty.count(), 0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileOfSinglePointMass) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(3.5);  // all in bucket [3, 4)
+  EXPECT_GE(h.quantile(0.5), 3.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_GE(h.quantile(0.99), 3.0);
+  EXPECT_LE(h.quantile(0.99), 4.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), Error);
+}
+
 TEST(HistogramTest, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bucket 0

@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/math.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace af {
 namespace {
@@ -171,6 +175,88 @@ TEST(TableTest, SeparatorAndAlignment) {
   const std::string s = t.render();
   EXPECT_NE(s.find("| x      | 1 |"), std::string::npos);
   EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::int64_t i) {
+                                   if (i == 13) {
+                                     AF_CHECK(false, "boom at " << i);
+                                   }
+                                 }),
+               Error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> done{0};
+  pool.parallel_for(8, [&](std::int64_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForRunsInlineInsteadOfDeadlocking) {
+  // Regression: a task body calling parallel_for on its own pool used to
+  // block forever on the job lock / in-flight count.  Now the nested call
+  // executes inline on the calling thread.
+  util::ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> region_seen{0};
+  pool.parallel_for(4, [&](std::int64_t) {
+    if (util::ThreadPool::in_parallel_region()) region_seen.fetch_add(1);
+    pool.parallel_for(8, [&](std::int64_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+  EXPECT_EQ(region_seen.load(), 4);
+  EXPECT_FALSE(util::ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPoolTest, NestedRunNFallsBackToSerial) {
+  // A threaded component driving another threaded component (runner ->
+  // array) must not fan out twice: the inner run_n detects it is already
+  // inside a pool task and stays serial, even against a DIFFERENT pool.
+  util::ThreadPool outer(4);
+  util::ThreadPool inner(4);
+  std::atomic<int> inner_iterations{0};
+  util::ThreadPool::run_n(&outer, 4, [&](std::int64_t) {
+    util::ThreadPool::run_n(&inner, 16, [&](std::int64_t) {
+      EXPECT_TRUE(util::ThreadPool::in_parallel_region());
+      inner_iterations.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_iterations.load(), 4 * 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersBothCompleteWithoutConvoying) {
+  // Two threads fanning out on one shared pool (the serving shards'
+  // situation): the loser of the job slot runs inline instead of blocking
+  // behind the winner, and both jobs finish with every index covered.
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&] {
+    pool.parallel_for(64, [&](std::int64_t) { total.fetch_add(1); });
+  });
+  pool.parallel_for(64, [&](std::int64_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 128);
+}
+
+TEST(ThreadPoolTest, ReentrantExceptionStillPropagates) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(2,
+                        [&](std::int64_t) {
+                          pool.parallel_for(2, [&](std::int64_t j) {
+                            AF_CHECK(j < 1, "nested failure");
+                          });
+                        }),
+      Error);
 }
 
 }  // namespace
