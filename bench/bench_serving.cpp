@@ -1,15 +1,34 @@
 // PERF — multi-tenant serving layer throughput/latency tracker.
 //
-// Drives a serve::Server with 4 concurrent client threads submitting GEMM
-// requests against shared stationary weights, across a (shard count x
-// max batch) grid, and reports sustained requests/s plus wall-clock p50 /
-// p99 / mean latency per point.  Batching wins show up twice: fewer fused
-// hardware runs (weight preload amortized across coalesced requests) and
-// fewer mode switches.  Results go to BENCH_serving.json so the serving
-// layer's perf trajectory is tracked across PRs alongside
-// BENCH_sim_throughput.json and BENCH_netlist_sim.json.
+// Three studies, all recorded in BENCH_serving.json so the serving layer's
+// perf trajectory is tracked across PRs alongside BENCH_sim_throughput.json
+// and BENCH_netlist_sim.json:
+//
+//   1. closed_loop — 4 concurrent client threads with a bounded in-flight
+//      window across a (shard count x max batch) grid: sustained requests/s
+//      plus wall-clock p50/p99/mean latency per point.  Batching wins show
+//      up twice: fewer fused hardware runs (weight preload amortized) and
+//      fewer mode switches.
+//
+//   2. backend_comparison — the engine facade's fidelity/throughput trade
+//      at equal shard count: the same cost-estimation workload
+//      (want_output = false) served by the "analytic" backend vs the
+//      "cycle" backend.  The analytic engine answers from closed forms
+//      pinned exactly to the simulator, so the speedup is free fidelity-
+//      wise; the ratio is the headline number the engine redesign exists
+//      for (expected: well above 50x).
+//
+//   3. open_loop — a Poisson arrival-rate sweep (open loop: the generator
+//      never waits for completions), producing the saturation curve of
+//      offered load vs achieved throughput and p50/p99 latency.  Below
+//      saturation p99 stays flat; past it the queue fills, the bounded
+//      queue throttles the generator, and latency explodes — the classic
+//      hockey stick.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,10 +46,13 @@ namespace {
 
 using namespace af;
 
+// ---- 1. closed-loop grid ---------------------------------------------------
+
 struct Point {
   int shards = 1;
   int max_batch = 1;
   int clients = 0;
+  std::string backend;
   std::int64_t requests = 0;
   double seconds = 0.0;
   double p50_ms = 0.0;
@@ -44,23 +66,37 @@ struct Point {
   }
 };
 
-Point run_point(int shards, int max_batch, int clients, int per_client) {
+Point run_point(int shards, int max_batch, int clients, int per_client,
+                const std::string& backend, bool want_output,
+                std::int64_t t_rows = 8, std::int64_t n = 64,
+                std::int64_t m = 48) {
   serve::ServerOptions opts;
   opts.num_shards = shards;
   opts.max_batch = max_batch;
   opts.queue_capacity = 512;
+  opts.backend = backend;
+  // Serving latencies here are sub-millisecond: a tight histogram range
+  // keeps the p50/p99 buckets meaningfully narrow (~24 us).
+  opts.latency_hist_max_ms = 100.0;
   serve::Server server(arch::ArrayConfig::square(16), opts);
 
   Rng weight_rng(2026);
   auto weights = std::make_shared<gemm::Mat32>(
-      gemm::random_matrix(weight_rng, 64, 48, -40, 40));
+      gemm::random_matrix(weight_rng, n, m, -40, 40));
+
+  // Activations come from a small pre-generated pool: per-request RNG
+  // would throttle the client loop and understate the fast backends.
+  Rng act_rng(7007);
+  std::vector<gemm::Mat32> activation_pool;
+  for (int i = 0; i < 8; ++i) {
+    activation_pool.push_back(gemm::random_matrix(act_rng, t_rows, n, -40, 40));
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      Rng rng(100 + static_cast<std::uint64_t>(c));
       // Each client keeps a window of requests in flight — a loaded
       // closed-loop workload, so the scheduler actually sees a backlog to
       // coalesce (a one-at-a-time client never exercises batching).
@@ -72,7 +108,9 @@ Point run_point(int shards, int max_batch, int clients, int per_client) {
         // neighbours fuse.
         const int k = (i % 4 == 3) ? 2 : 1;
         in_flight.push_back(server.submit_gemm(
-            "bench", gemm::random_matrix(rng, 8, 64, -40, 40), weights, k));
+            "bench",
+            activation_pool[static_cast<std::size_t>((c + i) % 8)], weights,
+            k, want_output));
         if (in_flight.size() >= kWindow) {
           in_flight.front().get();
           in_flight.erase(in_flight.begin());
@@ -93,6 +131,7 @@ Point run_point(int shards, int max_batch, int clients, int per_client) {
   p.shards = shards;
   p.max_batch = max_batch;
   p.clients = clients;
+  p.backend = backend;
   p.requests = stats.completed;
   p.seconds = seconds;
   AF_CHECK(stats.tenants.size() == 1, "expected the single bench tenant");
@@ -107,24 +146,147 @@ Point run_point(int shards, int max_batch, int clients, int per_client) {
   return p;
 }
 
-void write_json(const std::vector<Point>& points, const std::string& path) {
+// ---- 2. analytic vs cycle at equal shard count -----------------------------
+
+struct BackendComparison {
+  Point analytic;
+  Point cycle;
+  double speedup() const {
+    return cycle.requests_per_s() > 0
+               ? analytic.requests_per_s() / cycle.requests_per_s()
+               : 0.0;
+  }
+};
+
+BackendComparison run_backend_comparison(bool quick) {
+  // Cost-estimation traffic (want_output = false) on a heavier GEMM, so
+  // the cycle backend pays full simulation while the analytic backend
+  // answers from closed forms.  Equal shard count on both sides.
+  const int shards = 2;
+  const int clients = 2;
+  BackendComparison cmp;
+  cmp.analytic = run_point(shards, /*max_batch=*/1, clients,
+                           /*per_client=*/quick ? 500 : 2000, "analytic",
+                           /*want_output=*/false, /*t=*/64, /*n=*/256,
+                           /*m=*/128);
+  cmp.cycle = run_point(shards, /*max_batch=*/1, clients,
+                        /*per_client=*/quick ? 6 : 16, "cycle",
+                        /*want_output=*/false, /*t=*/64, /*n=*/256,
+                        /*m=*/128);
+  return cmp;
+}
+
+// ---- 3. open-loop Poisson arrival sweep ------------------------------------
+
+struct OpenLoopPoint {
+  double offered_rps = 0.0;
+  std::int64_t requests = 0;
+  double seconds = 0.0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
+  serve::ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 8;
+  opts.queue_capacity = 1024;
+  opts.backend = "analytic";
+  opts.latency_hist_max_ms = 100.0;  // see run_point
+  serve::Server server(arch::ArrayConfig::square(16), opts);
+
+  Rng weight_rng(31);
+  auto weights = std::make_shared<gemm::Mat32>(
+      gemm::random_matrix(weight_rng, 64, 48, -40, 40));
+
+  Rng rng(9000);
+  std::vector<gemm::Mat32> activation_pool;
+  for (int i = 0; i < 8; ++i) {
+    activation_pool.push_back(gemm::random_matrix(rng, 8, 64, -40, 40));
+  }
+  std::deque<std::future<serve::GemmResult>> in_flight;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next_arrival = t0;
+  for (int i = 0; i < total_requests; ++i) {
+    // Exponential inter-arrival gap: -ln(1 - U) / rate seconds.
+    const double gap_s =
+        -std::log(1.0 - rng.next_double()) / offered_rps;
+    next_arrival +=
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next_arrival);
+    // Open loop: submit without waiting.  (Once the bounded queue fills —
+    // past saturation — submit_gemm itself blocks; that back-pressure IS
+    // the saturation signal and caps the achieved rate.)
+    in_flight.push_back(server.submit_gemm(
+        "openloop", activation_pool[static_cast<std::size_t>(i % 8)], weights,
+        /*k=*/0, /*want_output=*/false));
+    while (!in_flight.empty() &&
+           in_flight.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      in_flight.front().get();
+      in_flight.pop_front();
+    }
+  }
+  for (auto& f : in_flight) f.get();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  OpenLoopPoint p;
+  p.offered_rps = offered_rps;
+  p.requests = stats.completed;
+  p.seconds = seconds;
+  p.achieved_rps =
+      seconds > 0 ? static_cast<double>(stats.completed) / seconds : 0.0;
+  AF_CHECK(stats.tenants.size() == 1, "expected the single open-loop tenant");
+  p.p50_ms = stats.tenants[0].p50_latency_ms;
+  p.p99_ms = stats.tenants[0].p99_latency_ms;
+  p.mean_ms = stats.tenants[0].mean_latency_ms;
+  return p;
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+void append_point(std::ostringstream& json, const Point& p, bool last) {
+  json << "    {\"shards\": " << p.shards << ", \"max_batch\": " << p.max_batch
+       << ", \"clients\": " << p.clients << ", \"backend\": \"" << p.backend
+       << "\", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
+       << ", \"requests_per_s\": " << p.requests_per_s()
+       << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+       << ", \"mean_ms\": " << p.mean_ms << ", \"fused_runs\": " << p.fused_runs
+       << ", \"mode_switches\": " << p.mode_switches
+       << ", \"energy_pj\": " << p.energy_pj << "}" << (last ? "" : ",")
+       << "\n";
+}
+
+void write_json(const std::vector<Point>& closed_loop,
+                const BackendComparison& cmp,
+                const std::vector<OpenLoopPoint>& open_loop,
+                const std::string& path) {
   std::ostringstream json;
   json << "{\n  \"bench\": \"serving\",\n  \"unit\": \"requests/s\",\n"
        << "  \"results\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    json << "    {\"shards\": " << p.shards
-         << ", \"max_batch\": " << p.max_batch
-         << ", \"clients\": " << p.clients
-         << ", \"requests\": " << p.requests
-         << ", \"seconds\": " << p.seconds
-         << ", \"requests_per_s\": " << p.requests_per_s()
+  for (std::size_t i = 0; i < closed_loop.size(); ++i) {
+    append_point(json, closed_loop[i], i + 1 == closed_loop.size());
+  }
+  json << "  ],\n  \"backend_comparison\": {\n    \"analytic\": [\n";
+  append_point(json, cmp.analytic, true);
+  json << "    ],\n    \"cycle\": [\n";
+  append_point(json, cmp.cycle, true);
+  json << "    ],\n    \"analytic_vs_cycle_speedup\": " << cmp.speedup()
+       << "\n  },\n  \"open_loop\": [\n";
+  for (std::size_t i = 0; i < open_loop.size(); ++i) {
+    const OpenLoopPoint& p = open_loop[i];
+    json << "    {\"offered_rps\": " << p.offered_rps
+         << ", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
+         << ", \"achieved_rps\": " << p.achieved_rps
          << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
-         << ", \"mean_ms\": " << p.mean_ms
-         << ", \"fused_runs\": " << p.fused_runs
-         << ", \"mode_switches\": " << p.mode_switches
-         << ", \"energy_pj\": " << p.energy_pj << "}"
-         << (i + 1 < points.size() ? "," : "") << "\n";
+         << ", \"mean_ms\": " << p.mean_ms << "}"
+         << (i + 1 < open_loop.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 
@@ -148,17 +310,19 @@ int main(int argc, char** argv) {
   const int clients = 4;
   const int per_client = quick ? 16 : 64;
 
-  std::vector<Point> points;
+  std::vector<Point> closed_loop;
   for (const int shards : {1, 2, 4}) {
     for (const int max_batch : {1, 8}) {
-      points.push_back(run_point(shards, max_batch, clients, per_client));
+      closed_loop.push_back(run_point(shards, max_batch, clients, per_client,
+                                      "analytic", /*want_output=*/true));
     }
   }
 
+  std::printf("closed loop (backend: analytic)\n");
   std::printf("%7s %9s %8s %9s %12s %8s %8s %10s %12s\n", "shards",
               "max_batch", "clients", "requests", "requests/s", "p50 ms",
               "p99 ms", "fused", "mode_sw");
-  for (const Point& p : points) {
+  for (const Point& p : closed_loop) {
     std::printf("%7d %9d %8d %9lld %12.1f %8.3f %8.3f %10lld %12lld\n",
                 p.shards, p.max_batch, p.clients,
                 static_cast<long long>(p.requests), p.requests_per_s(),
@@ -166,6 +330,28 @@ int main(int argc, char** argv) {
                 static_cast<long long>(p.mode_switches));
   }
 
-  write_json(points, "BENCH_serving.json");
+  const BackendComparison cmp = run_backend_comparison(quick);
+  std::printf(
+      "\nbackend comparison (cost-estimation traffic, %d shards):\n"
+      "  analytic: %10.1f req/s\n  cycle:    %10.1f req/s\n"
+      "  speedup:  %10.1fx\n",
+      cmp.analytic.shards, cmp.analytic.requests_per_s(),
+      cmp.cycle.requests_per_s(), cmp.speedup());
+
+  std::vector<OpenLoopPoint> open_loop;
+  for (const double rate : {500.0, 2000.0, 8000.0, 32000.0, 128000.0}) {
+    const int total = std::min(
+        quick ? 2000 : 8000, std::max(200, static_cast<int>(rate / 4)));
+    open_loop.push_back(run_open_loop(rate, total));
+  }
+  std::printf("\nopen loop (Poisson arrivals, analytic backend, 2 shards):\n");
+  std::printf("%12s %12s %10s %10s %10s\n", "offered r/s", "achieved r/s",
+              "p50 ms", "p99 ms", "mean ms");
+  for (const OpenLoopPoint& p : open_loop) {
+    std::printf("%12.0f %12.1f %10.3f %10.3f %10.3f\n", p.offered_rps,
+                p.achieved_rps, p.p50_ms, p.p99_ms, p.mean_ms);
+  }
+
+  write_json(closed_loop, cmp, open_loop, "BENCH_serving.json");
   return 0;
 }

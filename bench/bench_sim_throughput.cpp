@@ -19,6 +19,7 @@
 
 #include "arch/array.h"
 #include "arch/latency.h"
+#include "engine/engine.h"
 #include "gemm/reference.h"
 #include "hw/builders/multiplier.h"
 #include "hw/netlist.h"
@@ -95,6 +96,41 @@ BENCHMARK(BM_ThreadedGemm)
     ->Args({32, 4, 1})
     ->Args({32, 4, 4})
     ->UseRealTime();
+
+// The engine facade's fidelity knob, microbenchmarked: the same GEMM
+// executed through engine::make("cycle") (full simulation) vs
+// engine::make("analytic") with and without outputs.  cost-only analytic
+// runs never touch the operands — that gap is the serving layer's
+// orders-of-magnitude cost-estimation speedup (bench_serving measures it
+// end to end).
+void BM_EngineRunGemm(benchmark::State& state) {
+  const bool analytic = state.range(0) != 0;
+  const bool want_output = state.range(1) != 0;
+  engine::EngineBuilder builder;
+  builder.config(config_for(32));
+  auto eng = builder.build(analytic ? "analytic" : "cycle");
+  Rng rng(4);
+  const gemm::Mat32 a = gemm::random_matrix(rng, 32, 64, -100, 100);
+  const gemm::Mat32 b = gemm::random_matrix(rng, 64, 256, -100, 100);
+  engine::GemmRequest request;
+  request.a = &a;
+  request.b = &b;
+  request.k = 4;
+  request.want_output = want_output;
+  std::int64_t macs = 0;
+  for (auto _ : state) {
+    const engine::RunResult run = eng->run_gemm(request);
+    macs += run.cost.activity.mult_ops;
+    benchmark::DoNotOptimize(run.cost.energy_pj);
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(macs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRunGemm)
+    ->ArgNames({"analytic", "out"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 0});
 
 void BM_ReferenceGemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -174,30 +210,36 @@ struct ThroughputPoint {
 };
 
 // Self-measured MACs/s sweep over {side, k, threads} on the threaded
-// run_gemm path, written as BENCH_sim_throughput.json (silently skipped on
-// read-only checkouts, like sim::CsvReport).
+// cycle-accurate path — driven through the engine facade, like every other
+// consumer since the API redesign — written as BENCH_sim_throughput.json
+// (silently skipped on read-only checkouts, like sim::CsvReport).
 void write_throughput_json(const std::string& path) {
   std::vector<ThroughputPoint> points;
   sim::RunningStat overall;
   for (const int side : {16, 32}) {
     for (const int k : {1, 4}) {
       for (const int threads : {1, 2, 4}) {
-        arch::SystolicArray array(config_for(side, threads));
+        engine::EngineBuilder builder;
+        builder.config(config_for(side, threads));
+        auto eng = builder.build("cycle");
         Rng rng(7);
         const std::int64_t t = 32;
         const gemm::Mat32 a = gemm::random_matrix(rng, t, 2 * side, -100, 100);
         const gemm::Mat32 b =
             gemm::random_matrix(rng, 2 * side, 8 * side, -100, 100);
+        engine::GemmRequest request;
+        request.a = &a;
+        request.b = &b;
+        request.k = k;
         ThroughputPoint p{side, k, threads, {}};
         for (int rep = 0; rep < 3; ++rep) {
-          gemm::Mat64 out;
           const auto t0 = std::chrono::steady_clock::now();
-          const arch::TileRunStats stats = array.run_gemm(a, b, k, &out);
+          const engine::RunResult run = eng->run_gemm(request);
           const auto t1 = std::chrono::steady_clock::now();
           const double secs = std::chrono::duration<double>(t1 - t0).count();
           if (secs > 0) {
-            p.macs_per_s.add(static_cast<double>(stats.activity.mult_ops) /
-                             secs);
+            p.macs_per_s.add(
+                static_cast<double>(run.cost.activity.mult_ops) / secs);
           }
         }
         overall.merge(p.macs_per_s);

@@ -10,9 +10,7 @@
 #include <iostream>
 #include <vector>
 
-#include "arch/array.h"
-#include "arch/clocking.h"
-#include "arch/optimizer.h"
+#include "engine/engine.h"
 #include "gemm/quantize.h"
 #include "nn/mapper.h"
 #include "util/rng.h"
@@ -51,29 +49,27 @@ int main() {
   const gemm::Mat32 a = nn::im2col(layer, input_q);
   const gemm::Mat32 b = nn::weights_to_matrix(layer, weights_q);
 
-  arch::ArrayConfig cfg;
-  cfg.rows = cfg.cols = 16;
-  cfg.supported_k = {1, 2, 4};
-  cfg.validate();
-  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
-  const arch::PipelineOptimizer opt(cfg, clock);
-  const arch::ModeDecision mode = opt.best_mode(shape);
-  std::cout << format("chosen pipeline mode: k=%d (k-hat %.2f)\n", mode.k,
-                      opt.continuous_k_hat(shape));
+  // A cycle-accurate engine over a 16x16 ArrayFlex; mode k = 0 lets the
+  // engine's optimizer pick the Eq. 6 argmin per request.
+  auto sim = engine::EngineBuilder().square(16).build("cycle");
+  std::cout << format("chosen pipeline mode: k=%d (k-hat %.2f)\n",
+                      sim->optimizer().best_mode(shape).k,
+                      sim->optimizer().continuous_k_hat(shape));
 
-  arch::SystolicArray array(cfg);
-  gemm::Mat64 out_q;
-  const arch::TileRunStats stats = array.run_gemm(a, b, mode.k, &out_q);
+  engine::GemmRequest request;
+  request.a = &a;
+  request.b = &b;
+  request.k = 0;
+  const engine::RunResult run = sim->run_gemm(request);
+  const gemm::Mat64& out_q = *run.out;
   std::cout << format("simulated %s cycles over %lld tiles (%s at %.2f GHz)\n",
-                      with_commas(stats.total_cycles).c_str(),
-                      static_cast<long long>(
-                          gemm::tile_count(shape, cfg.rows, cfg.cols)),
-                      format_time_ps(static_cast<double>(stats.total_cycles) *
-                                     mode.period_ps)
-                          .c_str(),
-                      1e3 / mode.period_ps);
+                      with_commas(run.cost.cycles).c_str(),
+                      static_cast<long long>(gemm::tile_count(
+                          shape, sim->config().rows, sim->config().cols)),
+                      format_time_ps(run.cost.time_ps).c_str(),
+                      1e3 / run.cost.period_ps);
   std::cout << format("useful MACs: %s\n",
-                      with_commas(stats.activity.mult_ops).c_str());
+                      with_commas(run.cost.activity.mult_ops).c_str());
 
   // Dequantize and compare against float convolution.
   const auto in_at = [&](int ch, int y, int x) {

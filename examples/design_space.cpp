@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "arch/clocking.h"
+#include "engine/engine.h"
 #include "nn/models.h"
 #include "nn/runner.h"
 #include "util/strings.h"
@@ -16,17 +16,11 @@
 using namespace af;
 
 int main() {
-  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
   const auto models = nn::paper_models();
-  // Sweep points are independent; let every runner fan layer evaluation out
-  // across all hardware threads (SimOptions::num_threads == 0).
-  arch::SimOptions sim;
-  sim.num_threads = 0;
 
   std::cout << "ArrayFlex design-space exploration (clock: paper-calibrated "
                "table, "
-            << util::ThreadPool::resolve_num_threads(sim.num_threads)
-            << " threads)\n\n";
+            << util::ThreadPool::resolve_num_threads(0) << " threads)\n\n";
 
   // --- sweep 1: array size ------------------------------------------------
   std::cout << "1) Array size sweep (modes {1,2,4}):\n";
@@ -35,9 +29,10 @@ int main() {
   size_table.set_align(0, Table::Align::kLeft);
   size_table.set_align(1, Table::Align::kLeft);
   for (const int side : {32, 64, 128, 256}) {
-    arch::ArrayConfig cfg = arch::ArrayConfig::square(side);
-    cfg.sim = sim;
-    const nn::InferenceRunner runner(cfg, clock);
+    // Sweep points are independent; every engine fans layer evaluation out
+    // across all hardware threads (threads(0) = SimOptions::num_threads 0).
+    const nn::InferenceRunner runner(
+        engine::EngineBuilder().square(side).threads(0).build("analytic"));
     for (const auto& model : models) {
       const nn::ModelReport r = runner.run(model);
       const arch::EfficiencyComparison e = r.totals();
@@ -61,9 +56,11 @@ int main() {
   const std::vector<std::vector<int>> mode_sets = {{1}, {1, 2}, {1, 2, 4},
                                                    {1, 2, 4, 8}};
   for (const auto& modes : mode_sets) {
-    arch::ArrayConfig cfg = arch::ArrayConfig::square_with_modes(128, modes);
-    cfg.sim = sim;
-    const nn::InferenceRunner runner(cfg, clock);
+    const nn::InferenceRunner runner(engine::EngineBuilder()
+                                         .square(128)
+                                         .modes(modes)
+                                         .threads(0)
+                                         .build("analytic"));
     std::string label = "{";
     for (const int k : modes) label += std::to_string(k) + ",";
     label.back() = '}';

@@ -1,22 +1,20 @@
-// Quickstart: run one matrix multiplication on ArrayFlex, cycle-accurately,
-// in every pipeline mode, and let the optimizer pick the best configuration.
+// Quickstart: one matrix multiplication on ArrayFlex through the unified
+// engine facade — priced analytically, executed cycle-accurately, and
+// cross-checked, with the optimizer picking the best pipeline mode.
 //
 //   $ ./quickstart
 //
 // Walks through the whole public API surface in ~80 lines:
-//   1. describe the array            (arch::ArrayConfig)
-//   2. make a workload               (gemm::random_matrix)
-//   3. simulate it cycle-accurately  (arch::SystolicArray)
-//   4. check the result              (gemm::reference_gemm)
-//   5. predict latency analytically  (arch::total_latency_cycles, Eqs. 1-4)
-//   6. pick the best pipeline depth  (arch::PipelineOptimizer, Eqs. 6-7)
+//   1. wire an engine              (engine::EngineBuilder / engine::make)
+//   2. make a workload             (gemm::random_matrix)
+//   3. price it instantly          (AnalyticEngine::evaluate, Eqs. 1-6)
+//   4. execute it cycle-accurately (CycleAccurateEngine::run_gemm)
+//   5. check both agree exactly    (outputs AND cycles/counters/energy)
+//   6. let the engine pick k       (evaluate(shape, 0), Eqs. 6-7)
 
 #include <iostream>
 
-#include "arch/array.h"
-#include "arch/clocking.h"
-#include "arch/latency.h"
-#include "arch/optimizer.h"
+#include "engine/engine.h"
 #include "gemm/reference.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -25,52 +23,63 @@ using namespace af;
 
 int main() {
   // 1. A 16x16 ArrayFlex instance supporting normal mode and two shallow
-  //    modes, 32-bit operands, 64-bit accumulation — the paper's datapath.
-  arch::ArrayConfig cfg;
-  cfg.rows = 16;
-  cfg.cols = 16;
-  cfg.supported_k = {1, 2, 4};
-  cfg.validate();
-  std::cout << "array: " << cfg.to_string() << "\n\n";
+  //    modes, the paper's DATE-23 calibrated clock, generic 28nm energy —
+  //    the EngineBuilder owns all of that wiring; build() instantiates any
+  //    registered backend over it.
+  engine::EngineBuilder builder;
+  builder.square(16);
+  auto analytic = builder.build("analytic");  // closed forms, instant
+  auto cycle = builder.build("cycle");        // full simulation, exact
+  std::cout << "array: " << analytic->config().to_string() << "\n\n";
 
   // 2. X(T x M) = A(T x N) x B(N x M) with T=24, N=40, M=20: the tiler will
   //    cut N into 3 row-tiles and M into 2 column-tiles (Eq. 2).
   Rng rng(2023);
   const gemm::Mat32 a = gemm::random_matrix(rng, 24, 40, -128, 127);
   const gemm::Mat32 b = gemm::random_matrix(rng, 40, 20, -128, 127);
-
-  // 3 + 4. Simulate in each mode and verify against the reference GEMM.
-  arch::SystolicArray array(cfg);
-  const gemm::Mat64 expected = gemm::reference_gemm(a, b);
   const gemm::GemmShape shape{b.cols(), a.cols(), a.rows()};
+  const gemm::Mat64 expected = gemm::reference_gemm(a, b);
 
-  std::cout << "mode  cycles(sim)  cycles(Eq.4)  result\n";
-  for (const int k : cfg.supported_k) {
-    gemm::Mat64 out;
-    const arch::TileRunStats stats = array.run_gemm(a, b, k, &out);
-    const std::int64_t analytic = arch::total_latency_cycles(shape, cfg, k);
-    const std::string check =
-        gemm::first_mismatch(out, expected).empty() ? "exact match" : "MISMATCH";
-    std::cout << format(" k=%d  %11lld  %12lld  %s\n", k,
-                        static_cast<long long>(stats.total_cycles),
-                        static_cast<long long>(analytic), check.c_str());
+  // 3 + 4 + 5. For every mode: price analytically, execute cycle-
+  //    accurately, and verify the backends agree to the last bit/cycle.
+  std::cout << "mode  cycles(analytic)  cycles(cycle-sim)  energy pJ  result\n";
+  for (const int k : analytic->config().supported_k) {
+    const engine::CostEstimate priced = analytic->evaluate(shape, k);
+
+    engine::GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = k;
+    const engine::RunResult run = cycle->run_gemm(request);
+
+    const bool outputs_ok =
+        run.out.has_value() &&
+        gemm::first_mismatch(*run.out, expected).empty();
+    const bool costs_ok = engine::exactly_equal(priced, run.cost);
+    std::cout << format(" k=%d  %16lld  %17lld  %9.1f  %s\n", k,
+                        static_cast<long long>(priced.cycles),
+                        static_cast<long long>(run.cost.cycles),
+                        run.cost.energy_pj,
+                        outputs_ok && costs_ok ? "exact match" : "MISMATCH");
   }
 
-  // 5 + 6. Absolute time depends on the per-mode clock (Eq. 5): slower
-  //    clock, fewer cycles.  The optimizer resolves the trade-off (Eq. 6).
-  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
-  const arch::PipelineOptimizer opt(cfg, clock);
+  // 6. Absolute time depends on the per-mode clock (Eq. 5): slower clock,
+  //    fewer cycles.  evaluate(shape, 0) resolves the trade-off (Eq. 6);
+  //    the engine's optimizer exposes the Eq. 7 continuous optimum.
   std::cout << "\nabsolute time per mode (cycle count x Tclock):\n";
-  for (const auto& entry : opt.sweep(shape)) {
-    const auto& d = entry.decision;
-    std::cout << format(" k=%d  %s at %.2f GHz%s\n", d.k,
-                        format_time_ps(d.time_ps).c_str(), 1e3 / d.period_ps,
-                        entry.is_best ? "   <- optimizer's choice" : "");
+  const engine::CostEstimate best = analytic->best(shape);
+  for (const int k : analytic->config().supported_k) {
+    const engine::CostEstimate est = analytic->evaluate(shape, k);
+    std::cout << format(" k=%d  %s at %.2f GHz%s\n", k,
+                        format_time_ps(est.time_ps).c_str(),
+                        1e3 / est.period_ps,
+                        k == best.k ? "   <- engine's choice" : "");
   }
   std::cout << format(
       "\ncontinuous optimum k-hat (Eq. 7) = %.2f; conventional fixed-pipeline "
       "SA would take %s\n",
-      opt.continuous_k_hat(shape),
-      format_time_ps(opt.conventional(shape).time_ps).c_str());
+      analytic->optimizer().continuous_k_hat(shape),
+      format_time_ps(analytic->optimizer().conventional(shape).time_ps)
+          .c_str());
   return 0;
 }

@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "arch/clocking.h"
+#include "engine/engine.h"
 #include "nn/models.h"
 #include "nn/runner.h"
 #include "util/strings.h"
@@ -18,16 +18,17 @@ using namespace af;
 
 int main(int argc, char** argv) {
   const int side = argc > 1 ? std::atoi(argv[1]) : 128;
-  const arch::ArrayConfig cfg = arch::ArrayConfig::square(side);
-  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
-  const nn::InferenceRunner runner(cfg, clock);
+  // The engine facade owns the config/clock/energy wiring (paper-calibrated
+  // clock and generic 28nm energy by default); the runner rides it.
+  const nn::InferenceRunner runner(
+      engine::EngineBuilder().square(side).build("analytic"));
 
   const nn::Model model = nn::resnet34();
   const nn::ModelReport report = runner.run(model);
 
   std::cout << "ResNet-34 (" << model.layers.size() << " counted conv layers, "
             << with_commas(model.total_macs()) << " MACs) on "
-            << cfg.to_string() << "\n\n";
+            << runner.config().to_string() << "\n\n";
 
   Table table({"layer", "GEMM (M,N,T)", "k-hat", "k", "ArrayFlex", "savings"});
   table.set_align(0, Table::Align::kLeft);

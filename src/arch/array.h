@@ -52,6 +52,11 @@ struct ActivityCounters {
   std::int64_t streaming_cycles = 0;
 
   ActivityCounters& operator+=(const ActivityCounters& o);
+
+  // Exact equality over every counter (defaulted, so a newly added field
+  // can never silently fall out of the engine facade's audit cross-check
+  // or the equivalence suites — all integers, no tolerance question).
+  bool operator==(const ActivityCounters&) const = default;
 };
 
 struct TileRunStats {

@@ -1,0 +1,52 @@
+#include "engine/analytic_engine.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace af::engine {
+
+AnalyticEngine::AnalyticEngine(const arch::ArrayConfig& config,
+                               std::shared_ptr<const arch::ClockModel> clock,
+                               const arch::EnergyParams& energy,
+                               util::ThreadPool* shared_pool)
+    : Engine(config, std::move(clock), energy, shared_pool) {}
+
+const std::string& AnalyticEngine::name() const {
+  static const std::string kName = "analytic";
+  return kName;
+}
+
+RunResult AnalyticEngine::run_gemm(const GemmRequest& request) {
+  AF_CHECK(request.a != nullptr && request.b != nullptr,
+           "run_gemm needs both operand matrices");
+  AF_CHECK(request.a->cols() == request.b->rows(),
+           "GEMM inner-dimension mismatch: " << request.a->cols() << " vs "
+                                             << request.b->rows());
+  const gemm::GemmShape shape{request.b->cols(), request.b->rows(),
+                              request.a->rows()};
+  const int k = resolve_mode(shape, request.k);
+
+  RunResult result;
+  result.cost = analytic_estimate(shape, k);
+  result.measured = false;
+  // The product is computed only on demand — and by the reference GEMM, not
+  // the simulator.  reference_gemm is bit-identical to the array (that is
+  // the simulator's own correctness oracle), so a caller cannot tell the
+  // backends apart by their outputs, only by their speed.
+  if (request.want_output) {
+    result.out = gemm::reference_gemm(*request.a, *request.b);
+  }
+  return result;
+}
+
+CostEstimate AnalyticEngine::evaluate(const gemm::GemmShape& shape, int k) {
+  return analytic_estimate(shape, resolve_mode(shape, k));
+}
+
+CostEstimate AnalyticEngine::evaluate_tile_asym(std::int64_t t, int k_v,
+                                                int k_h) {
+  return analytic_tile_asym_estimate(t, k_v, k_h);
+}
+
+}  // namespace af::engine

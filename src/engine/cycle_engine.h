@@ -1,0 +1,36 @@
+// "cycle" backend: the cycle-accurate arch::SystolicArray behind the
+// engine::Engine facade.  Outputs and ActivityCounters are MEASURED —
+// every datum streamed, every register latch counted — so this backend is
+// the ground truth the analytic backend is audited against.
+
+#pragma once
+
+#include "engine/engine.h"
+
+namespace af::engine {
+
+class CycleAccurateEngine final : public Engine {
+ public:
+  CycleAccurateEngine(const arch::ArrayConfig& config,
+                      std::shared_ptr<const arch::ClockModel> clock,
+                      const arch::EnergyParams& energy,
+                      util::ThreadPool* shared_pool);
+
+  const std::string& name() const override;
+  bool measures() const override { return true; }
+
+  RunResult run_gemm(const GemmRequest& request) override;
+
+  // Measured by streaming zero operands through the simulator — the
+  // counters are data-independent, so this is exact (and as expensive as a
+  // real run; use the analytic backend for bulk cost queries).
+  CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
+  CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
+
+  arch::SystolicArray& array() { return array_; }
+
+ private:
+  arch::SystolicArray array_;
+};
+
+}  // namespace af::engine

@@ -1,0 +1,233 @@
+#include "engine/engine.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "arch/activity.h"
+#include "arch/latency.h"
+#include "engine/analytic_engine.h"
+#include "engine/cycle_engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace af::engine {
+
+bool exactly_equal(const arch::ActivityCounters& a,
+                   const arch::ActivityCounters& b) {
+  // Defaulted member-wise ==: a counter added to ActivityCounters joins
+  // the audit cross-check automatically instead of silently escaping it.
+  return a == b;
+}
+
+bool exactly_equal(const CostEstimate& a, const CostEstimate& b) {
+  // Doubles compare exactly on purpose: both backends must execute the SAME
+  // arithmetic on the SAME integers, not merely land close.
+  return a.k == b.k && a.cycles == b.cycles && a.period_ps == b.period_ps &&
+         a.time_ps == b.time_ps && a.energy_pj == b.energy_pj &&
+         exactly_equal(a.activity, b.activity);
+}
+
+Engine::Engine(const arch::ArrayConfig& config,
+               std::shared_ptr<const arch::ClockModel> clock,
+               const arch::EnergyParams& energy, util::ThreadPool* shared_pool)
+    : config_(config),
+      clock_(std::move(clock)),
+      energy_(energy),
+      power_(config, *clock_, energy),
+      optimizer_(config, *clock_),
+      external_pool_(shared_pool) {
+  AF_CHECK(clock_ != nullptr, "engine needs a clock model");
+  config_.validate();
+  if (external_pool_ == nullptr) {
+    const int threads =
+        util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
+    if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  optimizer_.set_thread_pool(pool());
+}
+
+Engine::~Engine() = default;
+
+util::ThreadPool* Engine::pool() const {
+  return external_pool_ != nullptr ? external_pool_ : pool_.get();
+}
+
+int Engine::resolve_mode(const gemm::GemmShape& shape, int k) const {
+  if (k == 0) return optimizer_.best_mode(shape).k;
+  AF_CHECK(config_.supports(k), "mode k=" << k << " not supported by "
+                                          << config_.to_string());
+  return k;
+}
+
+CostEstimate Engine::analytic_estimate(const gemm::GemmShape& shape,
+                                       int k) const {
+  CostEstimate est;
+  est.k = k;
+  est.cycles = arch::total_latency_cycles(shape, config_, k);
+  est.activity = arch::predict_gemm_activity(shape, config_, k);
+  est.period_ps = clock_->period_ps(k);
+  const arch::PowerResult priced = power_.from_counters(
+      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
+  est.time_ps = priced.time_ps;
+  est.energy_pj = priced.energy_pj;
+  return est;
+}
+
+CostEstimate Engine::analytic_tile_asym_estimate(std::int64_t t, int k_v,
+                                                 int k_h) const {
+  CostEstimate est;
+  est.k = k_v;  // the vertical chain sets the clock (paper Section III-A)
+  est.cycles =
+      arch::tile_latency_cycles_asym(config_.rows, config_.cols, t, k_v, k_h);
+  est.activity = arch::predict_tile_activity_asym(config_, t, k_v, k_h);
+  est.period_ps = clock_->period_ps(k_v);
+  const arch::PowerResult priced =
+      power_.from_counters(est.activity, est.cycles, est.period_ps,
+                           /*arrayflex_hardware=*/true, k_v);
+  est.time_ps = priced.time_ps;
+  est.energy_pj = priced.energy_pj;
+  return est;
+}
+
+CostEstimate Engine::priced(const arch::TileRunStats& stats, int k) const {
+  CostEstimate est;
+  est.k = k;
+  est.cycles = stats.total_cycles;
+  est.activity = stats.activity;
+  est.period_ps = clock_->period_ps(k);
+  const arch::PowerResult priced = power_.from_counters(
+      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
+  est.time_ps = priced.time_ps;
+  est.energy_pj = priced.energy_pj;
+  return est;
+}
+
+CostEstimate Engine::best(const gemm::GemmShape& shape) {
+  CostEstimate winner;
+  winner.time_ps = std::numeric_limits<double>::infinity();
+  // Same iteration order and strict-< tie-break as
+  // PipelineOptimizer::best_mode, so best(shape).k == best_mode(shape).k.
+  for (const int k : config_.supported_k) {
+    CostEstimate est = evaluate(shape, k);
+    if (est.time_ps < winner.time_ps) winner = std::move(est);
+  }
+  return winner;
+}
+
+// ----------------------------------------------------------------- builder
+
+EngineBuilder::EngineBuilder()
+    : clock_(std::make_shared<arch::CalibratedClockModel>(
+          arch::CalibratedClockModel::date23())),
+      energy_(arch::EnergyParams::generic28nm()) {}
+
+EngineBuilder& EngineBuilder::config(arch::ArrayConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::square(int side) {
+  const arch::SimOptions sim = config_.sim;  // geometry change keeps knobs
+  config_ = arch::ArrayConfig::square(side);
+  config_.sim = sim;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::modes(std::vector<int> supported_k) {
+  config_.supported_k = std::move(supported_k);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::clock(
+    std::shared_ptr<const arch::ClockModel> clock) {
+  AF_CHECK(clock != nullptr, "EngineBuilder::clock requires a model");
+  clock_ = std::move(clock);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::energy(const arch::EnergyParams& params) {
+  energy_ = params;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::threads(int num_threads) {
+  config_.sim.num_threads = num_threads;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::shared_pool(util::ThreadPool* pool) {
+  shared_pool_ = pool;
+  return *this;
+}
+
+std::shared_ptr<Engine> EngineBuilder::build(const std::string& backend) const {
+  return make(backend, *this);
+}
+
+// ----------------------------------------------------------------- factory
+
+namespace {
+
+struct BackendEntry {
+  std::string description;
+  std::shared_ptr<Engine> (*create)(const EngineBuilder&);
+};
+
+// The registry: ordered so registered_backends() is stable for the CI
+// drift check against the README table.
+const std::map<std::string, BackendEntry>& registry() {
+  static const std::map<std::string, BackendEntry> entries = {
+      {"analytic",
+       {"closed-form Eqs. 1-4 latency + activity model + utilization-aware "
+        "power; outputs via reference GEMM only on request",
+        [](const EngineBuilder& b) -> std::shared_ptr<Engine> {
+          return std::make_shared<AnalyticEngine>(
+              b.peek_config(), b.peek_clock(), b.peek_energy(),
+              b.peek_shared_pool());
+        }}},
+      {"cycle",
+       {"cycle-accurate SystolicArray simulation; outputs, cycles and "
+        "ActivityCounters measured register by register",
+        [](const EngineBuilder& b) -> std::shared_ptr<Engine> {
+          return std::make_shared<CycleAccurateEngine>(
+              b.peek_config(), b.peek_clock(), b.peek_energy(),
+              b.peek_shared_pool());
+        }}},
+  };
+  return entries;
+}
+
+}  // namespace
+
+std::shared_ptr<Engine> make(const std::string& backend,
+                             const EngineBuilder& builder) {
+  const auto it = registry().find(backend);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [name, entry] : registry()) {
+      if (!known.empty()) known += ", ";
+      known += "\"" + name + "\"";
+    }
+    AF_CHECK(false, "unknown engine backend \"" << backend
+                                                << "\" (registered: " << known
+                                                << ")");
+  }
+  return it->second.create(builder);
+}
+
+std::vector<std::string> registered_backends() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;
+}
+
+std::string backend_description(const std::string& backend) {
+  const auto it = registry().find(backend);
+  AF_CHECK(it != registry().end(),
+           "unknown engine backend \"" << backend << "\"");
+  return it->second.description;
+}
+
+}  // namespace af::engine

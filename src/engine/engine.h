@@ -1,0 +1,239 @@
+// Unified execution API: every way this repo can answer "what does GEMM X
+// cost (and produce) in pipeline mode k" behind one facade.
+//
+// Before this layer existed there were three disjoint entry points — the
+// cycle-accurate arch::SystolicArray (exact outputs + measured
+// ActivityCounters), the closed-form models in arch/latency.h /
+// arch/activity.h / arch/power_model.h (what the optimizer and the
+// inference runner consume), and the gate-level compiled engine — and every
+// bench/example/server re-wired config + clock + power by hand.  An
+// engine::Engine bundles that wiring once and exposes two calls:
+//
+//   run_gemm(GemmRequest)        -> RunResult    execute (or price) one GEMM
+//   evaluate(GemmShape, k)       -> CostEstimate cost of a shape in mode k
+//
+// Two backends ship (see engine::make / registered_backends):
+//
+//   "cycle"    CycleAccurateEngine — wraps arch::SystolicArray; outputs and
+//              counters are MEASURED cycle by cycle.  Ground truth, slow.
+//   "analytic" AnalyticEngine — closed-form latency/activity/power (the
+//              equations pinned cycle-for-cycle and counter-for-counter
+//              against the simulator by tests/arch_equivalence_test.cpp and
+//              tests/engine_test.cpp); the output matrix is computed via
+//              gemm::reference_gemm ONLY when the request asks for it.
+//              Orders of magnitude faster, bit-identical outputs, and —
+//              because the closed forms are exact — identical cycles,
+//              counters and energy too.
+//
+// The contract that makes the fidelity knob safe: for every supported
+// (shape, k) the two backends return EXACTLY equal CostEstimates and
+// bit-equal outputs.  serve::Server exploits it by serving analytic cost
+// traffic at high throughput while replaying a sampled audit fraction on
+// the cycle-accurate backend and cross-checking (see ServerOptions).
+//
+// Pricing: CostEstimate::energy_pj is the utilization-aware model
+// (SaPowerModel::from_counters) applied to the estimate's ActivityCounters
+// at Tclock(k) — fill/drain bubbles burn clock but no datapath energy.
+// The steady-state per-mode pricing (the paper's Fig. 9 methodology) stays
+// available through power().
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/array.h"
+#include "arch/clocking.h"
+#include "arch/config.h"
+#include "arch/optimizer.h"
+#include "arch/power_model.h"
+#include "gemm/matrix.h"
+#include "gemm/reference.h"
+
+namespace af::util {
+class ThreadPool;
+}
+
+namespace af::engine {
+
+// One GEMM to execute: X(T x M) = A(T x N) x B(N x M).  Non-owning views;
+// both matrices must outlive the run_gemm call.
+struct GemmRequest {
+  const gemm::Mat32* a = nullptr;  // activations, T x N (required)
+  const gemm::Mat32* b = nullptr;  // weights, N x M (required)
+  // Pipeline-collapse mode; 0 lets the engine pick the Eq. 6 argmin (mode
+  // PLANNING is closed-form on every backend — fidelity applies to
+  // execution, not to the optimizer).
+  int k = 0;
+  // When false the engine skips producing the output matrix: the analytic
+  // backend then answers from closed forms alone (no arithmetic over the
+  // operands at all), which is what makes cost-estimation traffic orders of
+  // magnitude cheaper than simulation.  The cycle backend always computes
+  // the product internally (that IS the measurement); the flag only elides
+  // returning it.
+  bool want_output = true;
+};
+
+// Unified cost of one GEMM (or shape) under a given clock + energy model.
+struct CostEstimate {
+  int k = 1;                      // mode the cost describes
+  std::int64_t cycles = 0;        // Eq. 4 total (preload + streaming)
+  double period_ps = 0.0;         // Tclock(k), Eq. 5
+  double time_ps = 0.0;           // cycles x period (Eq. 6)
+  double energy_pj = 0.0;         // utilization-aware pricing of `activity`
+  arch::ActivityCounters activity;
+};
+
+// Exact equality — the audit path's cross-check and the bit-exact
+// contract between backends.  Doubles compare exactly on purpose: both
+// backends must execute the SAME arithmetic on the SAME integers, not
+// merely land close.
+bool exactly_equal(const arch::ActivityCounters& a,
+                   const arch::ActivityCounters& b);
+bool exactly_equal(const CostEstimate& a, const CostEstimate& b);
+
+struct RunResult {
+  // Present iff the request asked for the output.
+  std::optional<gemm::Mat64> out;
+  CostEstimate cost;
+  // True when `cost` was measured by cycle-accurate simulation; false when
+  // it came from the closed forms.
+  bool measured = false;
+};
+
+// Abstract execution engine.  Thread safety: run_gemm and the const cost
+// queries may be called concurrently from many threads (the cycle backend's
+// SystolicArray keeps all mutable run state on the stack; the analytic
+// backend is stateless past construction).
+class Engine {
+ public:
+  virtual ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Registry key of the backend ("cycle", "analytic", ...).
+  virtual const std::string& name() const = 0;
+
+  // True when run_gemm/evaluate MEASURE (cycle-accurate) rather than
+  // predict.  Both fidelities return the same numbers — that equivalence is
+  // test-pinned — but only a measuring backend can catch a model bug.
+  virtual bool measures() const = 0;
+
+  // Execute one GEMM: output (optional), exact cycles, ActivityCounters,
+  // and energy/time under this engine's clock + energy params.
+  virtual RunResult run_gemm(const GemmRequest& request) = 0;
+
+  // Cost of a full tiled GEMM of `shape` in mode k (k = 0 picks the Eq. 6
+  // argmin).  The cycle backend measures this by streaming zero operands
+  // through the simulator — counters are data-independent — so it is as
+  // expensive as a real run; the analytic backend answers instantly.
+  virtual CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) = 0;
+
+  // Asymmetric-collapse cost of ONE T x R by R x C tile (k_v | R, k_h | C;
+  // see arch/array.h run_tile_asym).  Priced at period_ps(k_v): the
+  // vertical reduction chain dominates the clock, horizontal collapse
+  // "only affects the delay marginally" (paper Section III-A).
+  virtual CostEstimate evaluate_tile_asym(std::int64_t t, int k_v,
+                                          int k_h) = 0;
+
+  // Eq. 6 argmin over the supported modes, via this backend's evaluate().
+  CostEstimate best(const gemm::GemmShape& shape);
+
+  // --- the wiring the engine owns (previously duplicated per call site) ---
+  const arch::ArrayConfig& config() const { return config_; }
+  const arch::ClockModel& clock() const { return *clock_; }
+  const arch::EnergyParams& energy_params() const { return energy_; }
+  const arch::SaPowerModel& power() const { return power_; }
+  const arch::PipelineOptimizer& optimizer() const { return optimizer_; }
+  // Worker pool for host-side parallelism (nullptr = serial): the private
+  // pool when the config's SimOptions asked for threads, or the injected
+  // shared pool (see EngineBuilder::shared_pool and the shared-pool
+  // contract in arch/array.h).
+  util::ThreadPool* pool() const;
+
+ protected:
+  Engine(const arch::ArrayConfig& config,
+         std::shared_ptr<const arch::ClockModel> clock,
+         const arch::EnergyParams& energy, util::ThreadPool* shared_pool);
+
+  // Closed-form CostEstimate (shared by the analytic backend and by the
+  // audit cross-checks): Eq. 4 cycles + predicted counters + from_counters
+  // pricing.  Requires config().supports(k).
+  CostEstimate analytic_estimate(const gemm::GemmShape& shape, int k) const;
+  CostEstimate analytic_tile_asym_estimate(std::int64_t t, int k_v,
+                                           int k_h) const;
+  // Price measured (or predicted) counters exactly the way every consumer
+  // used to: utilization-aware, ArrayFlex hardware, Tclock(k).
+  CostEstimate priced(const arch::TileRunStats& stats, int k) const;
+
+  int resolve_mode(const gemm::GemmShape& shape, int k) const;
+
+ private:
+  arch::ArrayConfig config_;
+  std::shared_ptr<const arch::ClockModel> clock_;  // owned: no dangling refs
+  arch::EnergyParams energy_;
+  arch::SaPowerModel power_;
+  arch::PipelineOptimizer optimizer_;
+  std::unique_ptr<util::ThreadPool> pool_;  // private, when threads requested
+  util::ThreadPool* external_pool_ = nullptr;
+};
+
+// Fluent owner of the config/clock/energy/thread-pool wiring.  Every field
+// has the repo-wide default (128x128 {1,2,4} array, the paper's DATE-23
+// calibrated clock, generic28nm energy, serial) so a one-liner works:
+//
+//   auto eng = engine::EngineBuilder().square(16).build("analytic");
+//
+// build() may be called repeatedly — e.g. once per backend to get a
+// serving engine and its auditor over identical wiring.
+class EngineBuilder {
+ public:
+  EngineBuilder();
+
+  EngineBuilder& config(arch::ArrayConfig config);
+  EngineBuilder& square(int side);                    // keeps modes {1,2,4}
+  EngineBuilder& modes(std::vector<int> supported_k);
+  // The engine shares ownership; pass CalibratedClockModel::date23() etc.
+  EngineBuilder& clock(std::shared_ptr<const arch::ClockModel> clock);
+  EngineBuilder& energy(const arch::EnergyParams& params);
+  // SimOptions::num_threads: 1 serial (default), 0 all hardware threads.
+  EngineBuilder& threads(int num_threads);
+  // Inject ONE pool shared across components instead of a private pool per
+  // engine (the serve::Server path; shared-pool contract in arch/array.h).
+  // Overrides threads() for pool construction; must outlive the engine.
+  EngineBuilder& shared_pool(util::ThreadPool* pool);
+
+  // Construct the backend registered under `backend` ("analytic", "cycle").
+  // Throws af::Error for unknown names, listing the registry.
+  std::shared_ptr<Engine> build(const std::string& backend) const;
+
+  // Read-only views of the accumulated wiring (used by the factory's
+  // backend creators and by call sites that mirror an engine's setup).
+  const arch::ArrayConfig& peek_config() const { return config_; }
+  const std::shared_ptr<const arch::ClockModel>& peek_clock() const {
+    return clock_;
+  }
+  const arch::EnergyParams& peek_energy() const { return energy_; }
+  util::ThreadPool* peek_shared_pool() const { return shared_pool_; }
+
+ private:
+  arch::ArrayConfig config_;
+  std::shared_ptr<const arch::ClockModel> clock_;
+  arch::EnergyParams energy_;
+  util::ThreadPool* shared_pool_ = nullptr;
+};
+
+// String-keyed factory — the one place backend names resolve.  The names
+// returned by registered_backends() are a public contract: the README's
+// "Execution engines" table must list exactly these (CI diffs the two).
+std::shared_ptr<Engine> make(const std::string& backend,
+                             const EngineBuilder& builder = EngineBuilder());
+std::vector<std::string> registered_backends();
+// One-line human description per backend (the README matrix source).
+std::string backend_description(const std::string& backend);
+
+}  // namespace af::engine

@@ -44,36 +44,40 @@ arch::EfficiencyComparison ModelReport::totals() const {
   return arch::compare(af, conv);
 }
 
+InferenceRunner::InferenceRunner(std::shared_ptr<engine::Engine> engine)
+    : engine_(std::move(engine)) {
+  AF_CHECK(engine_ != nullptr, "InferenceRunner needs an engine");
+}
+
 InferenceRunner::InferenceRunner(const arch::ArrayConfig& config,
                                  const arch::ClockModel& clock,
                                  const arch::EnergyParams& energy,
                                  util::ThreadPool* shared_pool)
-    : config_(config),
-      clock_(clock),
-      optimizer_(config, clock),
-      power_(config, clock, energy),
-      external_pool_(shared_pool) {
-  config_.validate();
-  if (external_pool_ == nullptr) {
-    const int threads =
-        util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
-    if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
-  }
-  optimizer_.set_thread_pool(exec_pool());
-}
+    : InferenceRunner(engine::EngineBuilder()
+                          .config(config)
+                          // Non-owning view: this constructor's legacy
+                          // contract is that the caller's clock outlives
+                          // the runner.
+                          .clock(std::shared_ptr<const arch::ClockModel>(
+                              std::shared_ptr<const void>(), &clock))
+                          .energy(energy)
+                          .shared_pool(shared_pool)
+                          .build("analytic")) {}
 
 InferenceRunner::~InferenceRunner() = default;
 
 LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
+  const arch::PipelineOptimizer& optimizer = engine_->optimizer();
+  const arch::SaPowerModel& power = engine_->power();
   LayerReport report;
   report.name = layer.name;
   report.kind = layer.kind;
   report.shape = gemm_shape(layer);
-  report.k_hat = optimizer_.continuous_k_hat(report.shape);
-  report.arrayflex = optimizer_.best_mode(report.shape);
-  report.conventional = optimizer_.conventional(report.shape);
-  report.arrayflex_power = power_.arrayflex(report.shape, report.arrayflex.k);
-  report.conventional_power = power_.conventional(report.shape);
+  report.k_hat = optimizer.continuous_k_hat(report.shape);
+  report.arrayflex = optimizer.best_mode(report.shape);
+  report.conventional = optimizer.conventional(report.shape);
+  report.arrayflex_power = power.arrayflex(report.shape, report.arrayflex.k);
+  report.conventional_power = power.conventional(report.shape);
   return report;
 }
 
@@ -93,11 +97,11 @@ ModelReport InferenceRunner::run_slice(const Model& model, std::size_t first,
   const std::int64_t n = static_cast<std::int64_t>(count);
   report.layers.resize(count);
 
-  // Layers are independent; fan them out when the config's SimOptions ask
-  // for threads.  evaluate_layer is const and touches only read-only model
-  // state, so workers share `this` freely; the aggregation below stays
-  // sequential in layer order, making the report identical to a serial run.
-  util::ThreadPool::run_n(exec_pool(), n, [&](std::int64_t i) {
+  // Layers are independent; fan them out when the engine carries a pool.
+  // evaluate_layer is const and touches only read-only model state, so
+  // workers share `this` freely; the aggregation below stays sequential in
+  // layer order, making the report identical to a serial run.
+  util::ThreadPool::run_n(engine_->pool(), n, [&](std::int64_t i) {
     report.layers[static_cast<std::size_t>(i)] =
         evaluate_layer(model.layers[first + static_cast<std::size_t>(i)]);
   });

@@ -4,9 +4,17 @@
 //
 // This is the harness behind Figs. 7, 8 and 9.
 //
-// When the ArrayConfig's SimOptions request threads (num_threads != 1),
-// run() evaluates independent layers in parallel; reports are identical to
-// serial runs.
+// The runner rides an engine::Engine: the engine owns the
+// config/clock/energy/thread-pool wiring (and keeps the clock model alive,
+// so there is no dangling-reference hazard when the caller's clock goes out
+// of scope).  Layer evaluation itself is closed-form on every backend —
+// per-layer mode selection and pricing use the engine's optimizer and
+// power model, which are the same objects for "analytic" and "cycle" — so
+// a ModelReport is backend-independent by construction.
+//
+// When the engine has a worker pool (its config requested threads, or a
+// shared pool was injected), run() evaluates independent layers in
+// parallel; reports are identical to serial runs.
 
 #pragma once
 
@@ -18,6 +26,7 @@
 #include "arch/energy.h"
 #include "arch/optimizer.h"
 #include "arch/power_model.h"
+#include "engine/engine.h"
 #include "nn/mapper.h"
 #include "nn/models.h"
 
@@ -68,13 +77,16 @@ struct ModelReport {
 
 class InferenceRunner {
  public:
-  // `shared_pool` (optional, non-owning, must outlive the runner) makes the
-  // runner fan layer evaluation out on an external pool instead of
-  // constructing a private one — the serving layer injects one pool into
-  // every shard's runner and array so a threaded runner driving threaded
-  // arrays stays at one pool's worth of workers instead of threads².  The
-  // pool (shared or private) is also injected into the member optimizer so
-  // best_modes never builds a second pool.
+  // Primary constructor: the runner shares the engine (and thereby its
+  // config, clock, energy params and worker pool).
+  explicit InferenceRunner(std::shared_ptr<engine::Engine> engine);
+
+  // Legacy wiring kept for call sites predating the engine facade: builds
+  // an analytic engine over the pieces.  `clock` is NOT owned and must
+  // outlive the runner (the pre-facade contract); prefer the engine
+  // constructor, which owns its clock.  `shared_pool` (optional,
+  // non-owning) injects one pool instead of a private one — see the
+  // shared-pool contract in arch/array.h.
   InferenceRunner(const arch::ArrayConfig& config,
                   const arch::ClockModel& clock,
                   const arch::EnergyParams& energy =
@@ -93,23 +105,11 @@ class InferenceRunner {
   ModelReport run_slice(const Model& model, std::size_t first,
                         std::size_t count) const;
 
-  const arch::ArrayConfig& config() const { return config_; }
+  const arch::ArrayConfig& config() const { return engine_->config(); }
+  const engine::Engine& engine() const { return *engine_; }
 
  private:
-  util::ThreadPool* exec_pool() const {
-    return external_pool_ != nullptr ? external_pool_ : pool_.get();
-  }
-
-  arch::ArrayConfig config_;
-  const arch::ClockModel& clock_;
-  arch::PipelineOptimizer optimizer_;
-  arch::SaPowerModel power_;
-  // Created once when the config's SimOptions request parallel layer
-  // evaluation and no shared pool was injected; reused across run() calls
-  // (layer eval is cheap enough that per-call pool construction would
-  // dominate).
-  std::unique_ptr<util::ThreadPool> pool_;
-  util::ThreadPool* external_pool_ = nullptr;
+  std::shared_ptr<engine::Engine> engine_;
 };
 
 }  // namespace af::nn

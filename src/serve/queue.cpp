@@ -1,41 +1,141 @@
 #include "serve/queue.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 
 namespace af::serve {
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+RequestQueue::RequestQueue(std::size_t capacity, std::int64_t quantum)
+    : capacity_(capacity), quantum_(quantum) {
   AF_CHECK(capacity > 0, "request queue needs a positive capacity");
+  AF_CHECK(quantum > 0, "DRR quantum must be positive");
 }
 
 bool RequestQueue::push(Request r) {
   std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+  not_full_.wait(lock, [this] { return closed_ || total_ < capacity_; });
   if (closed_) return false;
-  items_.push_back(std::move(r));
+  TenantQueue& tq = tenants_[r.tenant];
+  if (tq.items.empty()) ring_.push_back(r.tenant);  // newly backlogged
+  tq.items.push_back(std::move(r));
+  ++total_;
   lock.unlock();
   not_empty_.notify_one();
   return true;
 }
 
+Request RequestQueue::take_front_locked() {
+  const std::string tenant = ring_[ring_pos_];
+  TenantQueue& tq = tenants_[tenant];
+  Request r = std::move(tq.items.front());
+  tq.items.pop_front();
+  tq.deficit -= r.drr_cost;
+  --total_;
+  retire_if_empty_locked(tenant);
+  return r;
+}
+
+void RequestQueue::retire_if_empty_locked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.items.empty()) return;
+  tenants_.erase(it);  // deficit (and any borrow debt) resets with the backlog
+  const auto ring_it = std::find(ring_.begin(), ring_.end(), tenant);
+  if (ring_it != ring_.end()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(ring_it - ring_.begin());
+    ring_.erase(ring_it);
+    if (idx < ring_pos_) --ring_pos_;  // keep the DRR position stable
+  }
+}
+
 std::optional<Request> RequestQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-  if (items_.empty()) return std::nullopt;  // closed and drained
-  Request r = std::move(items_.front());
-  items_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
-  return r;
+  not_empty_.wait(lock, [this] { return closed_ || total_ > 0; });
+  if (total_ == 0) return std::nullopt;  // closed and drained
+
+  // Deficit round-robin: visit backlogged tenants in ring order.  Arriving
+  // at a tenant credits its deficit with one quantum (once per visit); a
+  // tenant whose deficit covers its head request is served and keeps the
+  // pointer while the remaining deficit covers the next head (the DRR
+  // burst); otherwise the pointer moves on, the accumulated deficit kept.
+  // A full fruitless circle (every tenant credited once, nobody servable)
+  // fast-forwards whole rounds in one arithmetic step instead of spinning
+  // — a head request costing thousands of quanta dispatches in O(ring)
+  // work under the lock, with shares identical to circling that many
+  // times.
+  std::size_t fruitless = 0;
+  for (;;) {
+    if (ring_pos_ >= ring_.size()) ring_pos_ = 0;
+    // Copied, not referenced: serving may retire the tenant and erase its
+    // ring slot out from under a reference.
+    const std::string tenant = ring_[ring_pos_];
+    TenantQueue& tq = tenants_[tenant];
+    const std::int64_t cost = tq.items.front().drr_cost;
+    if (tq.deficit >= cost) {
+      Request r = take_front_locked();
+      // take_front_locked may have retired the tenant (ring entry and
+      // TenantQueue gone); otherwise decide whether the burst continues.
+      const auto it = tenants_.find(tenant);
+      if (it != tenants_.end() &&
+          it->second.deficit < it->second.items.front().drr_cost) {
+        it->second.credited = false;
+        ++ring_pos_;
+      }
+      lock.unlock();
+      not_full_.notify_one();
+      return r;
+    }
+    if (!tq.credited) {
+      tq.credited = true;
+      tq.deficit += quantum_;
+      continue;  // retry this tenant with the fresh credit
+    }
+    tq.credited = false;  // visit over; keep the accumulated deficit
+    ++ring_pos_;
+    if (++fruitless >= ring_.size()) {
+      fruitless = 0;
+      // Nobody is servable after one quantum each: credit the minimum
+      // number of whole rounds that makes some head affordable, to every
+      // ring member at once (exactly what that many more circles would
+      // have done).
+      std::int64_t min_rounds = 0;
+      for (const std::string& name : ring_) {
+        const TenantQueue& t = tenants_[name];
+        const std::int64_t shortfall =
+            t.items.front().drr_cost - t.deficit;
+        const std::int64_t rounds =
+            shortfall <= 0 ? 0 : (shortfall + quantum_ - 1) / quantum_;
+        if (min_rounds == 0 || rounds < min_rounds) min_rounds = rounds;
+        if (rounds == 0) break;
+      }
+      if (min_rounds > 0) {
+        for (const std::string& name : ring_) {
+          tenants_[name].deficit += min_rounds * quantum_;
+        }
+      }
+    }
+  }
 }
 
 std::optional<Request> RequestQueue::pop_if(
     const std::function<bool(const Request&)>& pred) {
   std::unique_lock<std::mutex> lock(mutex_);
-  for (auto it = items_.begin(); it != items_.end(); ++it) {
-    if (pred(*it)) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::size_t idx =
+        (ring_pos_ + i) % ring_.size();
+    const std::string tenant = ring_[idx];
+    TenantQueue& tq = tenants_[tenant];
+    for (auto it = tq.items.begin(); it != tq.items.end(); ++it) {
+      if (!pred(*it)) continue;
       Request r = std::move(*it);
-      items_.erase(it);
+      tq.items.erase(it);
+      // The rider pays its own way: charging the cost here (possibly
+      // driving the deficit negative) keeps long-run DRR shares intact
+      // even when coalescing jumps the round-robin order.
+      tq.deficit -= r.drr_cost;
+      --total_;
+      retire_if_empty_locked(tenant);
       lock.unlock();
       not_full_.notify_one();
       return r;
@@ -55,12 +155,18 @@ void RequestQueue::close() {
 
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return total_;
 }
 
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::int64_t RequestQueue::deficit(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.deficit;
 }
 
 }  // namespace af::serve

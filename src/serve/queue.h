@@ -1,21 +1,41 @@
-// Bounded MPMC request queue: many client threads push, many shard workers
-// pop.  The bound is the server's admission backpressure — a full queue
-// blocks producers instead of growing without limit under overload.
+// Bounded MPMC request queue with DEFICIT-ROUND-ROBIN tenant fairness:
+// many client threads push, many shard workers pop.  The bound is the
+// server's admission backpressure — a full queue blocks producers instead
+// of growing without limit under overload.
 //
-// Besides plain FIFO pop, the queue supports pop_if: remove the first
-// queued request matching a predicate without waiting.  The batching
-// scheduler uses it to coalesce compatible requests from anywhere in the
-// queue while leaving incompatible older requests at the front, so
-// head-of-line requests are never starved by batch formation.
+// Internally the queue keeps one FIFO per tenant plus a ring of backlogged
+// tenants.  pop() runs classic DRR over the ring: each tenant carries a
+// deficit counter in cost units (Request::drr_cost, the request's MAC
+// volume); visiting a tenant whose head request exceeds its deficit
+// credits one quantum and moves on, and a tenant whose deficit covers its
+// head is served (deficit decremented by the true cost).  Long-run, every
+// backlogged tenant receives an equal share of cost units regardless of
+// its request sizes — a tenant flooding huge GEMMs can no longer starve a
+// tenant of small ones, which under the old FIFO-head scheduler waited
+// behind the entire flood.  Within one tenant, order stays FIFO.
+//
+// pop_if(pred) — the batching scheduler's coalescing sweep — removes the
+// first request matching a predicate without waiting, scanning tenants in
+// ring order starting from the tenant pop() last served.  A request taken
+// this way is charged to ITS OWN tenant's deficit (which may go negative:
+// the tenant borrowed against future rounds to ride a batch that was
+// dispatching anyway), so coalescing accelerates batches without
+// distorting long-run fairness.  A tenant's deficit resets to zero when
+// its backlog empties — fairness applies to backlogged tenants only,
+// per the classic DRR formulation.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "serve/request.h"
 
@@ -23,7 +43,14 @@ namespace af::serve {
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  // `quantum` is the cost credit (in Request::drr_cost units, i.e. MACs) a
+  // backlogged tenant receives per DRR round.  Any positive value yields
+  // equal long-run shares; smaller quanta interleave tenants more finely,
+  // larger quanta allow longer per-tenant bursts.
+  static constexpr std::int64_t kDefaultQuantum = 1 << 20;
+
+  explicit RequestQueue(std::size_t capacity,
+                        std::int64_t quantum = kDefaultQuantum);
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
@@ -32,13 +59,16 @@ class RequestQueue {
   // once the queue is closed.
   bool push(Request r);
 
-  // Blocks while the queue is empty and open.  Returns the oldest request,
-  // or nullopt once the queue is closed AND drained — workers use that as
-  // the shutdown signal, so no accepted request is ever lost.
+  // Blocks while the queue is empty and open.  Returns the DRR-selected
+  // request (see file comment), or nullopt once the queue is closed AND
+  // drained — workers use that as the shutdown signal, so no accepted
+  // request is ever lost.
   std::optional<Request> pop();
 
-  // Non-blocking: removes and returns the first request (front to back)
-  // satisfying `pred`, or nullopt if none is currently queued.
+  // Non-blocking: removes and returns the first request satisfying `pred`,
+  // scanning tenants in ring order from the current DRR position and each
+  // tenant's backlog front to back; nullopt if none is currently queued.
+  // Charges the taken request to its tenant's deficit.
   std::optional<Request> pop_if(
       const std::function<bool(const Request&)>& pred);
 
@@ -49,12 +79,36 @@ class RequestQueue {
   std::size_t size() const;
   bool closed() const;
 
+  // Current deficit of a tenant (0 when unknown / not backlogged) — test
+  // and debugging introspection.
+  std::int64_t deficit(const std::string& tenant) const;
+
  private:
+  struct TenantQueue {
+    std::deque<Request> items;
+    std::int64_t deficit = 0;
+    // Quantum already credited for the DRR pointer's current stay on this
+    // tenant; cleared whenever the pointer moves on.  Guarantees exactly
+    // one credit per round-robin visit (the classic DRR discipline).
+    bool credited = false;
+  };
+
+  // Serves tenants_[ring_[ring_pos_]]'s head request; caller holds the
+  // lock and guarantees the tenant is backlogged.
+  Request take_front_locked();
+  // Removes `tenant` from the ring if its backlog emptied, resetting its
+  // deficit (DRR forgets non-backlogged flows, debts included).
+  void retire_if_empty_locked(const std::string& tenant);
+
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<Request> items_;
+  std::map<std::string, TenantQueue> tenants_;
+  std::vector<std::string> ring_;  // backlogged tenants, arrival order
+  std::size_t ring_pos_ = 0;       // DRR position into ring_
+  std::size_t total_ = 0;          // queued requests across all tenants
   const std::size_t capacity_;
+  const std::int64_t quantum_;
   bool closed_ = false;
 };
 

@@ -34,6 +34,7 @@ enum class RequestKind { kGemm, kInferSlice };
 // (possibly fused) hardware run that produced it.
 struct GemmResult {
   gemm::Mat64 out;              // this request's rows of the fused product
+                                // (empty when the request declined outputs)
   int k = 1;                    // pipeline mode the batch ran in
   int shard = -1;               // shard that executed the batch
   std::int64_t batch_requests = 1;  // size of the coalesced batch
@@ -43,6 +44,9 @@ struct GemmResult {
   double energy_pj = 0.0;       // this request's attributed energy share
   double queue_ms = 0.0;        // wall-clock enqueue -> dispatch
   double latency_ms = 0.0;      // wall-clock enqueue -> completion
+  std::string backend;          // engine backend that served the fused run
+  bool measured = false;        // cost measured cycle-accurately (vs closed form)
+  bool audited = false;         // fused run replayed on the audit engine
 };
 
 // Response to a submit_inference: the merged per-layer report (bit-identical
@@ -83,11 +87,19 @@ struct Request {
   std::string tenant;
   Clock::time_point enqueue_time;
 
+  // Deficit-round-robin cost of this request (serve/queue.h): the useful
+  // work it asks the hardware for, in MACs.  Set at admission; always >= 1.
+  std::int64_t drr_cost = 1;
+
   // --- kGemm ---------------------------------------------------------------
   gemm::Mat32 a;                            // activations, t x n
   std::shared_ptr<const gemm::Mat32> b;     // shared weights, n x m
   gemm::GemmShape shape;
   int decided_k = 1;       // mode chosen at admission (request or optimizer)
+  // False for cost-estimation traffic: the serving engine may then skip
+  // computing the product entirely (the analytic backend answers from
+  // closed forms alone), and GemmResult::out comes back empty.
+  bool want_output = true;
   std::promise<GemmResult> gemm_promise;
 
   // --- kInferSlice ---------------------------------------------------------

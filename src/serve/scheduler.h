@@ -14,11 +14,13 @@
 //     analytic work, evaluated once and fanned to every requester (the
 //     serving layer's result coalescing).
 //
-// next_batch blocks on the queue head (strict FIFO for the oldest
-// request), then sweeps compatible requests from anywhere behind it via
-// RequestQueue::pop_if; incompatible requests keep their queue position,
-// so batching never starves the head of line.  Safe to call from many
-// shard workers concurrently.
+// next_batch blocks on RequestQueue::pop — which selects the batch head by
+// deficit round-robin across tenant backlogs (see serve/queue.h), so a
+// flooding tenant cannot monopolize dispatch — then sweeps compatible
+// requests from any tenant's backlog via RequestQueue::pop_if (each rider
+// is charged to its own tenant's deficit).  Incompatible requests keep
+// their queue position, so batching never starves anyone.  Safe to call
+// from many shard workers concurrently.
 
 #pragma once
 

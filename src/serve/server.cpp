@@ -4,7 +4,6 @@
 #include <tuple>
 #include <utility>
 
-#include "arch/array.h"
 #include "nn/runner.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -16,52 +15,69 @@ double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+std::int64_t slice_macs(const nn::Model& model, std::size_t first,
+                        std::size_t count) {
+  std::int64_t macs = 0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    macs += model.layers[i].macs();
+  }
+  return macs;
+}
+
 }  // namespace
 
-// One simulated array plus everything stateful around it.  The clock and
-// power models are per-shard instances (each shard tracks its own mode and
-// is priced independently); `stats` is written only under the server's
-// shard_stats_mutex_ so stats() can snapshot concurrently.
+std::int64_t ServerStats::audit_runs() const {
+  std::int64_t n = 0;
+  for (const ShardSnapshot& s : shards) n += s.audit_runs;
+  return n;
+}
+
+std::int64_t ServerStats::audit_mismatches() const {
+  std::int64_t n = 0;
+  for (const ShardSnapshot& s : shards) n += s.audit_mismatches;
+  return n;
+}
+
+// One execution engine plus everything stateful around it.  The engine
+// owns the clock/power wiring (per-shard mode state lives in `stats`,
+// written only under the server's shard_stats_mutex_ so stats() can
+// snapshot concurrently); `audit_engine` is the cycle-accurate replayer
+// for sampled cross-checks, null when auditing is off.
 struct Server::Shard {
   int index;
-  arch::CalibratedClockModel clock;
-  arch::SystolicArray array;
-  arch::SaPowerModel power;
+  std::shared_ptr<engine::Engine> engine;
+  std::shared_ptr<engine::Engine> audit_engine;
   nn::InferenceRunner runner;
+  // Deterministic audit sampling: += audit_fraction per fused run; every
+  // crossing of 1.0 replays that run on the audit engine.
+  double audit_credit = 0.0;
   ShardSnapshot stats;
   std::thread worker;
 
-  Shard(int idx, const arch::ArrayConfig& config,
-        const arch::EnergyParams& energy, util::ThreadPool* sim_pool)
+  Shard(int idx, std::shared_ptr<engine::Engine> eng,
+        std::shared_ptr<engine::Engine> audit)
       : index(idx),
-        clock(arch::CalibratedClockModel::date23()),
-        array(config),
-        power(config, clock, energy),
-        runner(config, clock, energy, sim_pool) {
-    if (sim_pool != nullptr) array.set_thread_pool(sim_pool);
+        engine(std::move(eng)),
+        audit_engine(std::move(audit)),
+        runner(engine) {
     stats.shard = idx;
+    stats.backend = engine->name();
   }
 };
 
 Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
     : shard_config_(shard_config),
       options_(options),
-      admission_clock_(arch::CalibratedClockModel::date23()),
-      admission_optimizer_(
-          [&] {
-            arch::ArrayConfig c = shard_config;
-            c.sim.num_threads = 1;
-            return c;
-          }(),
-          admission_clock_),
-      queue_(options.queue_capacity),
+      queue_(options.queue_capacity, options.drr_quantum),
       scheduler_(&queue_, options.max_batch),
       tenants_(options.latency_hist_max_ms) {
   AF_CHECK(options_.num_shards >= 1, "server needs at least one shard");
   AF_CHECK(options_.max_batch >= 1, "max_batch must be at least 1");
-  // The shards simulate serially on their own; cross-tile parallelism comes
-  // from the one shared pool below (never a pool per shard — that is the
-  // threads² oversubscription this layer exists to avoid).
+  AF_CHECK(options_.audit_fraction >= 0.0 && options_.audit_fraction <= 1.0,
+           "audit_fraction must be in [0, 1]");
+  // The shards' engines run serially on their own; cross-tile parallelism
+  // comes from the one shared pool below (never a pool per shard — that is
+  // the threads² oversubscription this layer exists to avoid).
   shard_config_.sim.num_threads = 1;
   shard_config_.validate();
   const int sim_threads =
@@ -72,11 +88,26 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   if (options_.reconfig_cycles < 0) {
     options_.reconfig_cycles = shard_config_.rows + shard_config_.cols;
   }
+
+  // One builder wires every engine identically: shard config, the paper's
+  // calibrated clock, the server's energy params, the one shared pool.
+  engine::EngineBuilder builder;
+  builder.config(shard_config_)
+      .energy(options_.energy)
+      .shared_pool(sim_pool_.get());
+  admission_engine_ =
+      engine::EngineBuilder().config(shard_config_).energy(options_.energy)
+          .build("analytic");
+
   shards_.reserve(static_cast<std::size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, shard_config_,
-                                              options_.energy,
-                                              sim_pool_.get()));
+    std::shared_ptr<engine::Engine> eng = builder.build(options_.backend);
+    std::shared_ptr<engine::Engine> audit;
+    if (options_.audit_fraction > 0.0 && !eng->measures()) {
+      audit = builder.build("cycle");
+    }
+    shards_.push_back(
+        std::make_unique<Shard>(i, std::move(eng), std::move(audit)));
   }
   for (auto& shard : shards_) {
     Shard* s = shard.get();
@@ -97,7 +128,7 @@ void Server::shutdown() {
 
 std::future<GemmResult> Server::submit_gemm(
     const std::string& tenant, gemm::Mat32 a,
-    std::shared_ptr<const gemm::Mat32> b, int k) {
+    std::shared_ptr<const gemm::Mat32> b, int k, bool want_output) {
   AF_CHECK(!shut_down_.load(), "submit_gemm on a shut-down server");
   AF_CHECK(b != nullptr, "weight matrix required");
   AF_CHECK(a.rows() > 0, "activation matrix must be non-empty");
@@ -108,14 +139,17 @@ std::future<GemmResult> Server::submit_gemm(
   r.id = next_id_.fetch_add(1);
   r.tenant = tenant;
   r.shape = gemm::GemmShape{b->cols(), b->rows(), a.rows()};
+  r.drr_cost =
+      std::max<std::int64_t>(1, r.shape.t * r.shape.n * r.shape.m);
   if (k != 0) {
     AF_CHECK(shard_config_.supports(k), "mode k=" << k << " not supported");
     r.decided_k = k;
   } else {
-    r.decided_k = admission_optimizer_.best_mode(r.shape).k;
+    r.decided_k = admission_engine_->optimizer().best_mode(r.shape).k;
   }
   r.a = std::move(a);
   r.b = std::move(b);
+  r.want_output = want_output;
   r.enqueue_time = Clock::now();
   std::future<GemmResult> future = r.gemm_promise.get_future();
   // Counted before the push: a fast worker may complete the request before
@@ -164,6 +198,7 @@ std::future<InferenceResult> Server::submit_inference(
     r.layer_count = count;
     r.slice_index = i;
     r.join = join;
+    r.drr_cost = std::max<std::int64_t>(1, slice_macs(*model, begin, count));
     begin += count;
     if (!queue_.push(std::move(r))) {
       // Shutdown raced the enqueue: slices pushed so far are already in
@@ -234,7 +269,7 @@ void Server::prepare_mode(Shard& shard, int k) {
     // post-inference — configures without a drain to bill.)
     shard.stats.mode_switches += 1;
     const double time_ps = static_cast<double>(options_.reconfig_cycles) *
-                           shard.clock.period_ps(k);
+                           shard.engine->clock().period_ps(k);
     const double leak_mw = options_.energy.leak_mw_per_pe *
                            static_cast<double>(shard_config_.num_pes());
     shard.stats.reconfig_time_ps += time_ps;
@@ -270,13 +305,17 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
       static_cast<std::int64_t>(batch.requests.size());
   double batch_time_ps = 0.0;
   double batch_energy_pj = 0.0;
+  std::int64_t batch_audits = 0;
+  std::int64_t batch_audit_mismatches = 0;
   std::vector<GemmResult> results(batch.requests.size());
 
   for (auto& [key, members] : groups) {
     const Request& head = batch.requests[members.front()];
     std::int64_t total_t = 0;
+    bool want_output = false;
     for (const std::size_t i : members) {
       total_t += batch.requests[i].shape.t;
+      want_output = want_output || batch.requests[i].want_output;
     }
     gemm::Mat32 stacked(total_t, head.shape.n);
     std::int64_t row = 0;
@@ -289,38 +328,69 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
       }
     }
 
-    gemm::Mat64 fused_out;
-    const arch::TileRunStats run =
-        shard.array.run_gemm(stacked, *head.b, k, &fused_out);
-    const double period_ps = shard.clock.period_ps(k);
-    const arch::PowerResult priced = shard.power.from_counters(
-        run.activity, run.total_cycles, period_ps, /*arrayflex_hardware=*/true,
-        k);
-    batch_time_ps += priced.time_ps;
-    batch_energy_pj += priced.energy_pj;
+    engine::GemmRequest run_request;
+    run_request.a = &stacked;
+    run_request.b = head.b.get();
+    run_request.k = k;
+    run_request.want_output = want_output;
+    const engine::RunResult run = shard.engine->run_gemm(run_request);
+    batch_time_ps += run.cost.time_ps;
+    batch_energy_pj += run.cost.energy_pj;
 
-    // Unstack the fused product.  Energy is attributed by each request's
-    // share of the fused rows; completion (and thus simulated service
-    // time) is the whole fused run for every member.
+    // Deterministic sampled audit: replay the identical fused run on the
+    // cycle-accurate engine and insist on exact agreement — outputs bit
+    // for bit, cycles / counters / energy number for number.
+    bool audited = false;
+    if (shard.audit_engine != nullptr) {
+      shard.audit_credit += options_.audit_fraction;
+      if (shard.audit_credit >= 1.0) {
+        shard.audit_credit -= 1.0;
+        audited = true;
+        engine::GemmRequest replay_request = run_request;
+        replay_request.want_output = run.out.has_value();
+        const engine::RunResult replay =
+            shard.audit_engine->run_gemm(replay_request);
+        bool agrees = engine::exactly_equal(replay.cost, run.cost);
+        if (agrees && run.out.has_value() && replay.out.has_value()) {
+          agrees = (*replay.out == *run.out);
+        }
+        ++batch_audits;
+        if (!agrees) ++batch_audit_mismatches;
+      }
+    }
+
+    // Unstack the fused product (when computed).  Energy is attributed by
+    // each request's share of the fused rows; completion (and thus
+    // simulated service time) is the whole fused run for every member.
     row = 0;
     for (const std::size_t i : members) {
       const Request& r = batch.requests[i];
       GemmResult& result = results[i];
-      result.out = gemm::Mat64(r.shape.t, r.shape.m);
-      for (std::int64_t t = 0; t < r.shape.t; ++t, ++row) {
-        for (std::int64_t c = 0; c < r.shape.m; ++c) {
-          result.out.at(t, c) = fused_out.at(row, c);
+      if (run.out.has_value() && r.want_output) {
+        result.out = gemm::Mat64(r.shape.t, r.shape.m);
+        for (std::int64_t t = 0; t < r.shape.t; ++t, ++row) {
+          for (std::int64_t c = 0; c < r.shape.m; ++c) {
+            result.out.at(t, c) = run.out->at(row, c);
+          }
         }
+      } else if (run.out.has_value()) {
+        // A cost-only rider fused with output-wanting requests: its rows
+        // exist in the fused product but it declined them — skip the copy
+        // and keep GemmResult::out empty, as submit_gemm documents.
+        row += r.shape.t;
       }
       result.k = k;
       result.shard = shard.index;
       result.batch_requests = batch_requests;
       result.fused_rows = total_t;
-      result.cycles = run.total_cycles;
-      result.time_ps = priced.time_ps;
-      result.energy_pj = priced.energy_pj * static_cast<double>(r.shape.t) /
+      result.cycles = run.cost.cycles;
+      result.time_ps = run.cost.time_ps;
+      result.energy_pj = run.cost.energy_pj * static_cast<double>(r.shape.t) /
                          static_cast<double>(total_t);
       result.queue_ms = ms_between(r.enqueue_time, dispatch_time);
+      result.backend = shard.engine->name();
+      result.measured = run.measured;
+      result.audited = audited;
     }
   }
 
@@ -331,6 +401,8 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     shard.stats.batches += 1;
     shard.stats.requests += batch_requests;
     shard.stats.fused_runs += static_cast<std::int64_t>(groups.size());
+    shard.stats.audit_runs += batch_audits;
+    shard.stats.audit_mismatches += batch_audit_mismatches;
     shard.stats.busy_time_ps += batch_time_ps;
     shard.stats.energy_pj += batch_energy_pj;
     shard.stats.busy_ps_by_mode[k] += batch_time_ps;

@@ -1,29 +1,46 @@
-// Multi-tenant batch serving over a pool of simulated ArrayFlex shards.
+// Multi-tenant batch serving over a pool of ArrayFlex execution engines.
 //
 //   clients ──submit──▶ RequestQueue ──▶ BatchScheduler ──▶ shard workers
-//                      (bounded MPMC)    (mode/model         (one thread +
-//                                         coalescing)         one simulated
-//                                                             array each)
+//                      (bounded MPMC,    (mode/model         (one thread +
+//                       DRR tenant        coalescing)         one engine
+//                       fairness)                             each)
 //
-// The Server owns N identical arch::SystolicArray shards.  Each shard
-// carries its own clock model, power model, InferenceRunner and pipeline-
-// mode state (the paper's configurable transparent pipelining: switching a
-// shard between modes drains the array, so the scheduler batches same-mode
-// work and the shard accounts every reconfiguration).  Client threads
-// submit GEMMs (activations against shared stationary weights) or whole
-// nn::Model inferences and block on the returned future; a model inference
-// is split into contiguous layer slices, one per shard, and joined back
-// into a report bit-identical to a direct InferenceRunner::run.
+// The Server owns N identical shards, each wrapping one engine::Engine
+// (ServerOptions::backend picks the fidelity: "analytic" closed-form cost
+// models by default — orders of magnitude more requests/s — or "cycle" for
+// full cycle-accurate simulation; both return bit-identical outputs and
+// exactly equal cycle/activity/energy numbers, a contract pinned by
+// tests/engine_test.cpp).  Each shard carries its own pipeline-mode state
+// (the paper's configurable transparent pipelining: switching a shard
+// between modes drains the array, so the scheduler batches same-mode work
+// and the shard accounts every reconfiguration).  Client threads submit
+// GEMMs (activations against shared stationary weights) or whole nn::Model
+// inferences and block on the returned future; a model inference is split
+// into contiguous layer slices, one per shard, and joined back into a
+// report bit-identical to a direct InferenceRunner::run.
+//
+// Audit mode: with audit_fraction > 0 (and a non-measuring backend), each
+// shard deterministically replays that fraction of its fused GEMM runs on
+// a cycle-accurate audit engine and cross-checks — outputs bit-exact,
+// cycles / ActivityCounters / energy exactly equal.  Mismatches are
+// counted per shard (ShardSnapshot::audit_mismatches), so analytic serving
+// at full speed continuously spot-checks itself against ground truth.
+//
+// Scheduling: requests land in per-tenant FIFOs dispatched by deficit
+// round-robin over the request's MAC cost (serve/queue.h), so every
+// backlogged tenant gets an equal long-run share of hardware regardless of
+// request sizes; TenantSnapshot::served_share reports the realized shares.
 //
 // Simulation threading: all shards share ONE optional util::ThreadPool
-// (ServerOptions::sim_threads), injected into every array and runner —
+// (ServerOptions::sim_threads), injected into every engine and runner —
 // never a pool per component, so an S-shard server runs at most
 // num_shards worker threads + sim_threads pool threads regardless of
 // nesting (see the shared-pool contract in arch/array.h).
 //
-// Accounting: per-tenant latency percentiles / energy / MACs via
-// TenantAccountant, per-shard utilization (busy time by mode, mode
-// switches, reconfiguration overhead) via ShardSnapshot.
+// Accounting: per-tenant latency percentiles / energy / MACs / served
+// share via TenantAccountant, per-shard utilization (busy time by mode,
+// mode switches, reconfiguration overhead, audit counters) via
+// ShardSnapshot.
 
 #pragma once
 
@@ -37,10 +54,9 @@
 #include <thread>
 #include <vector>
 
-#include "arch/clocking.h"
 #include "arch/config.h"
-#include "arch/optimizer.h"
 #include "arch/power_model.h"
+#include "engine/engine.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
@@ -54,12 +70,24 @@ namespace af::serve {
 
 struct ServerOptions {
   int num_shards = 2;
+  // Engine backend each shard serves with (engine::make registry key).
+  // "analytic" trades cycle-by-cycle measurement for orders-of-magnitude
+  // throughput at identical numbers; "cycle" is ground-truth simulation.
+  std::string backend = "analytic";
+  // Fraction of fused GEMM runs to replay on a cycle-accurate audit engine
+  // and cross-check (0 disables; ignored when the serving backend already
+  // measures).  Sampling is deterministic per shard: every time the
+  // accumulated fraction crosses 1, the next fused run is audited.
+  double audit_fraction = 0.0;
   // Coalescing cap per dispatch; 1 disables batching entirely.
   int max_batch = 8;
   // Admission bound: submit blocks once this many requests are queued.
   std::size_t queue_capacity = 256;
+  // DRR quantum in cost units (MACs) credited per scheduling round — see
+  // serve/queue.h.  Any positive value gives equal long-run tenant shares.
+  std::int64_t drr_quantum = RequestQueue::kDefaultQuantum;
   // Shared simulation pool threads; 1 (default) keeps every shard's
-  // simulator serial (parallelism then comes from the shards themselves),
+  // engine serial (parallelism then comes from the shards themselves),
   // 0 means all hardware threads — the repo-wide num_threads convention.
   int sim_threads = 1;
   // Range of the per-tenant latency histogram (percentile resolution).
@@ -72,10 +100,13 @@ struct ServerOptions {
 
 struct ShardSnapshot {
   int shard = 0;
+  std::string backend;             // engine that served this shard's work
   std::int64_t batches = 0;        // dispatches executed
   std::int64_t requests = 0;       // requests served (incl. coalesced)
   std::int64_t fused_runs = 0;     // hardware GEMM runs after fusion
   std::int64_t mode_switches = 0;  // reconfigurations between modes
+  std::int64_t audit_runs = 0;     // fused runs replayed cycle-accurately
+  std::int64_t audit_mismatches = 0;  // replays disagreeing with the serve run
   double busy_time_ps = 0.0;       // simulated execution time
   double energy_pj = 0.0;          // simulated energy of useful work
   double reconfig_time_ps = 0.0;   // simulated drain/reconfigure time
@@ -89,6 +120,9 @@ struct ServerStats {
   std::int64_t completed = 0;  // logical requests fulfilled
   std::vector<ShardSnapshot> shards;
   std::vector<TenantSnapshot> tenants;
+
+  std::int64_t audit_runs() const;
+  std::int64_t audit_mismatches() const;
 };
 
 class Server {
@@ -105,11 +139,15 @@ class Server {
   // X = a x *b in mode k (0 = per-request optimizer choice).  `b` is the
   // shared stationary weight matrix — requests naming the same matrix (by
   // pointer) with equal shapes and modes are fused into one hardware run.
-  // Blocks while the queue is full; throws af::Error after shutdown.
+  // `want_output` = false marks cost-estimation traffic: the result's
+  // cycles/time/energy are exact but `out` comes back empty, and on the
+  // analytic backend the operands are never even read — the cheapest way
+  // to price millions of GEMMs.  Blocks while the queue is full; throws
+  // af::Error after shutdown.
   std::future<GemmResult> submit_gemm(const std::string& tenant,
                                       gemm::Mat32 a,
                                       std::shared_ptr<const gemm::Mat32> b,
-                                      int k = 0);
+                                      int k = 0, bool want_output = true);
 
   // Whole-model inference, sharded: the model's layers are split into up to
   // num_shards contiguous slices evaluated on different shards; the merged
@@ -121,6 +159,7 @@ class Server {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const arch::ArrayConfig& shard_config() const { return shard_config_; }
+  const std::string& backend() const { return options_.backend; }
 
   ServerStats stats() const;
 
@@ -146,8 +185,9 @@ class Server {
   arch::ArrayConfig shard_config_;
   ServerOptions options_;
   std::unique_ptr<util::ThreadPool> sim_pool_;
-  arch::CalibratedClockModel admission_clock_;
-  arch::PipelineOptimizer admission_optimizer_;
+  // Serial analytic engine used at admission for per-request mode choice
+  // (mode planning is closed-form on every backend).
+  std::shared_ptr<engine::Engine> admission_engine_;
   RequestQueue queue_;
   BatchScheduler scheduler_;
   TenantAccountant tenants_;

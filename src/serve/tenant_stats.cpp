@@ -34,6 +34,10 @@ std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TenantSnapshot> out;
   out.reserve(accounts_.size());
+  double total_sim_time_ps = 0.0;
+  for (const auto& [name, acc] : accounts_) {
+    total_sim_time_ps += acc.sim_time_ps;
+  }
   for (const auto& [name, acc] : accounts_) {
     TenantSnapshot s;
     s.tenant = name;
@@ -43,6 +47,8 @@ std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
     s.macs = acc.macs;
     s.energy_pj = acc.energy_pj;
     s.sim_time_ps = acc.sim_time_ps;
+    s.served_share =
+        total_sim_time_ps > 0 ? acc.sim_time_ps / total_sim_time_ps : 0.0;
     if (acc.latency_ms.count() > 0) {
       s.mean_latency_ms = acc.latency_ms.mean();
       s.max_latency_ms = acc.latency_ms.max();

@@ -28,6 +28,11 @@ struct TenantSnapshot {
   // reproduces what the shards actually spent.
   double energy_pj = 0.0;
   double sim_time_ps = 0.0;
+  // This tenant's fraction of ALL tenants' attributed hardware time (0 when
+  // nothing has been served yet; sums to 1 across a snapshot otherwise) —
+  // the observable the deficit-round-robin scheduler equalizes for
+  // backlogged tenants.
+  double served_share = 0.0;
   double mean_latency_ms = 0.0;     // wall-clock, enqueue -> completion
   double max_latency_ms = 0.0;
   double p50_latency_ms = 0.0;

@@ -12,6 +12,7 @@
 #include "arch/array.h"
 #include "arch/latency.h"
 #include "arch/sparse.h"
+#include "engine/engine.h"
 #include "gemm/reference.h"
 #include "util/rng.h"
 
@@ -201,6 +202,62 @@ TEST(EquivalenceSweep, ThreadedSparseGemmSkipsZeroTilesIdentically) {
     EXPECT_EQ(gemm::first_mismatch(threaded_out, serial_out), "") << label;
     EXPECT_EQ(threaded.total_cycles, serial.total_cycles) << label;
     expect_counters_equal(threaded.activity, serial.activity, label);
+  }
+}
+
+// ---- engine facade: analytic predictions vs cycle-accurate measurement ----
+
+// The engine-level restatement of this file's contract: behind the
+// engine::Engine facade, the "analytic" backend's cycle / activity /
+// energy predictions must land EXACTLY on what the "cycle" backend
+// measures — across shapes, symmetric modes k, and asymmetric (k_v, k_h)
+// pairs.  This is the equivalence that lets the serving layer answer cost
+// traffic analytically and spot-check with cycle-accurate audits.
+TEST(EquivalenceSweep, EngineBackendsAgreeOnCyclesActivityAndEnergy) {
+  Rng rng(414243);
+  const std::vector<int> sides = {2, 4, 6, 8, 12, 16};
+  const std::vector<int> k_candidates = {1, 2, 3, 4, 6, 8};
+  for (int iter = 0; iter < 30; ++iter) {
+    const int rows = sides[rng.next_below(sides.size())];
+    const int cols = sides[rng.next_below(sides.size())];
+    const ArrayConfig cfg = config_for(rows, cols);
+    engine::EngineBuilder builder;
+    builder.config(cfg);
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+
+    // Full tiled GEMM in a random supported symmetric mode.
+    const gemm::GemmShape shape{rng.next_in(1, 48), rng.next_in(1, 48),
+                                rng.next_in(1, 24)};
+    const int k = cfg.supported_k[rng.next_below(cfg.supported_k.size())];
+    const std::string label = "R=" + std::to_string(rows) +
+                              " C=" + std::to_string(cols) +
+                              " k=" + std::to_string(k);
+    const engine::CostEstimate predicted = analytic->evaluate(shape, k);
+    const engine::CostEstimate measured = cycle->evaluate(shape, k);
+    EXPECT_EQ(predicted.cycles, measured.cycles) << label;
+    EXPECT_EQ(predicted.energy_pj, measured.energy_pj) << label;
+    expect_counters_equal(predicted.activity, measured.activity, label);
+    EXPECT_TRUE(engine::exactly_equal(predicted, measured)) << label;
+
+    // One asymmetric tile pair on the same geometry.
+    const auto kvs = divisors_of(rows, k_candidates);
+    const auto khs = divisors_of(cols, k_candidates);
+    const int k_v = kvs[rng.next_below(kvs.size())];
+    const int k_h = khs[rng.next_below(khs.size())];
+    const std::int64_t t = rng.next_in(1, 32);
+    const std::string asym_label = label + " k_v=" + std::to_string(k_v) +
+                                   " k_h=" + std::to_string(k_h) +
+                                   " T=" + std::to_string(t);
+    const engine::CostEstimate predicted_asym =
+        analytic->evaluate_tile_asym(t, k_v, k_h);
+    const engine::CostEstimate measured_asym =
+        cycle->evaluate_tile_asym(t, k_v, k_h);
+    EXPECT_EQ(predicted_asym.cycles, measured_asym.cycles) << asym_label;
+    expect_counters_equal(predicted_asym.activity, measured_asym.activity,
+                          asym_label);
+    EXPECT_TRUE(engine::exactly_equal(predicted_asym, measured_asym))
+        << asym_label;
   }
 }
 

@@ -1,0 +1,304 @@
+// The engine facade's contract: the string-keyed factory and builder wire
+// backends correctly, and — the load-bearing guarantee — the "analytic"
+// backend's CostEstimates and outputs are EXACTLY the numbers the "cycle"
+// backend measures, across shapes, modes, asymmetric collapse pairs,
+// thread counts and clock models.  That equivalence is what licenses
+// serve::Server to default to analytic serving with sampled cycle-accurate
+// audits (see serve_test.cpp for the serving-level audit test).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "arch/clocking.h"
+#include "engine/engine.h"
+#include "gemm/reference.h"
+#include "nn/models.h"
+#include "nn/runner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace af::engine {
+namespace {
+
+arch::ArrayConfig config_for(int rows, int cols, int num_threads = 1) {
+  arch::ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.supported_k = {1};
+  for (const int k : {2, 3, 4, 8}) {
+    if (rows % k == 0 && cols % k == 0) cfg.supported_k.push_back(k);
+  }
+  cfg.sim.num_threads = num_threads;
+  cfg.validate();
+  return cfg;
+}
+
+void expect_costs_exactly_equal(const CostEstimate& got,
+                                const CostEstimate& want,
+                                const std::string& label) {
+  EXPECT_EQ(got.k, want.k) << label;
+  EXPECT_EQ(got.cycles, want.cycles) << label;
+  EXPECT_EQ(got.period_ps, want.period_ps) << label;
+  EXPECT_EQ(got.time_ps, want.time_ps) << label;
+  EXPECT_EQ(got.energy_pj, want.energy_pj) << label;
+  EXPECT_EQ(got.activity.mult_ops, want.activity.mult_ops) << label;
+  EXPECT_EQ(got.activity.csa_ops, want.activity.csa_ops) << label;
+  EXPECT_EQ(got.activity.cpa_ops, want.activity.cpa_ops) << label;
+  EXPECT_EQ(got.activity.hreg_writes, want.activity.hreg_writes) << label;
+  EXPECT_EQ(got.activity.vreg_writes, want.activity.vreg_writes) << label;
+  EXPECT_EQ(got.activity.wreg_writes, want.activity.wreg_writes) << label;
+  EXPECT_EQ(got.activity.acc_writes, want.activity.acc_writes) << label;
+  EXPECT_EQ(got.activity.hreg_bypassed_bit_cycles,
+            want.activity.hreg_bypassed_bit_cycles)
+      << label;
+  EXPECT_EQ(got.activity.vreg_bypassed_bit_cycles,
+            want.activity.vreg_bypassed_bit_cycles)
+      << label;
+  EXPECT_EQ(got.activity.streaming_cycles, want.activity.streaming_cycles)
+      << label;
+  EXPECT_TRUE(exactly_equal(got, want)) << label;
+}
+
+// ---- factory / registry ---------------------------------------------------
+
+TEST(EngineFactoryTest, RegistryListsExactlyTheShippedBackends) {
+  const std::vector<std::string> names = registered_backends();
+  ASSERT_EQ(names.size(), 2u);
+  // Sorted (std::map) — the CI drift check against the README table relies
+  // on a stable order.
+  EXPECT_EQ(names[0], "analytic");
+  EXPECT_EQ(names[1], "cycle");
+  for (const std::string& name : names) {
+    EXPECT_FALSE(backend_description(name).empty()) << name;
+  }
+}
+
+TEST(EngineFactoryTest, MakeResolvesNamesAndRejectsUnknown) {
+  EngineBuilder builder;
+  builder.square(8);
+  const std::shared_ptr<Engine> analytic = make("analytic", builder);
+  const std::shared_ptr<Engine> cycle = make("cycle", builder);
+  EXPECT_EQ(analytic->name(), "analytic");
+  EXPECT_EQ(cycle->name(), "cycle");
+  EXPECT_FALSE(analytic->measures());
+  EXPECT_TRUE(cycle->measures());
+  EXPECT_THROW(make("rtl", builder), Error);
+  EXPECT_THROW(backend_description("rtl"), Error);
+}
+
+TEST(EngineBuilderTest, DefaultsAndFluentWiring) {
+  auto engine = EngineBuilder().square(16).build("analytic");
+  EXPECT_EQ(engine->config().rows, 16);
+  EXPECT_EQ(engine->config().cols, 16);
+  EXPECT_EQ(engine->config().supported_k, (std::vector<int>{1, 2, 4}));
+  // The default clock is the paper's DATE-23 calibration.
+  const arch::CalibratedClockModel date23 =
+      arch::CalibratedClockModel::date23();
+  for (const int k : {1, 2, 4}) {
+    EXPECT_EQ(engine->clock().period_ps(k), date23.period_ps(k)) << k;
+  }
+  EXPECT_EQ(engine->pool(), nullptr);  // serial by default
+
+  auto threaded =
+      EngineBuilder().square(16).threads(2).build("cycle");
+  ASSERT_NE(threaded->pool(), nullptr);
+  EXPECT_EQ(threaded->pool()->size(), 2);
+
+  util::ThreadPool shared(2);
+  auto injected =
+      EngineBuilder().square(16).shared_pool(&shared).build("cycle");
+  EXPECT_EQ(injected->pool(), &shared);
+}
+
+// ---- the backend-equivalence contract -------------------------------------
+
+TEST(EngineEquivalenceTest, RandomizedSweepCostsAndOutputsExactlyAgree) {
+  Rng rng(20260401);
+  const std::vector<int> sides = {4, 6, 8, 12, 16};
+  for (int iter = 0; iter < 25; ++iter) {
+    const int rows = sides[rng.next_below(sides.size())];
+    const int cols = sides[rng.next_below(sides.size())];
+    const arch::ArrayConfig cfg = config_for(rows, cols);
+    EngineBuilder builder;
+    builder.config(cfg);
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+
+    const gemm::GemmShape shape{rng.next_in(1, 40), rng.next_in(1, 40),
+                                rng.next_in(1, 24)};
+    const int k = cfg.supported_k[rng.next_below(cfg.supported_k.size())];
+    const std::string label =
+        "R=" + std::to_string(rows) + " C=" + std::to_string(cols) +
+        " M=" + std::to_string(shape.m) + " N=" + std::to_string(shape.n) +
+        " T=" + std::to_string(shape.t) + " k=" + std::to_string(k);
+
+    // evaluate: closed form vs zero-stream measurement.
+    expect_costs_exactly_equal(analytic->evaluate(shape, k),
+                               cycle->evaluate(shape, k), label);
+
+    // run_gemm: outputs bit-equal to the reference and to each other, and
+    // each backend's run cost equals its own evaluate.
+    const gemm::Mat32 a =
+        gemm::random_matrix(rng, shape.t, shape.n, -1000, 1000);
+    const gemm::Mat32 b =
+        gemm::random_matrix(rng, shape.n, shape.m, -1000, 1000);
+    GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = k;
+    const RunResult fast = analytic->run_gemm(request);
+    const RunResult exact = cycle->run_gemm(request);
+    EXPECT_FALSE(fast.measured);
+    EXPECT_TRUE(exact.measured);
+    ASSERT_TRUE(fast.out.has_value()) << label;
+    ASSERT_TRUE(exact.out.has_value()) << label;
+    const gemm::Mat64 want = gemm::reference_gemm(a, b);
+    EXPECT_EQ(gemm::first_mismatch(*fast.out, want), "") << label;
+    EXPECT_EQ(gemm::first_mismatch(*exact.out, want), "") << label;
+    expect_costs_exactly_equal(fast.cost, exact.cost, label + " run");
+  }
+}
+
+TEST(EngineEquivalenceTest, AsymmetricTilePairsExactlyAgree) {
+  Rng rng(77001);
+  const std::vector<int> sides = {4, 6, 8, 12};
+  const std::vector<int> k_candidates = {1, 2, 3, 4, 6};
+  for (int iter = 0; iter < 15; ++iter) {
+    const int rows = sides[rng.next_below(sides.size())];
+    const int cols = sides[rng.next_below(sides.size())];
+    std::vector<int> kvs, khs;
+    for (const int k : k_candidates) {
+      if (rows % k == 0) kvs.push_back(k);
+      if (cols % k == 0) khs.push_back(k);
+    }
+    const int k_v = kvs[rng.next_below(kvs.size())];
+    const int k_h = khs[rng.next_below(khs.size())];
+    const std::int64_t t = rng.next_in(1, 30);
+    const std::string label = "R=" + std::to_string(rows) +
+                              " C=" + std::to_string(cols) +
+                              " k_v=" + std::to_string(k_v) +
+                              " k_h=" + std::to_string(k_h) +
+                              " T=" + std::to_string(t);
+
+    EngineBuilder builder;
+    builder.config(config_for(rows, cols));
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+    expect_costs_exactly_equal(analytic->evaluate_tile_asym(t, k_v, k_h),
+                               cycle->evaluate_tile_asym(t, k_v, k_h), label);
+  }
+}
+
+TEST(EngineEquivalenceTest, ModeZeroPicksTheSameArgminOnBothBackends) {
+  EngineBuilder builder;
+  builder.square(8);
+  auto analytic = builder.build("analytic");
+  auto cycle = builder.build("cycle");
+  Rng rng(5150);
+  for (int iter = 0; iter < 8; ++iter) {
+    const gemm::GemmShape shape{rng.next_in(1, 64), rng.next_in(1, 64),
+                                rng.next_in(1, 64)};
+    const CostEstimate fast = analytic->evaluate(shape, 0);
+    const CostEstimate exact = cycle->evaluate(shape, 0);
+    EXPECT_EQ(fast.k, exact.k);
+    EXPECT_EQ(fast.k, analytic->optimizer().best_mode(shape).k);
+    expect_costs_exactly_equal(fast, exact, "argmin shape");
+    // best() runs the argmin through the backend's own evaluate and must
+    // land on the same mode.
+    EXPECT_EQ(analytic->best(shape).k, fast.k);
+    EXPECT_EQ(cycle->best(shape).k, fast.k);
+  }
+}
+
+TEST(EngineTest, WantOutputFalseSkipsTheProductButNotTheCost) {
+  EngineBuilder builder;
+  builder.square(8);
+  Rng rng(3);
+  const gemm::Mat32 a = gemm::random_matrix(rng, 6, 10, -50, 50);
+  const gemm::Mat32 b = gemm::random_matrix(rng, 10, 12, -50, 50);
+  for (const std::string& backend : registered_backends()) {
+    auto engine = builder.build(backend);
+    GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = 2;
+    request.want_output = false;
+    const RunResult cost_only = engine->run_gemm(request);
+    EXPECT_FALSE(cost_only.out.has_value()) << backend;
+    request.want_output = true;
+    const RunResult full = engine->run_gemm(request);
+    ASSERT_TRUE(full.out.has_value()) << backend;
+    expect_costs_exactly_equal(cost_only.cost, full.cost,
+                               backend + " want_output");
+    EXPECT_GT(cost_only.cost.cycles, 0) << backend;
+    EXPECT_GT(cost_only.cost.energy_pj, 0.0) << backend;
+  }
+}
+
+TEST(EngineTest, ThreadedCycleEngineBitIdenticalToSerial) {
+  Rng rng(99);
+  const gemm::Mat32 a = gemm::random_matrix(rng, 9, 20, -100, 100);
+  const gemm::Mat32 b = gemm::random_matrix(rng, 20, 40, -100, 100);
+  GemmRequest request;
+  request.a = &a;
+  request.b = &b;
+  request.k = 2;
+  auto serial = EngineBuilder().config(config_for(4, 4, 1)).build("cycle");
+  auto threaded = EngineBuilder().config(config_for(4, 4, 4)).build("cycle");
+  const RunResult s = serial->run_gemm(request);
+  const RunResult t = threaded->run_gemm(request);
+  ASSERT_TRUE(s.out.has_value() && t.out.has_value());
+  EXPECT_EQ(gemm::first_mismatch(*t.out, *s.out), "");
+  expect_costs_exactly_equal(t.cost, s.cost, "threads");
+}
+
+TEST(EngineTest, CustomClockChangesPricingIdenticallyOnBothBackends) {
+  // Same cycles under any clock; time/energy follow the period — and stay
+  // exactly equal across backends under a non-default model too.
+  const auto clock = std::make_shared<arch::AnalyticClockModel>(
+      arch::AnalyticClockModel::paper_fit());
+  EngineBuilder builder;
+  builder.square(8).clock(clock);
+  auto analytic = builder.build("analytic");
+  auto cycle = builder.build("cycle");
+  const gemm::GemmShape shape{24, 16, 10};
+  for (const int k : {1, 2, 4}) {
+    const CostEstimate fast = analytic->evaluate(shape, k);
+    expect_costs_exactly_equal(fast, cycle->evaluate(shape, k),
+                               "paper_fit k=" + std::to_string(k));
+    EXPECT_EQ(fast.period_ps, clock->period_ps(k));
+  }
+}
+
+// ---- migration pin: the runner rides the engine ---------------------------
+
+TEST(EngineTest, RunnerOnEngineMatchesLegacyWiringBitExactly) {
+  const arch::ArrayConfig cfg = arch::ArrayConfig::square(16);
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const nn::InferenceRunner legacy(cfg, clock);
+
+  EngineBuilder builder;
+  builder.config(cfg);
+  const nn::InferenceRunner on_engine(builder.build("analytic"));
+
+  const nn::Model model = nn::mobilenet_v1();
+  const nn::ModelReport a = legacy.run(model);
+  const nn::ModelReport b = on_engine.run(model);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].arrayflex.k, b.layers[i].arrayflex.k);
+    EXPECT_EQ(a.layers[i].arrayflex.time_ps, b.layers[i].arrayflex.time_ps);
+    EXPECT_EQ(a.layers[i].arrayflex_power.energy_pj,
+              b.layers[i].arrayflex_power.energy_pj);
+  }
+  EXPECT_EQ(a.arrayflex_time_ps, b.arrayflex_time_ps);
+  EXPECT_EQ(a.arrayflex_energy_pj, b.arrayflex_energy_pj);
+  EXPECT_EQ(a.conventional_time_ps, b.conventional_time_ps);
+  EXPECT_EQ(a.conventional_energy_pj, b.conventional_energy_pj);
+}
+
+}  // namespace
+}  // namespace af::engine

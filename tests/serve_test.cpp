@@ -30,6 +30,16 @@ Request make_gemm_request(std::uint64_t id, int k) {
   return r;
 }
 
+Request make_tenant_request(std::uint64_t id, const std::string& tenant,
+                            std::int64_t drr_cost) {
+  Request r;
+  r.kind = RequestKind::kGemm;
+  r.id = id;
+  r.tenant = tenant;
+  r.drr_cost = drr_cost;
+  return r;
+}
+
 TEST(RequestQueueTest, FifoOrderAndBoundedCapacity) {
   RequestQueue q(2);
   ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
@@ -103,6 +113,76 @@ TEST(BatchSchedulerTest, CoalescesSameModeAcrossIncompatibleMiddle) {
   EXPECT_FALSE(sched.next_batch().has_value());
 }
 
+// ---- deficit round-robin fairness (serve/queue.h) -------------------------
+
+TEST(RequestQueueTest, DrrInterleavesTenantsByCost) {
+  // Tenant "whale" floods requests costing a full quantum each; tenant
+  // "minnow" queues requests at 1/4 quantum.  DRR must give both the same
+  // cost share: each whale request is matched by ~4 minnow requests, so
+  // the minnow is never starved behind the flood (the old FIFO-head
+  // scheduler would have served all whales first).
+  constexpr std::int64_t kQuantum = 1000;
+  RequestQueue q(64, kQuantum);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.push(make_tenant_request(id++, "whale", kQuantum)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.push(make_tenant_request(id++, "minnow", kQuantum / 4)));
+  }
+  q.close();
+
+  std::vector<std::string> order;
+  while (auto r = q.pop()) order.push_back(r->tenant);
+  ASSERT_EQ(order.size(), 11u);
+  // After any whale request, the next whale needs a fresh quantum — and
+  // the minnow's backlog absorbs the intervening rounds — so whales are
+  // separated by minnow service while both are backlogged.
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (order[i] == "whale" && i + 1 < order.size() && order[i + 1] == "whale") {
+      // Two adjacent whales are only legal once the minnow backlog drained.
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        EXPECT_EQ(order[j], "whale") << "whale burst before minnow drained";
+      }
+      break;
+    }
+  }
+  // The first half of the schedule must already contain minnow traffic.
+  const auto first_minnow =
+      std::find(order.begin(), order.end(), "minnow") - order.begin();
+  EXPECT_LT(first_minnow, 2) << "minnow starved behind the whale flood";
+}
+
+TEST(RequestQueueTest, DrrWithinTenantStaysFifo) {
+  RequestQueue q(16, /*quantum=*/100);
+  ASSERT_TRUE(q.push(make_tenant_request(0, "a", 10)));
+  ASSERT_TRUE(q.push(make_tenant_request(1, "a", 10)));
+  ASSERT_TRUE(q.push(make_tenant_request(2, "a", 10)));
+  q.close();
+  EXPECT_EQ(q.pop()->id, 0u);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(RequestQueueTest, PopIfChargesTheRidersOwnTenant) {
+  RequestQueue q(16, /*quantum=*/100);
+  ASSERT_TRUE(q.push(make_tenant_request(0, "a", 10)));
+  ASSERT_TRUE(q.push(make_tenant_request(1, "b", 60)));
+  // Coalescing "b"'s request charges b's deficit (negative now — it
+  // borrowed against future rounds), not a's.
+  auto taken = q.pop_if([](const Request& r) { return r.tenant == "b"; });
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->id, 1u);
+  EXPECT_EQ(q.deficit("a"), 0);
+  // b went empty and retired: DRR forgets non-backlogged tenants, debt
+  // included.
+  EXPECT_EQ(q.deficit("b"), 0);
+  ASSERT_TRUE(q.push(make_tenant_request(2, "b", 60)));
+  auto rider = q.pop_if([](const Request& r) { return r.tenant == "b"; });
+  ASSERT_TRUE(rider.has_value());
+  EXPECT_EQ(q.deficit("b"), 0);  // retired again once empty
+}
+
 TEST(BatchSchedulerTest, MaxBatchOneDisablesCoalescing) {
   RequestQueue q(8);
   ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
@@ -125,10 +205,22 @@ class ServeTest : public ::testing::Test {
   }
 };
 
-TEST_F(ServeTest, GemmResultsMatchReference) {
+// Core correctness must hold identically on every registered backend: the
+// analytic engine's outputs come from the reference GEMM and its costs
+// from the exactness-pinned closed forms, so a client cannot tell the
+// backends apart by results — only by throughput.
+class ServeBackendTest : public ServeTest,
+                         public ::testing::WithParamInterface<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServeBackendTest,
+                         ::testing::Values("analytic", "cycle"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(ServeBackendTest, GemmResultsMatchReference) {
   ServerOptions opts;
   opts.num_shards = 2;
   opts.max_batch = 4;
+  opts.backend = GetParam();
   Server server(shard16(), opts);
 
   Rng rng(42);
@@ -147,10 +239,162 @@ TEST_F(ServeTest, GemmResultsMatchReference) {
     EXPECT_GT(r.energy_pj, 0.0);
     EXPECT_GT(r.time_ps, 0.0);
     EXPECT_GE(r.latency_ms, r.queue_ms);
+    EXPECT_EQ(r.backend, GetParam());
+    EXPECT_EQ(r.measured, GetParam() == "cycle");
   }
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, 10);
   EXPECT_EQ(stats.completed, 10);
+  for (const ShardSnapshot& s : stats.shards) {
+    EXPECT_EQ(s.backend, GetParam());
+  }
+}
+
+TEST_P(ServeBackendTest, CostOnlyTrafficSkipsOutputs) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.backend = GetParam();
+  Server server(shard16(), opts);
+
+  Rng rng(11);
+  auto weights = random_weights(rng, 32, 24);
+  GemmResult r = server
+                     .submit_gemm("pricer", gemm::random_matrix(rng, 6, 32,
+                                                                -50, 50),
+                                  weights, /*k=*/2, /*want_output=*/false)
+                     .get();
+  EXPECT_EQ(r.out.rows(), 0);  // no product computed for cost-only traffic
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_GT(r.energy_pj, 0.0);
+  EXPECT_EQ(r.k, 2);
+
+  // The cost of a cost-only request equals the cost of the same request
+  // with outputs — fidelity of the estimate never depends on the flag.
+  GemmResult full = server
+                        .submit_gemm("pricer", gemm::random_matrix(rng, 6, 32,
+                                                                   -50, 50),
+                                     weights, /*k=*/2, /*want_output=*/true)
+                        .get();
+  EXPECT_EQ(full.cycles, r.cycles);
+  EXPECT_EQ(full.time_ps, r.time_ps);
+  EXPECT_EQ(full.out.rows(), 6);
+
+  // A burst mixing cost-only and output-wanting requests over the same
+  // weights/shape/mode: whether or not the scheduler fuses them, each
+  // request's out honours ITS OWN flag (a cost-only rider in a fused run
+  // must come back empty; its neighbours still get their exact rows).
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 5, 32, -50, 50));
+    futures.push_back(server.submit_gemm("pricer", inputs.back(), weights,
+                                         /*k=*/1,
+                                         /*want_output=*/i % 2 == 0));
+  }
+  for (int i = 0; i < 4; ++i) {
+    GemmResult burst = futures[static_cast<std::size_t>(i)].get();
+    if (i % 2 == 0) {
+      const gemm::Mat64 want = gemm::reference_gemm(
+          inputs[static_cast<std::size_t>(i)], *weights);
+      EXPECT_EQ(gemm::first_mismatch(burst.out, want), "") << "burst " << i;
+    } else {
+      EXPECT_EQ(burst.out.rows(), 0) << "burst " << i;
+    }
+  }
+}
+
+TEST_F(ServeTest, AuditedAnalyticServingAgreesWithCycleAccurateReplays) {
+  // The acceptance scenario: serve analytically, replay EVERY fused run on
+  // the cycle-accurate audit engine, and demand exact agreement — outputs
+  // bit for bit, cycles and counters number for number.
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 4;
+  opts.backend = "analytic";
+  opts.audit_fraction = 1.0;
+  Server server(shard16(), opts);
+
+  Rng rng(404);
+  auto weights = random_weights(rng, 48, 24);
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 3 + i % 4, 48, -60, 60));
+    futures.push_back(server.submit_gemm("audited", inputs.back(), weights,
+                                         /*k=*/(i % 2 == 0) ? 1 : 2));
+  }
+  for (int i = 0; i < 16; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.backend, "analytic");
+    EXPECT_FALSE(r.measured);
+    EXPECT_TRUE(r.audited) << "audit_fraction=1 must replay every fused run";
+    const gemm::Mat64 want = gemm::reference_gemm(
+        inputs[static_cast<std::size_t>(i)], *weights);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "") << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.audit_runs(), 0);
+  EXPECT_EQ(stats.audit_mismatches(), 0)
+      << "cycle-accurate replays disagreed with analytic serving";
+}
+
+TEST_F(ServeTest, FractionalAuditSamplesDeterministically) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;  // one fused run per request: exact audit arithmetic
+  opts.backend = "analytic";
+  opts.audit_fraction = 0.25;
+  Server server(shard16(), opts);
+
+  Rng rng(7);
+  auto weights = random_weights(rng, 16, 16);
+  int audited = 0;
+  for (int i = 0; i < 8; ++i) {
+    GemmResult r =
+        server
+            .submit_gemm("t", gemm::random_matrix(rng, 4, 16, -10, 10),
+                         weights)
+            .get();
+    if (r.audited) ++audited;
+  }
+  // credit 0.25/run crosses 1.0 on runs 4 and 8.
+  EXPECT_EQ(audited, 2);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.audit_runs(), 2);
+  EXPECT_EQ(stats.audit_mismatches(), 0);
+}
+
+TEST_F(ServeTest, ServedSharesEqualizeUnderDrr) {
+  // Two tenants, same aggregate backlog cost in very different request
+  // sizes; after the books close their attributed hardware shares must
+  // both be visible and sum to 1.
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  Server server(shard16(), opts);
+
+  Rng rng(88);
+  auto weights = random_weights(rng, 32, 32);
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.submit_gemm(
+        "big", gemm::random_matrix(rng, 32, 32, -20, 20), weights));
+    for (int j = 0; j < 4; ++j) {
+      futures.push_back(server.submit_gemm(
+          "small", gemm::random_matrix(rng, 8, 32, -20, 20), weights));
+    }
+  }
+  for (auto& f : futures) f.get();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  double share_sum = 0.0;
+  for (const TenantSnapshot& t : stats.tenants) {
+    EXPECT_GT(t.served_share, 0.0) << t.tenant;
+    EXPECT_LT(t.served_share, 1.0) << t.tenant;
+    share_sum += t.served_share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-12);
 }
 
 TEST_F(ServeTest, SameWeightRequestsFuseBehindAPlug) {
@@ -200,8 +444,13 @@ TEST_F(ServeTest, SameWeightRequestsFuseBehindAPlug) {
   // exactly 2 when the trio coalesced (the common schedule).
   EXPECT_GE(stats.shards[0].fused_runs, 2);
   EXPECT_LE(stats.shards[0].fused_runs, 4);
-  EXPECT_EQ(stats.shards[0].mode_switches, 1);  // k=4 -> k=1, batching or not
-  EXPECT_EQ(stats.shards[0].current_k, 1);
+  // Exactly one mode switch either way, but the ORDER is the DRR
+  // scheduler's business: the plug's huge MAC cost can make the small
+  // tenant's k=1 trio dispatch first (plug last, shard ends in k=4), or
+  // the worker grabs the plug before the trio arrives (shard ends in k=1).
+  EXPECT_EQ(stats.shards[0].mode_switches, 1);
+  EXPECT_TRUE(stats.shards[0].current_k == 1 || stats.shards[0].current_k == 4)
+      << stats.shards[0].current_k;
 }
 
 TEST_F(ServeTest, ModeSwitchAccounting) {
@@ -261,14 +510,15 @@ TEST_F(ServeTest, ShardedInferenceBitIdenticalToDirectRun) {
   EXPECT_EQ(result.report.mode_histogram(), want.mode_histogram());
 }
 
-TEST_F(ServeTest, StressManyClientsManyShardsWithBatching) {
+TEST_P(ServeBackendTest, StressManyClientsManyShardsWithBatching) {
   // The acceptance workload: >= 4 concurrent client threads, >= 2 shards,
   // batching enabled, every single result verified against the reference
-  // GEMM, and the books must balance afterwards.
+  // GEMM, and the books must balance afterwards — on both backends.
   ServerOptions opts;
   opts.num_shards = 2;
   opts.max_batch = 8;
   opts.sim_threads = 2;  // exercise the shared simulation pool too
+  opts.backend = GetParam();
   Server server(shard16(), opts);
 
   constexpr int kClients = 4;
