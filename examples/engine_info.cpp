@@ -1,22 +1,33 @@
-// Prints the engine::make backend registry — the machine-checkable source
-// of truth behind the README's "Execution engines" table.
+// Prints the engine::make backend registry and the serve::make_dispatcher
+// registry — the machine-checkable sources of truth behind the README's
+// "Execution engines" and "Dispatchers" tables.
 //
-//   $ ./engine_info            # human-readable backend matrix
-//   $ ./engine_info --names    # one registry key per line (CI drift check:
-//                              # the Release job fails when these names and
-//                              # the README table disagree)
+//   $ ./engine_info                # human-readable backend matrix
+//   $ ./engine_info --names        # one engine key per line (CI drift
+//                                  # check: the Release job fails when
+//                                  # these and the README table disagree)
+//   $ ./engine_info --dispatchers  # one dispatcher key per line (same
+//                                  # CI check against the README's
+//                                  # dispatcher table)
 
 #include <iostream>
 #include <string>
 
 #include "engine/engine.h"
 #include "gemm/reference.h"
+#include "serve/dispatcher.h"
 
 using namespace af;
 
 int main(int argc, char** argv) {
-  const bool names_only =
-      argc > 1 && std::string(argv[1]) == "--names";
+  const std::string flag = argc > 1 ? argv[1] : "";
+  const bool names_only = flag == "--names";
+  if (flag == "--dispatchers") {
+    for (const std::string& name : serve::registered_dispatchers()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
   const std::vector<std::string> names = engine::registered_backends();
   if (names_only) {
     for (const std::string& name : names) std::cout << name << "\n";
@@ -42,5 +53,15 @@ int main(int argc, char** argv) {
   std::cout << "All backends return bit-identical outputs and exactly equal\n"
                "cycle/activity/energy numbers (tests/engine_test.cpp); they\n"
                "differ only in how the numbers are produced and how fast.\n";
+
+  std::cout << "\nserve::make_dispatcher registry ("
+            << serve::registered_dispatchers().size() << " dispatchers)\n\n";
+  for (const std::string& name : serve::registered_dispatchers()) {
+    std::cout << "  \"" << name << "\"\n"
+              << "    " << serve::dispatcher_description(name) << "\n";
+  }
+  std::cout << "\nBoth dispatchers preserve per-tenant DRR fairness and "
+               "produce\nbit-identical results (tests/serve_test.cpp); they "
+               "differ in lock\ncontention on the serving hot path.\n";
   return 0;
 }

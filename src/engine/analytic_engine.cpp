@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "arch/sparse.h"
 #include "util/status.h"
 
 namespace af::engine {
@@ -28,7 +29,16 @@ RunResult AnalyticEngine::run_gemm(const GemmRequest& request) {
   const int k = resolve_mode(shape, request.k);
 
   RunResult result;
-  result.cost = analytic_estimate(shape, k);
+  if (request.sparse) {
+    // Block-sparse pricing inspects B's tile occupancy (the one part of a
+    // cost query that must read an operand) and charges only the non-zero
+    // tiles; see GemmRequest::sparse.
+    const arch::TileOccupancy occupancy = arch::TileOccupancy::from_matrix(
+        *request.b, config().rows, config().cols);
+    result.cost = analytic_sparse_estimate(shape, k, occupancy);
+  } else {
+    result.cost = analytic_estimate(shape, k);
+  }
   result.measured = false;
   // The product is computed only on demand — and by the reference GEMM, not
   // the simulator.  reference_gemm is bit-identical to the array (that is

@@ -33,7 +33,8 @@ RunResult CycleAccurateEngine::run_gemm(const GemmRequest& request) {
 
   gemm::Mat64 out;
   const arch::TileRunStats stats =
-      array_.run_gemm(*request.a, *request.b, k, &out);
+      request.sparse ? array_.run_gemm_sparse(*request.a, *request.b, k, &out)
+                     : array_.run_gemm(*request.a, *request.b, k, &out);
 
   RunResult result;
   result.cost = priced(stats, k);

@@ -6,6 +6,7 @@
 
 #include "arch/activity.h"
 #include "arch/latency.h"
+#include "arch/sparse.h"
 #include "engine/analytic_engine.h"
 #include "engine/cycle_engine.h"
 #include "util/status.h"
@@ -85,6 +86,37 @@ CostEstimate Engine::analytic_tile_asym_estimate(std::int64_t t, int k_v,
   const arch::PowerResult priced =
       power_.from_counters(est.activity, est.cycles, est.period_ps,
                            /*arrayflex_hardware=*/true, k_v);
+  est.time_ps = priced.time_ps;
+  est.energy_pj = priced.energy_pj;
+  return est;
+}
+
+CostEstimate Engine::analytic_sparse_estimate(
+    const gemm::GemmShape& shape, int k,
+    const arch::TileOccupancy& occupancy) const {
+  CostEstimate est;
+  est.k = k;
+  est.cycles = arch::sparse_total_latency_cycles(shape, config_, k, occupancy);
+  // Every executed tile is zero-padded to the full R x C geometry with the
+  // full T, so the per-tile counters are identical across tiles and the
+  // sparse total is simply per-tile x nnz (the dense model's `x tiles`,
+  // with the skipped tiles gone).
+  const arch::ActivityCounters per =
+      arch::predict_tile_activity(config_, shape.t, k);
+  const std::int64_t nnz = occupancy.nonzero_tiles();
+  est.activity.mult_ops = per.mult_ops * nnz;
+  est.activity.csa_ops = per.csa_ops * nnz;
+  est.activity.cpa_ops = per.cpa_ops * nnz;
+  est.activity.hreg_writes = per.hreg_writes * nnz;
+  est.activity.vreg_writes = per.vreg_writes * nnz;
+  est.activity.wreg_writes = per.wreg_writes * nnz;
+  est.activity.acc_writes = per.acc_writes * nnz;
+  est.activity.hreg_bypassed_bit_cycles = per.hreg_bypassed_bit_cycles * nnz;
+  est.activity.vreg_bypassed_bit_cycles = per.vreg_bypassed_bit_cycles * nnz;
+  est.activity.streaming_cycles = per.streaming_cycles * nnz;
+  est.period_ps = clock_->period_ps(k);
+  const arch::PowerResult priced = power_.from_counters(
+      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
   est.time_ps = priced.time_ps;
   est.energy_pj = priced.energy_pj;
   return est;
@@ -204,14 +236,9 @@ std::shared_ptr<Engine> make(const std::string& backend,
                              const EngineBuilder& builder) {
   const auto it = registry().find(backend);
   if (it == registry().end()) {
-    std::string known;
-    for (const auto& [name, entry] : registry()) {
-      if (!known.empty()) known += ", ";
-      known += "\"" + name + "\"";
-    }
-    AF_CHECK(false, "unknown engine backend \"" << backend
-                                                << "\" (registered: " << known
-                                                << ")");
+    AF_CHECK(false, "unknown engine backend \""
+                        << backend << "\" (registered: "
+                        << registered_backend_list() << ")");
   }
   return it->second.create(builder);
 }
@@ -221,6 +248,19 @@ std::vector<std::string> registered_backends() {
   names.reserve(registry().size());
   for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;
+}
+
+bool is_registered(const std::string& backend) {
+  return registry().count(backend) > 0;
+}
+
+std::string registered_backend_list() {
+  std::string known;
+  for (const auto& [name, entry] : registry()) {
+    if (!known.empty()) known += ", ";
+    known += "\"" + name + "\"";
+  }
+  return known;
 }
 
 std::string backend_description(const std::string& backend) {

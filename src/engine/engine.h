@@ -57,6 +57,10 @@ namespace af::util {
 class ThreadPool;
 }
 
+namespace af::arch {
+class TileOccupancy;
+}
+
 namespace af::engine {
 
 // One GEMM to execute: X(T x M) = A(T x N) x B(N x M).  Non-owning views;
@@ -75,6 +79,16 @@ struct GemmRequest {
   // the product internally (that IS the measurement); the flag only elides
   // returning it.
   bool want_output = true;
+  // Block-sparse execution (the paper's Section V future work,
+  // arch/sparse.h): R x C weight tiles of B that are entirely zero are
+  // skipped — they cost neither preload nor streaming cycles.  Outputs are
+  // bit-identical to the dense run (a zero tile contributes zero to every
+  // accumulator); cycles, counters and energy drop with the occupancy.
+  // The cycle backend routes through SystolicArray::run_gemm_sparse; the
+  // analytic backend scans B's occupancy and prices the nnz tiles via
+  // arch::sparse_total_latency_cycles — still exactly equal (pinned by
+  // tests/engine_test.cpp).
+  bool sparse = false;
 };
 
 // Unified cost of one GEMM (or shape) under a given clock + energy model.
@@ -166,6 +180,13 @@ class Engine {
   CostEstimate analytic_estimate(const gemm::GemmShape& shape, int k) const;
   CostEstimate analytic_tile_asym_estimate(std::int64_t t, int k_v,
                                            int k_h) const;
+  // Closed-form cost of a block-sparse GEMM: per-tile counters scaled by
+  // the occupancy's non-zero tile count, cycles via
+  // arch::sparse_total_latency_cycles — exactly what run_gemm_sparse
+  // measures (skipped tiles contribute nothing to any counter).
+  CostEstimate analytic_sparse_estimate(
+      const gemm::GemmShape& shape, int k,
+      const arch::TileOccupancy& occupancy) const;
   // Price measured (or predicted) counters exactly the way every consumer
   // used to: utilization-aware, ArrayFlex hardware, Tclock(k).
   CostEstimate priced(const arch::TileRunStats& stats, int k) const;
@@ -233,6 +254,12 @@ class EngineBuilder {
 std::shared_ptr<Engine> make(const std::string& backend,
                              const EngineBuilder& builder = EngineBuilder());
 std::vector<std::string> registered_backends();
+// Allocation-free membership probe — admission-path validation (the
+// serving layer checks per-request overrides on every submit).
+bool is_registered(const std::string& backend);
+// The registry keys quoted and comma-joined ('"analytic", "cycle"') — the
+// one formatter behind every unknown-backend error message.
+std::string registered_backend_list();
 // One-line human description per backend (the README matrix source).
 std::string backend_description(const std::string& backend);
 

@@ -20,6 +20,7 @@ bool RequestQueue::push(Request r) {
   if (tq.items.empty()) ring_.push_back(r.tenant);  // newly backlogged
   tq.items.push_back(std::move(r));
   ++total_;
+  approx_size_.store(total_, std::memory_order_relaxed);
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -32,6 +33,7 @@ Request RequestQueue::take_front_locked() {
   tq.items.pop_front();
   tq.deficit -= r.drr_cost;
   --total_;
+  approx_size_.store(total_, std::memory_order_relaxed);
   retire_if_empty_locked(tenant);
   return r;
 }
@@ -53,7 +55,22 @@ std::optional<Request> RequestQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [this] { return closed_ || total_ > 0; });
   if (total_ == 0) return std::nullopt;  // closed and drained
+  Request r = pop_drr_locked();
+  lock.unlock();
+  not_full_.notify_one();
+  return r;
+}
 
+std::optional<Request> RequestQueue::try_pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (total_ == 0) return std::nullopt;
+  Request r = pop_drr_locked();
+  lock.unlock();
+  not_full_.notify_one();
+  return r;
+}
+
+Request RequestQueue::pop_drr_locked() {
   // Deficit round-robin: visit backlogged tenants in ring order.  Arriving
   // at a tenant credits its deficit with one quantum (once per visit); a
   // tenant whose deficit covers its head request is served and keeps the
@@ -82,8 +99,6 @@ std::optional<Request> RequestQueue::pop() {
         it->second.credited = false;
         ++ring_pos_;
       }
-      lock.unlock();
-      not_full_.notify_one();
       return r;
     }
     if (!tq.credited) {
@@ -120,28 +135,80 @@ std::optional<Request> RequestQueue::pop() {
 
 std::optional<Request> RequestQueue::pop_if(
     const std::function<bool(const Request&)>& pred) {
+  std::vector<Request> taken = pop_all_if(pred, 1);
+  if (taken.empty()) return std::nullopt;
+  return std::move(taken.front());
+}
+
+std::vector<Request> RequestQueue::pop_all_if(
+    const std::function<bool(const Request&)>& pred, int max_take) {
+  std::vector<Request> out;
+  if (max_take <= 0) return out;
   std::unique_lock<std::mutex> lock(mutex_);
+  // Snapshot the scan order up front: taking a tenant's last request
+  // retires it and shifts ring slots under an index-based walk.
+  std::vector<std::string> order;
+  order.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
-    const std::size_t idx =
-        (ring_pos_ + i) % ring_.size();
-    const std::string tenant = ring_[idx];
-    TenantQueue& tq = tenants_[tenant];
-    for (auto it = tq.items.begin(); it != tq.items.end(); ++it) {
-      if (!pred(*it)) continue;
-      Request r = std::move(*it);
-      tq.items.erase(it);
-      // The rider pays its own way: charging the cost here (possibly
-      // driving the deficit negative) keeps long-run DRR shares intact
-      // even when coalescing jumps the round-robin order.
-      tq.deficit -= r.drr_cost;
-      --total_;
-      retire_if_empty_locked(tenant);
-      lock.unlock();
-      not_full_.notify_one();
-      return r;
-    }
+    order.push_back(ring_[(ring_pos_ + i) % ring_.size()]);
   }
-  return std::nullopt;
+  for (const std::string& tenant : order) {
+    if (static_cast<int>(out.size()) >= max_take) break;
+    const auto found = tenants_.find(tenant);
+    if (found == tenants_.end()) continue;
+    TenantQueue& tq = found->second;
+    // Erase-as-you-go and stop the moment the budget fills: the common
+    // take is a contiguous run at the FRONT of a tenant's FIFO (a stream
+    // of same-mode requests), so this touches O(taken) requests and leaves
+    // the rest of the backlog unmoved.
+    for (auto it = tq.items.begin();
+         it != tq.items.end() && static_cast<int>(out.size()) < max_take;) {
+      if (pred(*it)) {
+        // The rider pays its own way: charging the cost here (possibly
+        // driving the deficit negative) keeps long-run DRR shares intact
+        // even when coalescing jumps the round-robin order.
+        tq.deficit -= it->drr_cost;
+        --total_;
+        approx_size_.store(total_, std::memory_order_relaxed);
+        out.push_back(std::move(*it));
+        it = tq.items.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    retire_if_empty_locked(tenant);
+  }
+  if (!out.empty()) {
+    lock.unlock();
+    not_full_.notify_all();
+  }
+  return out;
+}
+
+std::vector<Request> RequestQueue::drain_all() {
+  std::vector<Request> out;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const std::string& tenant : ring_) {
+    TenantQueue& tq = tenants_[tenant];
+    for (Request& r : tq.items) out.push_back(std::move(r));
+  }
+  tenants_.clear();
+  ring_.clear();
+  ring_pos_ = 0;
+  total_ = 0;
+  approx_size_.store(0, std::memory_order_relaxed);
+  if (!out.empty()) {
+    lock.unlock();
+    not_full_.notify_all();
+  }
+  return out;
+}
+
+bool RequestQueue::wait_nonempty_for(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, timeout,
+                      [this] { return closed_ || total_ > 0; });
+  return total_ > 0;
 }
 
 void RequestQueue::close() {

@@ -14,18 +14,21 @@
 // tenant of small ones, which under the old FIFO-head scheduler waited
 // behind the entire flood.  Within one tenant, order stays FIFO.
 //
-// pop_if(pred) — the batching scheduler's coalescing sweep — removes the
-// first request matching a predicate without waiting, scanning tenants in
-// ring order starting from the tenant pop() last served.  A request taken
-// this way is charged to ITS OWN tenant's deficit (which may go negative:
-// the tenant borrowed against future rounds to ride a batch that was
-// dispatching anyway), so coalescing accelerates batches without
-// distorting long-run fairness.  A tenant's deficit resets to zero when
-// its backlog empties — fairness applies to backlogged tenants only,
-// per the classic DRR formulation.
+// pop_all_if(pred, max) — the batching scheduler's coalescing sweep —
+// removes up to `max` requests matching a predicate in ONE pass over the
+// backlog, scanning tenants in ring order starting from the tenant pop()
+// last served and each tenant front to back.  A request taken this way is
+// charged to ITS OWN tenant's deficit (which may go negative: the tenant
+// borrowed against future rounds to ride a batch that was dispatching
+// anyway), so coalescing accelerates batches without distorting long-run
+// fairness.  A tenant's deficit resets to zero when its backlog empties —
+// fairness applies to backlogged tenants only, per the classic DRR
+// formulation.
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -65,6 +68,11 @@ class RequestQueue {
   // request is ever lost.
   std::optional<Request> pop();
 
+  // Non-blocking pop(): the DRR-selected request, or nullopt when nothing
+  // is queued right now.  The work-stealing dispatcher's probe — a shard
+  // polling its own deque (or a victim's) must never sleep holding work.
+  std::optional<Request> try_pop();
+
   // Non-blocking: removes and returns the first request satisfying `pred`,
   // scanning tenants in ring order from the current DRR position and each
   // tenant's backlog front to back; nullopt if none is currently queued.
@@ -72,12 +80,42 @@ class RequestQueue {
   std::optional<Request> pop_if(
       const std::function<bool(const Request&)>& pred);
 
+  // One-pass coalescing sweep: removes up to `max_take` requests satisfying
+  // `pred` in a single scan (tenants in ring order from the current DRR
+  // position, FIFO within a tenant) — the same take-set and order as
+  // calling pop_if(pred) repeatedly, without rescanning the whole backlog
+  // per rider.  Each taken request is charged to its own tenant's deficit.
+  std::vector<Request> pop_all_if(
+      const std::function<bool(const Request&)>& pred, int max_take);
+
+  // Removes and returns the ENTIRE backlog (tenant ring order, FIFO within
+  // each tenant), resetting all DRR state.  Used when a shard's queue is
+  // drained back into the steal pool before the shard retires.
+  std::vector<Request> drain_all();
+
+  // Blocks up to `timeout` for the queue to become non-empty (or closed);
+  // returns true when at least one request is queued on return.  The
+  // dispatchers' idle wait — pairs with try_pop so a retiring worker can
+  // re-check its own liveness between sleeps instead of parking forever
+  // inside pop().
+  bool wait_nonempty_for(std::chrono::microseconds timeout);
+
   // Closing wakes every blocked producer (push fails) and consumer (pop
   // drains then returns nullopt).  Idempotent.
   void close();
 
   std::size_t size() const;
   bool closed() const;
+
+  // Lock-free size HINT (relaxed atomic mirror of size(), updated inside
+  // the critical sections): the work-stealing dispatcher's victim scan
+  // reads it to skip empty deques without touching their mutexes.  May
+  // lag a concurrent push/pop by an instant — callers must treat a zero
+  // as "probably empty, probe again later", never as a drained guarantee
+  // (shutdown paths use the exact size()).
+  std::size_t approx_size() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
 
   // Current deficit of a tenant (0 when unknown / not backlogged) — test
   // and debugging introspection.
@@ -96,6 +134,9 @@ class RequestQueue {
   // Serves tenants_[ring_[ring_pos_]]'s head request; caller holds the
   // lock and guarantees the tenant is backlogged.
   Request take_front_locked();
+  // The DRR selection loop shared by pop()/try_pop(); caller holds the
+  // lock and guarantees total_ > 0.
+  Request pop_drr_locked();
   // Removes `tenant` from the ring if its backlog emptied, resetting its
   // deficit (DRR forgets non-backlogged flows, debts included).
   void retire_if_empty_locked(const std::string& tenant);
@@ -107,6 +148,7 @@ class RequestQueue {
   std::vector<std::string> ring_;  // backlogged tenants, arrival order
   std::size_t ring_pos_ = 0;       // DRR position into ring_
   std::size_t total_ = 0;          // queued requests across all tenants
+  std::atomic<std::size_t> approx_size_{0};  // lock-free mirror of total_
   const std::size_t capacity_;
   const std::int64_t quantum_;
   bool closed_ = false;

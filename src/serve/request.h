@@ -91,6 +91,13 @@ struct Request {
   // work it asks the hardware for, in MACs.  Set at admission; always >= 1.
   std::int64_t drr_cost = 1;
 
+  // Per-request fidelity override (engine::make registry key, e.g.
+  // "cycle"): empty serves on the shard's default engine.  Validated at
+  // admission against the registry; requests batch only with requests of
+  // the same backend (serve::compatible), and a measuring override skips
+  // the sampled audit (it IS the ground truth).
+  std::string backend;
+
   // --- kGemm ---------------------------------------------------------------
   gemm::Mat32 a;                            // activations, t x n
   std::shared_ptr<const gemm::Mat32> b;     // shared weights, n x m

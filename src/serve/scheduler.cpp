@@ -10,7 +10,9 @@ bool compatible(const Request& head, const Request& r) {
     // Same pipeline mode: the shard executes the whole batch under one
     // configuration.  (Same-weight fusion inside the batch is the
     // executor's business; mode equality is what batch membership needs.)
-    return head.decided_k == r.decided_k;
+    // Same engine backend too: a per-request fidelity override must not
+    // drag neighbours onto a different engine.
+    return head.decided_k == r.decided_k && head.backend == r.backend;
   }
   // Inference slices coalesce only when they are the same analytic work:
   // identical model (by identity) and identical layer range.
@@ -24,22 +26,27 @@ BatchScheduler::BatchScheduler(RequestQueue* queue, int max_batch)
   AF_CHECK(max_batch >= 1, "max_batch must be at least 1");
 }
 
+Batch assemble_batch(Request head, RequestQueue& queue, int max_batch) {
+  Batch batch;
+  batch.kind = head.kind;
+  batch.k = head.decided_k;
+  batch.requests.push_back(std::move(head));
+  if (max_batch > 1) {
+    // One sweep over the backlog, keyed by the head's (mode, backend) /
+    // (model, range): the old per-rider pop_if loop rescanned the whole
+    // queue once per rider, O(batch x backlog) under the lock.
+    std::vector<Request> riders = queue.pop_all_if(
+        [&](const Request& r) { return compatible(batch.requests.front(), r); },
+        max_batch - 1);
+    for (Request& r : riders) batch.requests.push_back(std::move(r));
+  }
+  return batch;
+}
+
 std::optional<Batch> BatchScheduler::next_batch() {
   std::optional<Request> head = queue_->pop();
   if (!head) return std::nullopt;
-
-  Batch batch;
-  batch.kind = head->kind;
-  batch.k = head->decided_k;
-  batch.requests.push_back(std::move(*head));
-  while (static_cast<int>(batch.requests.size()) < max_batch_) {
-    std::optional<Request> next = queue_->pop_if([&](const Request& r) {
-      return compatible(batch.requests.front(), r);
-    });
-    if (!next) break;
-    batch.requests.push_back(std::move(*next));
-  }
-  return batch;
+  return assemble_batch(std::move(*head), *queue_, max_batch_);
 }
 
 }  // namespace af::serve

@@ -17,10 +17,12 @@
 // next_batch blocks on RequestQueue::pop — which selects the batch head by
 // deficit round-robin across tenant backlogs (see serve/queue.h), so a
 // flooding tenant cannot monopolize dispatch — then sweeps compatible
-// requests from any tenant's backlog via RequestQueue::pop_if (each rider
-// is charged to its own tenant's deficit).  Incompatible requests keep
-// their queue position, so batching never starves anyone.  Safe to call
-// from many shard workers concurrently.
+// requests from any tenant's backlog in ONE pass via
+// RequestQueue::pop_all_if, keyed by the head's (mode, backend) for GEMMs
+// and (model, layer range) for inference slices (each rider is charged to
+// its own tenant's deficit).  Incompatible requests keep their queue
+// position, so batching never starves anyone.  Safe to call from many
+// shard workers concurrently.
 
 #pragma once
 
@@ -39,6 +41,13 @@ struct Batch {
 
 // True when `r` can join a batch headed by `head` (see file comment).
 bool compatible(const Request& head, const Request& r);
+
+// Batch formation around an already-popped head: one pop_all_if sweep
+// collects up to max_batch - 1 compatible riders from `queue`.  Shared by
+// BatchScheduler and the dispatch layer (serve/dispatcher.h), whose
+// work-stealing implementation assembles a stolen DRR round from the
+// victim's queue with exactly this call.
+Batch assemble_batch(Request head, RequestQueue& queue, int max_batch);
 
 class BatchScheduler {
  public:

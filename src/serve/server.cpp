@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 #include <utility>
 
@@ -26,6 +27,32 @@ std::int64_t slice_macs(const nn::Model& model, std::size_t first,
 
 }  // namespace
 
+int AutoscalePolicy::decide(int live, double depth_per_shard,
+                            double wait_p99_ms) {
+  const bool pressure = depth_per_shard >= grow_depth_per_shard ||
+                        wait_p99_ms >= grow_wait_p99_ms;
+  const bool idle = depth_per_shard <= shrink_depth_per_shard &&
+                    wait_p99_ms <= shrink_wait_p99_ms;
+  if (pressure) {
+    shrink_streak = 0;
+    if (++grow_streak >= grow_patience) {
+      grow_streak = 0;
+      if (live < max_shards) return live + 1;
+    }
+  } else if (idle) {
+    grow_streak = 0;
+    if (++shrink_streak >= shrink_patience) {
+      shrink_streak = 0;
+      if (live > min_shards) return live - 1;
+    }
+  } else {
+    // Dead zone between the bands: both streaks reset, nothing moves.
+    grow_streak = 0;
+    shrink_streak = 0;
+  }
+  return live;
+}
+
 std::int64_t ServerStats::audit_runs() const {
   std::int64_t n = 0;
   for (const ShardSnapshot& s : shards) n += s.audit_runs;
@@ -42,39 +69,49 @@ std::int64_t ServerStats::audit_mismatches() const {
 // owns the clock/power wiring (per-shard mode state lives in `stats`,
 // written only under the server's shard_stats_mutex_ so stats() can
 // snapshot concurrently); `audit_engine` is the cycle-accurate replayer
-// for sampled cross-checks, null when auditing is off.
+// for sampled cross-checks, null when auditing is off.  Engines are
+// ACQUIRED and RELEASED by the autoscaler (Server::acquire_shard /
+// release_shard) — a slot above the live prefix holds no engine at all.
 struct Server::Shard {
   int index;
   std::shared_ptr<engine::Engine> engine;
   std::shared_ptr<engine::Engine> audit_engine;
-  nn::InferenceRunner runner;
+  std::unique_ptr<nn::InferenceRunner> runner;
+  // Per-request fidelity overrides, built lazily and cached.  Touched only
+  // by this shard's worker thread.
+  std::map<std::string, std::shared_ptr<engine::Engine>> override_engines;
   // Deterministic audit sampling: += audit_fraction per fused run; every
   // crossing of 1.0 replays that run on the audit engine.
   double audit_credit = 0.0;
   ShardSnapshot stats;
   std::thread worker;
 
-  Shard(int idx, std::shared_ptr<engine::Engine> eng,
-        std::shared_ptr<engine::Engine> audit)
-      : index(idx),
-        engine(std::move(eng)),
-        audit_engine(std::move(audit)),
-        runner(engine) {
-    stats.shard = idx;
-    stats.backend = engine->name();
-  }
+  explicit Shard(int idx) : index(idx) { stats.shard = idx; }
 };
 
 Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
     : shard_config_(shard_config),
       options_(options),
-      queue_(options.queue_capacity, options.drr_quantum),
-      scheduler_(&queue_, options.max_batch),
       tenants_(options.latency_hist_max_ms) {
   AF_CHECK(options_.num_shards >= 1, "server needs at least one shard");
   AF_CHECK(options_.max_batch >= 1, "max_batch must be at least 1");
   AF_CHECK(options_.audit_fraction >= 0.0 && options_.audit_fraction <= 1.0,
            "audit_fraction must be in [0, 1]");
+  min_shards_ =
+      options_.min_shards > 0 ? options_.min_shards : options_.num_shards;
+  max_shards_ =
+      options_.max_shards > 0 ? options_.max_shards : options_.num_shards;
+  autoscale_enabled_ = min_shards_ < max_shards_;
+  AF_CHECK(min_shards_ >= 1 && min_shards_ <= options_.num_shards &&
+               options_.num_shards <= max_shards_,
+           "shard bounds must satisfy 1 <= min_shards <= num_shards <= "
+           "max_shards, got min="
+               << min_shards_ << " num=" << options_.num_shards
+               << " max=" << max_shards_);
+  AF_CHECK(options_.autoscale_interval_ms > 0.0,
+           "autoscale_interval_ms must be positive");
+  AF_CHECK(options_.grow_patience >= 1 && options_.shrink_patience >= 1,
+           "autoscale patience must be at least one tick");
   // The shards' engines run serially on their own; cross-tile parallelism
   // comes from the one shared pool below (never a pool per shard — that is
   // the threads² oversubscription this layer exists to avoid).
@@ -91,53 +128,177 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
 
   // One builder wires every engine identically: shard config, the paper's
   // calibrated clock, the server's energy params, the one shared pool.
-  engine::EngineBuilder builder;
-  builder.config(shard_config_)
+  // Scale-ups and per-request overrides acquire through it too.
+  engine_builder_.config(shard_config_)
       .energy(options_.energy)
       .shared_pool(sim_pool_.get());
   admission_engine_ =
       engine::EngineBuilder().config(shard_config_).energy(options_.energy)
           .build("analytic");
 
-  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
-  for (int i = 0; i < options_.num_shards; ++i) {
-    std::shared_ptr<engine::Engine> eng = builder.build(options_.backend);
-    std::shared_ptr<engine::Engine> audit;
-    if (options_.audit_fraction > 0.0 && !eng->measures()) {
-      audit = builder.build("cycle");
-    }
-    shards_.push_back(
-        std::make_unique<Shard>(i, std::move(eng), std::move(audit)));
+  DispatcherOptions dispatch;
+  dispatch.queue_capacity = options_.queue_capacity;
+  dispatch.drr_quantum = options_.drr_quantum;
+  dispatch.max_batch = options_.max_batch;
+  dispatch.max_shards = max_shards_;
+  dispatch.live_shards = options_.num_shards;
+  dispatch.can_scale = autoscale_enabled_;
+  dispatcher_ = make_dispatcher(options_.dispatcher, dispatch);
+
+  policy_.min_shards = min_shards_;
+  policy_.max_shards = max_shards_;
+  policy_.grow_depth_per_shard = options_.grow_depth_per_shard;
+  policy_.grow_wait_p99_ms = options_.grow_wait_p99_ms;
+  policy_.shrink_depth_per_shard = options_.shrink_depth_per_shard;
+  policy_.shrink_wait_p99_ms = options_.shrink_wait_p99_ms;
+  policy_.grow_patience = options_.grow_patience;
+  policy_.shrink_patience = options_.shrink_patience;
+
+  shards_.reserve(static_cast<std::size_t>(max_shards_));
+  for (int i = 0; i < max_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i));
   }
-  for (auto& shard : shards_) {
-    Shard* s = shard.get();
-    s->worker = std::thread([this, s] { shard_loop(*s); });
+  for (int i = 0; i < options_.num_shards; ++i) {
+    acquire_shard(*shards_[static_cast<std::size_t>(i)]);
+  }
+  publish_live_set(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    start_worker(*shards_[static_cast<std::size_t>(i)]);
+  }
+  if (autoscale_enabled_) {
+    autoscaler_ = std::thread([this] { autoscale_loop(); });
   }
 }
 
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   shut_down_.store(true);
-  queue_.close();
+  {
+    std::lock_guard<std::mutex> lock(scale_mutex_);
+  }
+  scale_cv_.notify_all();
+  if (autoscaler_.joinable()) autoscaler_.join();
+  dispatcher_->close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
 
+void Server::acquire_shard(Shard& shard) {
+  shard.engine = engine_builder_.build(options_.backend);
+  if (options_.audit_fraction > 0.0 && !shard.engine->measures()) {
+    shard.audit_engine = engine_builder_.build("cycle");
+  }
+  shard.runner = std::make_unique<nn::InferenceRunner>(shard.engine);
+  std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+  shard.stats.backend = shard.engine->name();
+  shard.stats.current_k = 0;  // a (re)acquired array configures from scratch
+}
+
+void Server::release_shard(Shard& shard) {
+  shard.runner.reset();
+  shard.override_engines.clear();
+  shard.audit_engine.reset();
+  shard.engine.reset();
+  std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+  shard.stats.current_k = 0;
+}
+
+void Server::publish_live_set(int live) {
+  // ShardSnapshot::live and live_shards_ change together under the stats
+  // mutex (which stats() holds for its whole snapshot), so no snapshot can
+  // ever show a live-flag count disagreeing with live_shards — and once a
+  // lock-free num_shards() read returns the new count, the flags are
+  // already in place.
+  std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+  for (int s = 0; s < max_shards_; ++s) {
+    shards_[static_cast<std::size_t>(s)]->stats.live = s < live;
+  }
+  live_shards_.store(live);
+}
+
+void Server::start_worker(Shard& shard) {
+  // A retired slot's thread has exited but may still hold a joinable
+  // handle; reclaim it before re-spawning.
+  if (shard.worker.joinable()) shard.worker.join();
+  Shard* s = &shard;
+  shard.worker = std::thread([this, s] { shard_loop(*s); });
+}
+
+void Server::autoscale_loop() {
+  std::unique_lock<std::mutex> lock(scale_mutex_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.autoscale_interval_ms);
+  while (!scale_cv_.wait_for(lock, interval,
+                             [this] { return shut_down_.load(); })) {
+    const int live = live_shards_.load();
+    const double depth = static_cast<double>(dispatcher_->depth());
+    const LatencyWindow::Stats waits = wait_window_.drain();
+    const int want =
+        policy_.decide(live, depth / static_cast<double>(live), waits.p99_ms);
+    if (want > live) {
+      grow_to(want);
+    } else if (want < live) {
+      shrink_to(want);
+    }
+  }
+}
+
+void Server::grow_to(int want) {
+  const int live = live_shards_.load();
+  for (int s = live; s < want; ++s) {
+    acquire_shard(*shards_[static_cast<std::size_t>(s)]);
+  }
+  // Publish the new live set before the workers start, so their first
+  // next_batch sees themselves live (and routing starts using them).
+  publish_live_set(want);
+  dispatcher_->set_live_shards(want);
+  for (int s = live; s < want; ++s) {
+    start_worker(*shards_[static_cast<std::size_t>(s)]);
+  }
+  scale_ups_.fetch_add(want - live);
+}
+
+void Server::shrink_to(int want) {
+  const int old = live_shards_.load();
+  publish_live_set(want);
+  // Drains the retired deques back into the steal pool BEFORE the workers
+  // are joined: their in-flight batches finish normally, queued work moves
+  // to surviving shards, nothing is dropped or double-served.
+  dispatcher_->set_live_shards(want);
+  for (int s = want; s < old; ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    if (shard.worker.joinable()) shard.worker.join();
+    release_shard(shard);
+  }
+  scale_downs_.fetch_add(old - want);
+}
+
 std::future<GemmResult> Server::submit_gemm(
     const std::string& tenant, gemm::Mat32 a,
-    std::shared_ptr<const gemm::Mat32> b, int k, bool want_output) {
+    std::shared_ptr<const gemm::Mat32> b, int k, bool want_output,
+    const std::string& backend) {
   AF_CHECK(!shut_down_.load(), "submit_gemm on a shut-down server");
   AF_CHECK(b != nullptr, "weight matrix required");
   AF_CHECK(a.rows() > 0, "activation matrix must be non-empty");
   AF_CHECK(a.cols() == b->rows(), "GEMM inner-dimension mismatch: "
                                       << a.cols() << " vs " << b->rows());
+  // is_registered is allocation-free and the message (with its registry
+  // join) is only built on failure — this runs on every overridden submit.
+  if (!backend.empty()) {
+    AF_CHECK(engine::is_registered(backend),
+             "unknown per-request backend \""
+                 << backend << "\" (registered: "
+                 << engine::registered_backend_list()
+                 << ")");
+  }
   Request r;
   r.kind = RequestKind::kGemm;
   r.id = next_id_.fetch_add(1);
   r.tenant = tenant;
+  r.backend = backend;
   r.shape = gemm::GemmShape{b->cols(), b->rows(), a.rows()};
   r.drr_cost =
       std::max<std::int64_t>(1, r.shape.t * r.shape.n * r.shape.m);
@@ -156,7 +317,7 @@ std::future<GemmResult> Server::submit_gemm(
   // this thread runs another instruction, and stats() must never show
   // completed > submitted.
   submitted_.fetch_add(1);
-  if (!queue_.push(std::move(r))) {
+  if (!dispatcher_->submit(std::move(r))) {
     submitted_.fetch_sub(1);
     AF_CHECK(false, "server shut down while enqueueing");
   }
@@ -169,8 +330,8 @@ std::future<InferenceResult> Server::submit_inference(
   AF_CHECK(model != nullptr && !model->layers.empty(),
            "inference needs a non-empty model");
   const std::size_t layers = model->layers.size();
-  const std::size_t slices =
-      std::min<std::size_t>(shards_.size(), layers);
+  const std::size_t slices = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, live_shards_.load())), layers);
 
   auto join = std::make_shared<InferJoin>();
   join->parts.resize(slices);
@@ -200,7 +361,7 @@ std::future<InferenceResult> Server::submit_inference(
     r.join = join;
     r.drr_cost = std::max<std::int64_t>(1, slice_macs(*model, begin, count));
     begin += count;
-    if (!queue_.push(std::move(r))) {
+    if (!dispatcher_->submit(std::move(r))) {
       // Shutdown raced the enqueue: slices pushed so far are already in
       // workers' hands.  Marking the join failed turns them into no-ops
       // (execute_infer_batch skips failed joins), so a rejected submission
@@ -217,7 +378,7 @@ std::future<InferenceResult> Server::submit_inference(
 }
 
 void Server::shard_loop(Shard& shard) {
-  while (auto batch = scheduler_.next_batch()) {
+  while (auto batch = dispatcher_->next_batch(shard.index)) {
     try {
       if (batch->kind == RequestKind::kGemm) {
         execute_gemm_batch(shard, *batch);
@@ -278,10 +439,27 @@ void Server::prepare_mode(Shard& shard, int k) {
   shard.stats.current_k = k;
 }
 
+engine::Engine* Server::engine_for(Shard& shard, const Batch& batch) {
+  const std::string& override_name = batch.requests.front().backend;
+  if (override_name.empty() || override_name == shard.engine->name()) {
+    return shard.engine.get();
+  }
+  auto it = shard.override_engines.find(override_name);
+  if (it == shard.override_engines.end()) {
+    it = shard.override_engines
+             .emplace(override_name, engine_builder_.build(override_name))
+             .first;
+  }
+  return it->second.get();
+}
+
 void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
   const int k = batch.k;
   const Clock::time_point dispatch_time = Clock::now();
   prepare_mode(shard, k);
+  // All batch members share one backend override (serve::compatible), so
+  // the whole batch executes on one engine.
+  engine::Engine* engine = engine_for(shard, batch);
 
   // Fuse requests naming the same weight matrix and shape: their activation
   // rows stack along T into one hardware run, so the weight preload (the R
@@ -333,15 +511,16 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     run_request.b = head.b.get();
     run_request.k = k;
     run_request.want_output = want_output;
-    const engine::RunResult run = shard.engine->run_gemm(run_request);
+    const engine::RunResult run = engine->run_gemm(run_request);
     batch_time_ps += run.cost.time_ps;
     batch_energy_pj += run.cost.energy_pj;
 
     // Deterministic sampled audit: replay the identical fused run on the
     // cycle-accurate engine and insist on exact agreement — outputs bit
-    // for bit, cycles / counters / energy number for number.
+    // for bit, cycles / counters / energy number for number.  A measuring
+    // override IS ground truth, so it audits nothing.
     bool audited = false;
-    if (shard.audit_engine != nullptr) {
+    if (shard.audit_engine != nullptr && !engine->measures()) {
       shard.audit_credit += options_.audit_fraction;
       if (shard.audit_credit >= 1.0) {
         shard.audit_credit -= 1.0;
@@ -388,7 +567,7 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
       result.energy_pj = run.cost.energy_pj * static_cast<double>(r.shape.t) /
                          static_cast<double>(total_t);
       result.queue_ms = ms_between(r.enqueue_time, dispatch_time);
-      result.backend = shard.engine->name();
+      result.backend = engine->name();
       result.measured = run.measured;
       result.audited = audited;
     }
@@ -412,6 +591,10 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     Request& r = batch.requests[i];
     GemmResult& result = results[i];
     result.latency_ms = ms_between(r.enqueue_time, Clock::now());
+    // The wait window's only consumer is the autoscaler; with a fixed pool
+    // nothing drains it, so sampling would grow it without bound (and cost
+    // a shared mutex per request for nothing).
+    if (autoscale_enabled_) wait_window_.sample(result.queue_ms);
     // Tenant books use the same row-share as energy, so summing tenants'
     // sim_time reproduces the shards' busy time; the full fused-run time
     // stays visible in GemmResult::time_ps (the request's service time).
@@ -419,7 +602,7 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
         result.time_ps * static_cast<double>(r.shape.t) /
         static_cast<double>(result.fused_rows);
     tenants_.record(r.tenant, /*is_inference=*/false, result.latency_ms,
-                    result.energy_pj, time_share,
+                    result.queue_ms, result.energy_pj, time_share,
                     r.shape.t * r.shape.n * r.shape.m);
     completed_.fetch_add(1);
     r.gemm_promise.set_value(std::move(result));
@@ -434,6 +617,7 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
     return r.join->failed;
   });
   if (batch.requests.empty()) return;
+  const Clock::time_point dispatch_time = Clock::now();
 
   // Every request in the batch is the same (model, layer range) — see
   // serve::compatible — so the analytic slice report is computed once and
@@ -441,7 +625,7 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
   // requesters (the hardware ran the slice once on their shared behalf).
   Request& head = batch.requests.front();
   const nn::ModelReport part =
-      shard.runner.run_slice(*head.model, head.layer_begin, head.layer_count);
+      shard.runner->run_slice(*head.model, head.layer_begin, head.layer_count);
   const double share =
       1.0 / static_cast<double>(batch.requests.size());
 
@@ -457,6 +641,8 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
   }
 
   for (Request& r : batch.requests) {
+    const double queue_ms = ms_between(r.enqueue_time, dispatch_time);
+    if (autoscale_enabled_) wait_window_.sample(queue_ms);  // see GEMM path
     std::shared_ptr<InferJoin> join = r.join;
     nn::ModelReport assembled;
     double energy_pj = 0.0;
@@ -494,7 +680,8 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
       result.num_slices = static_cast<int>(join->parts.size());
       result.latency_ms = ms_between(join->enqueue_time, Clock::now());
       tenants_.record(join->tenant, /*is_inference=*/true, result.latency_ms,
-                      energy_pj, sim_time_ps, r.model->total_macs());
+                      queue_ms, energy_pj, sim_time_ps,
+                      r.model->total_macs());
       completed_.fetch_add(1);
       result.report = std::move(assembled);
       join->promise.set_value(std::move(result));
@@ -506,8 +693,16 @@ ServerStats Server::stats() const {
   ServerStats out;
   out.submitted = submitted_.load();
   out.completed = completed_.load();
+  out.dispatcher = dispatcher_->name();
+  out.steals = dispatcher_->steals();
+  out.scale_ups = scale_ups_.load();
+  out.scale_downs = scale_downs_.load();
   {
     std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+    // live_shards_ is read under the same lock publish_live_set writes it
+    // with the flags, so the snapshot's live-flag count always equals
+    // live_shards (the invariant publish_live_set documents).
+    out.live_shards = live_shards_.load();
     out.shards.reserve(shards_.size());
     for (const auto& shard : shards_) out.shards.push_back(shard->stats);
   }

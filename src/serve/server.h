@@ -1,50 +1,66 @@
 // Multi-tenant batch serving over a pool of ArrayFlex execution engines.
 //
-//   clients ──submit──▶ RequestQueue ──▶ BatchScheduler ──▶ shard workers
-//                      (bounded MPMC,    (mode/model         (one thread +
-//                       DRR tenant        coalescing)         one engine
-//                       fairness)                             each)
+//   clients ──submit──▶ Dispatcher ("global" | "stealing") ──▶ shard workers
+//                      (routing + DRR fairness +               (one thread +
+//                       batch coalescing;                       one engine
+//                       see serve/dispatcher.h)                 each)
 //
-// The Server owns N identical shards, each wrapping one engine::Engine
-// (ServerOptions::backend picks the fidelity: "analytic" closed-form cost
-// models by default — orders of magnitude more requests/s — or "cycle" for
-// full cycle-accurate simulation; both return bit-identical outputs and
-// exactly equal cycle/activity/energy numbers, a contract pinned by
-// tests/engine_test.cpp).  Each shard carries its own pipeline-mode state
-// (the paper's configurable transparent pipelining: switching a shard
-// between modes drains the array, so the scheduler batches same-mode work
-// and the shard accounts every reconfiguration).  Client threads submit
-// GEMMs (activations against shared stationary weights) or whole nn::Model
-// inferences and block on the returned future; a model inference is split
-// into contiguous layer slices, one per shard, and joined back into a
-// report bit-identical to a direct InferenceRunner::run.
+// The Server owns up to max_shards shards, each wrapping one
+// engine::Engine (ServerOptions::backend picks the fidelity: "analytic"
+// closed-form cost models by default — orders of magnitude more
+// requests/s — or "cycle" for full cycle-accurate simulation; both return
+// bit-identical outputs and exactly equal cycle/activity/energy numbers, a
+// contract pinned by tests/engine_test.cpp).  Each shard carries its own
+// pipeline-mode state (the paper's configurable transparent pipelining:
+// switching a shard between modes drains the array, so the dispatcher
+// batches same-mode work and the shard accounts every reconfiguration).
+// Client threads submit GEMMs (activations against shared stationary
+// weights) or whole nn::Model inferences and block on the returned future;
+// a model inference is split into contiguous layer slices and joined back
+// into a report bit-identical to a direct InferenceRunner::run.
+//
+// Dispatch: ServerOptions::dispatcher selects the control-plane topology —
+// "global" (one DRR queue, every submit and pop through one lock) or
+// "stealing" (per-shard DRR deques, tenant/model submit affinity,
+// rand-victim stealing of whole DRR rounds; see serve/dispatcher.h).  Both
+// preserve per-tenant DRR fairness and produce bit-identical results; they
+// differ in lock contention on the hot path.
+//
+// Autoscaling: with min_shards < max_shards the server runs a
+// queue-pressure autoscaler — a control thread sampling dispatcher depth
+// and the p99 enqueue->dispatch wait every autoscale_interval_ms, growing
+// the live shard set when either breaches the grow thresholds for
+// grow_patience consecutive ticks and shrinking it when both sit below the
+// shrink thresholds for shrink_patience ticks (hysteresis: the two
+// patience counters reset each other, so a square-wave load cannot flap
+// the pool).  Growing a shard acquires its engine through the server's
+// EngineBuilder; shrinking drains the shard's deque back into the steal
+// pool, joins the worker mid-flight work included, then releases the
+// engine — no accepted request is ever dropped or double-served across a
+// scale event (pinned by tests/serve_test.cpp).
 //
 // Audit mode: with audit_fraction > 0 (and a non-measuring backend), each
 // shard deterministically replays that fraction of its fused GEMM runs on
 // a cycle-accurate audit engine and cross-checks — outputs bit-exact,
 // cycles / ActivityCounters / energy exactly equal.  Mismatches are
-// counted per shard (ShardSnapshot::audit_mismatches), so analytic serving
-// at full speed continuously spot-checks itself against ground truth.
-//
-// Scheduling: requests land in per-tenant FIFOs dispatched by deficit
-// round-robin over the request's MAC cost (serve/queue.h), so every
-// backlogged tenant gets an equal long-run share of hardware regardless of
-// request sizes; TenantSnapshot::served_share reports the realized shares.
+// counted per shard (ShardSnapshot::audit_mismatches).  Individual
+// requests may also pin their fidelity: submit_gemm's `backend` override
+// routes one request to any registered engine, validated at admission.
 //
 // Simulation threading: all shards share ONE optional util::ThreadPool
 // (ServerOptions::sim_threads), injected into every engine and runner —
 // never a pool per component, so an S-shard server runs at most
-// num_shards worker threads + sim_threads pool threads regardless of
+// live_shards worker threads + sim_threads pool threads regardless of
 // nesting (see the shared-pool contract in arch/array.h).
 //
-// Accounting: per-tenant latency percentiles / energy / MACs / served
-// share via TenantAccountant, per-shard utilization (busy time by mode,
-// mode switches, reconfiguration overhead, audit counters) via
-// ShardSnapshot.
+// Accounting: per-tenant latency/queue-wait percentiles / energy / MACs /
+// served share via TenantAccountant, per-shard utilization via
+// ShardSnapshot, dispatcher steals and scale events via ServerStats.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -57,6 +73,7 @@
 #include "arch/config.h"
 #include "arch/power_model.h"
 #include "engine/engine.h"
+#include "serve/dispatcher.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
@@ -82,6 +99,8 @@ struct ServerOptions {
   // Coalescing cap per dispatch; 1 disables batching entirely.
   int max_batch = 8;
   // Admission bound: submit blocks once this many requests are queued.
+  // Under the "stealing" dispatcher the bound applies PER HOME DEQUE (each
+  // deque is its own backpressure domain), not to the sum.
   std::size_t queue_capacity = 256;
   // DRR quantum in cost units (MACs) credited per scheduling round — see
   // serve/queue.h.  Any positive value gives equal long-run tenant shares.
@@ -96,10 +115,61 @@ struct ServerOptions {
   // rows + cols of the shard config (full pipeline flush).
   std::int64_t reconfig_cycles = -1;
   arch::EnergyParams energy = arch::EnergyParams::generic28nm();
+
+  // --- dispatch & autoscaling (see serve/dispatcher.h) ---------------------
+  // Dispatcher registry key: "global" (PR-4 single queue, the semantics
+  // oracle) or "stealing" (per-shard deques + work stealing).
+  std::string dispatcher = "global";
+  // Live-shard bounds; 0 means num_shards, so by default the pool is fixed
+  // and no autoscaler thread runs.  Must satisfy
+  // 1 <= min_shards <= num_shards <= max_shards; num_shards is the
+  // INITIAL live count.
+  int min_shards = 0;
+  int max_shards = 0;
+  // Autoscaler control-tick period.
+  double autoscale_interval_ms = 10.0;
+  // Grow when (dispatcher depth / live shards) >= grow_depth_per_shard OR
+  // the window's p99 queue wait >= grow_wait_p99_ms, for grow_patience
+  // consecutive ticks.
+  double grow_depth_per_shard = 4.0;
+  double grow_wait_p99_ms = 5.0;
+  // Shrink when depth/live <= shrink_depth_per_shard AND p99 wait <=
+  // shrink_wait_p99_ms, for shrink_patience consecutive ticks.  The gap
+  // between the grow and shrink bands is the hysteresis dead zone.
+  double shrink_depth_per_shard = 0.5;
+  double shrink_wait_p99_ms = 1.0;
+  int grow_patience = 2;
+  int shrink_patience = 8;
+};
+
+// Pure hysteresis policy of the queue-pressure autoscaler, separated from
+// the server so the no-flapping property is unit-testable on synthetic
+// load traces (square waves) without threads or clocks.  One decide() call
+// per control tick; streak state lives in the struct.
+struct AutoscalePolicy {
+  int min_shards = 1;
+  int max_shards = 1;
+  double grow_depth_per_shard = 4.0;
+  double grow_wait_p99_ms = 5.0;
+  double shrink_depth_per_shard = 0.5;
+  double shrink_wait_p99_ms = 1.0;
+  int grow_patience = 2;
+  int shrink_patience = 8;
+
+  // Desired live-shard count after observing this tick's pressure sample.
+  // Grows/shrinks by at most one shard per decision (gradual scaling), and
+  // only after the respective streak survives `patience` ticks unbroken —
+  // any tick outside a band resets the opposite streak, so an oscillating
+  // signal with period < patience never moves the pool.
+  int decide(int live, double depth_per_shard, double wait_p99_ms);
+
+  int grow_streak = 0;
+  int shrink_streak = 0;
 };
 
 struct ShardSnapshot {
   int shard = 0;
+  bool live = false;               // currently in the serving set
   std::string backend;             // engine that served this shard's work
   std::int64_t batches = 0;        // dispatches executed
   std::int64_t requests = 0;       // requests served (incl. coalesced)
@@ -118,6 +188,13 @@ struct ShardSnapshot {
 struct ServerStats {
   std::int64_t submitted = 0;  // logical requests accepted
   std::int64_t completed = 0;  // logical requests fulfilled
+  std::string dispatcher;      // dispatcher registry key
+  int live_shards = 0;         // current serving set size
+  std::int64_t steals = 0;     // batches obtained by work stealing
+  std::int64_t scale_ups = 0;  // shards added by the autoscaler
+  std::int64_t scale_downs = 0;  // shards retired by the autoscaler
+  // One snapshot per SLOT (max_shards entries): retired slots keep their
+  // history with live == false.
   std::vector<ShardSnapshot> shards;
   std::vector<TenantSnapshot> tenants;
 
@@ -142,29 +219,36 @@ class Server {
   // `want_output` = false marks cost-estimation traffic: the result's
   // cycles/time/energy are exact but `out` comes back empty, and on the
   // analytic backend the operands are never even read — the cheapest way
-  // to price millions of GEMMs.  Blocks while the queue is full; throws
-  // af::Error after shutdown.
+  // to price millions of GEMMs.  `backend` (optional) pins THIS request to
+  // a specific registered engine regardless of the shard default —
+  // fidelity routing per submission, layered on top of audit sampling;
+  // unknown names are rejected here with the registry listed.  Blocks
+  // while the queue is full; throws af::Error after shutdown.
   std::future<GemmResult> submit_gemm(const std::string& tenant,
                                       gemm::Mat32 a,
                                       std::shared_ptr<const gemm::Mat32> b,
-                                      int k = 0, bool want_output = true);
+                                      int k = 0, bool want_output = true,
+                                      const std::string& backend = "");
 
   // Whole-model inference, sharded: the model's layers are split into up to
-  // num_shards contiguous slices evaluated on different shards; the merged
+  // live_shards contiguous slices evaluated on different shards; the merged
   // report is bit-identical to InferenceRunner::run on one array with this
   // shard config.  Coalesces with concurrent submissions of the same model
   // (by shared_ptr identity).
   std::future<InferenceResult> submit_inference(
       const std::string& tenant, std::shared_ptr<const nn::Model> model);
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Currently live shards (autoscaling moves this between min/max bounds).
+  int num_shards() const { return live_shards_.load(); }
+  int max_shards() const { return static_cast<int>(shards_.size()); }
   const arch::ArrayConfig& shard_config() const { return shard_config_; }
   const std::string& backend() const { return options_.backend; }
+  const std::string& dispatcher() const { return dispatcher_->name(); }
 
   ServerStats stats() const;
 
-  // Closes admission, drains every accepted request, joins the shard
-  // workers.  Idempotent; the destructor calls it.
+  // Closes admission, drains every accepted request, joins the autoscaler
+  // and the shard workers.  Idempotent; the destructor calls it.
   void shutdown();
 
  private:
@@ -182,16 +266,49 @@ class Server {
   // the shard when it was configured differently.
   void prepare_mode(Shard& shard, int k);
 
+  // Engine lifecycle on scale events: acquire builds the shard's serving
+  // (and audit) engine through engine_builder_ and marks it live; release
+  // drops them after the worker joined.
+  void acquire_shard(Shard& shard);
+  void release_shard(Shard& shard);
+  void start_worker(Shard& shard);
+  // The batch's execution engine: the shard default, or the per-request
+  // override built lazily (and cached) on the shard.
+  engine::Engine* engine_for(Shard& shard, const Batch& batch);
+
+  void autoscale_loop();
+  void grow_to(int want);
+  void shrink_to(int want);
+  // Updates every ShardSnapshot::live flag AND live_shards_ under the
+  // stats mutex, so stats() snapshots are always internally consistent
+  // (flag count == live_shards).
+  void publish_live_set(int live);
+
   arch::ArrayConfig shard_config_;
   ServerOptions options_;
+  int min_shards_ = 1;
+  int max_shards_ = 1;
+  bool autoscale_enabled_ = false;
   std::unique_ptr<util::ThreadPool> sim_pool_;
+  // The one builder every shard acquires engines through — shard config,
+  // the paper's calibrated clock, the server's energy params, the shared
+  // pool (also the scale-event and per-request-override engine source).
+  engine::EngineBuilder engine_builder_;
   // Serial analytic engine used at admission for per-request mode choice
   // (mode planning is closed-form on every backend).
   std::shared_ptr<engine::Engine> admission_engine_;
-  RequestQueue queue_;
-  BatchScheduler scheduler_;
+  std::unique_ptr<Dispatcher> dispatcher_;
   TenantAccountant tenants_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  LatencyWindow wait_window_;  // autoscaler pressure signal
+  std::vector<std::unique_ptr<Shard>> shards_;  // max_shards_ slots
+
+  std::atomic<int> live_shards_{0};
+  AutoscalePolicy policy_;
+  std::thread autoscaler_;
+  std::mutex scale_mutex_;             // serializes scale transitions
+  std::condition_variable scale_cv_;   // wakes the autoscaler for shutdown
+  std::atomic<std::int64_t> scale_ups_{0};
+  std::atomic<std::int64_t> scale_downs_{0};
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::int64_t> submitted_{0};

@@ -1,6 +1,7 @@
 #include "serve/tenant_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/status.h"
 
@@ -14,8 +15,9 @@ TenantAccountant::TenantAccountant(double latency_hist_max_ms,
 }
 
 void TenantAccountant::record(const std::string& tenant, bool is_inference,
-                              double latency_ms, double energy_pj,
-                              double sim_time_ps, std::int64_t macs) {
+                              double latency_ms, double queue_ms,
+                              double energy_pj, double sim_time_ps,
+                              std::int64_t macs) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = accounts_.find(tenant);
   if (it == accounts_.end()) {
@@ -27,6 +29,7 @@ void TenantAccountant::record(const std::string& tenant, bool is_inference,
   acc.energy_pj += energy_pj;
   acc.sim_time_ps += sim_time_ps;
   acc.latency_ms.add(latency_ms);
+  acc.queue_ms.add(queue_ms);
   acc.latency_hist.add(latency_ms);
 }
 
@@ -62,9 +65,41 @@ std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
       s.p50_latency_ms = clamped(0.50);
       s.p99_latency_ms = clamped(0.99);
     }
+    if (acc.queue_ms.count() > 0) {
+      s.mean_queue_ms = acc.queue_ms.mean();
+      s.max_queue_ms = acc.queue_ms.max();
+    }
     out.push_back(std::move(s));
   }
   return out;
+}
+
+void LatencyWindow::sample(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(ms);
+}
+
+LatencyWindow::Stats LatencyWindow::drain() {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples.swap(samples_);
+  }
+  Stats stats;
+  stats.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return stats;
+  // Nearest-rank p99: ceil(0.99 * n) - 1.  Small windows round UP to the
+  // worst samples (n = 2 must report the max, not the min) — an autoscaler
+  // watching trickle traffic must still see a slow request's wait.
+  const std::size_t idx = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(samples.size() - 1),
+      std::ceil(0.99 * static_cast<double>(samples.size())) - 1.0));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  stats.p99_ms = samples[idx];
+  stats.max_ms = *std::max_element(samples.begin(), samples.end());
+  return stats;
 }
 
 }  // namespace af::serve

@@ -37,6 +37,8 @@ struct TenantSnapshot {
   double max_latency_ms = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  double mean_queue_ms = 0.0;       // wall-clock, enqueue -> dispatch
+  double max_queue_ms = 0.0;
 };
 
 class TenantAccountant {
@@ -48,8 +50,8 @@ class TenantAccountant {
                             int latency_buckets = 4096);
 
   void record(const std::string& tenant, bool is_inference,
-              double latency_ms, double energy_pj, double sim_time_ps,
-              std::int64_t macs);
+              double latency_ms, double queue_ms, double energy_pj,
+              double sim_time_ps, std::int64_t macs);
 
   std::vector<TenantSnapshot> snapshot() const;
 
@@ -61,6 +63,7 @@ class TenantAccountant {
     double energy_pj = 0.0;
     double sim_time_ps = 0.0;
     sim::RunningStat latency_ms;
+    sim::RunningStat queue_ms;
     sim::Histogram latency_hist;
     explicit Account(double hist_max_ms, int buckets)
         : latency_hist(0.0, hist_max_ms, buckets) {}
@@ -70,6 +73,30 @@ class TenantAccountant {
   const int buckets_;
   mutable std::mutex mutex_;
   std::map<std::string, Account> accounts_;
+};
+
+// Windowed queue-wait collector for the autoscaler: shard workers sample
+// the enqueue->dispatch wait of every request they pick up; the autoscaler
+// drains the window each control tick and reads its p99, so the scaling
+// signal reflects only waits since the previous decision (a long-gone
+// burst cannot keep the pool inflated).
+class LatencyWindow {
+ public:
+  struct Stats {
+    std::int64_t count = 0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  void sample(double ms);
+  // Returns the window's stats and resets it.  Exact p99 (nth_element over
+  // the drained samples), not a histogram estimate: autoscale windows are
+  // small and the threshold comparison should not be off by a bucket.
+  Stats drain();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
 };
 
 }  // namespace af::serve

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "arch/clocking.h"
+#include "arch/sparse.h"
 #include "engine/engine.h"
 #include "gemm/reference.h"
 #include "nn/models.h"
@@ -189,6 +190,76 @@ TEST(EngineEquivalenceTest, AsymmetricTilePairsExactlyAgree) {
     auto cycle = builder.build("cycle");
     expect_costs_exactly_equal(analytic->evaluate_tile_asym(t, k_v, k_h),
                                cycle->evaluate_tile_asym(t, k_v, k_h), label);
+  }
+}
+
+TEST(EngineEquivalenceTest, BlockSparseRequestsExactlyAgreeAcrossBackends) {
+  // GemmRequest::sparse routes "cycle" through run_gemm_sparse and
+  // "analytic" through sparse_total_latency_cycles + per-tile counters —
+  // and the facade contract holds there too: EXACTLY equal costs, outputs
+  // bit-identical to the dense reference (skipped all-zero tiles
+  // contribute nothing).
+  Rng rng(6060);
+  const std::vector<int> sides = {4, 6, 8};
+  for (int iter = 0; iter < 10; ++iter) {
+    const int rows = sides[rng.next_below(sides.size())];
+    const int cols = sides[rng.next_below(sides.size())];
+    const arch::ArrayConfig cfg = config_for(rows, cols);
+    EngineBuilder builder;
+    builder.config(cfg);
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+
+    const gemm::GemmShape shape{rng.next_in(1, 40), rng.next_in(1, 40),
+                                rng.next_in(1, 16)};
+    const int k = cfg.supported_k[rng.next_below(cfg.supported_k.size())];
+    const gemm::Mat32 a =
+        gemm::random_matrix(rng, shape.t, shape.n, -200, 200);
+    gemm::Mat32 b = gemm::random_matrix(rng, shape.n, shape.m, -200, 200);
+    // Zero out ~60% of the R x C weight tiles (the granularity the
+    // sequencer skips at), keeping at least one tile non-zero.
+    for (std::int64_t r0 = 0; r0 < shape.n; r0 += rows) {
+      for (std::int64_t c0 = 0; c0 < shape.m; c0 += cols) {
+        if (rng.next_double() >= 0.6) continue;
+        for (std::int64_t r = r0; r < std::min<std::int64_t>(r0 + rows, shape.n);
+             ++r) {
+          for (std::int64_t c = c0;
+               c < std::min<std::int64_t>(c0 + cols, shape.m); ++c) {
+            b.at(r, c) = 0;
+          }
+        }
+      }
+    }
+    if (arch::TileOccupancy::from_matrix(b, rows, cols).nonzero_tiles() == 0) {
+      b.at(0, 0) = 1;
+    }
+    const std::string label =
+        "R=" + std::to_string(rows) + " C=" + std::to_string(cols) +
+        " M=" + std::to_string(shape.m) + " N=" + std::to_string(shape.n) +
+        " T=" + std::to_string(shape.t) + " k=" + std::to_string(k);
+
+    GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = k;
+    request.sparse = true;
+    const RunResult fast = analytic->run_gemm(request);
+    const RunResult exact = cycle->run_gemm(request);
+    EXPECT_FALSE(fast.measured);
+    EXPECT_TRUE(exact.measured);
+    expect_costs_exactly_equal(fast.cost, exact.cost, label + " sparse");
+
+    const gemm::Mat64 want = gemm::reference_gemm(a, b);
+    ASSERT_TRUE(fast.out.has_value()) << label;
+    ASSERT_TRUE(exact.out.has_value()) << label;
+    EXPECT_EQ(gemm::first_mismatch(*fast.out, want), "") << label;
+    EXPECT_EQ(gemm::first_mismatch(*exact.out, want), "") << label;
+
+    // Skipping tiles can only make the run cheaper, never change it.
+    request.sparse = false;
+    const RunResult dense = analytic->run_gemm(request);
+    EXPECT_LE(fast.cost.cycles, dense.cost.cycles) << label;
+    EXPECT_LE(fast.cost.energy_pj, dense.cost.energy_pj) << label;
   }
 }
 

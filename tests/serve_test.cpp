@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "gemm/reference.h"
 #include "nn/models.h"
 #include "nn/runner.h"
+#include "serve/dispatcher.h"
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
@@ -183,6 +187,76 @@ TEST(RequestQueueTest, PopIfChargesTheRidersOwnTenant) {
   EXPECT_EQ(q.deficit("b"), 0);  // retired again once empty
 }
 
+TEST(RequestQueueTest, PopAllIfSingleSweepTakesSameSetAsRepeatedPopIf) {
+  // The one-pass coalescing sweep must take exactly the requests (and in
+  // exactly the order) the old per-rider pop_if loop took, with the same
+  // deficit charges — two identically filled queues, drained both ways.
+  const auto fill = [](RequestQueue& q) {
+    std::uint64_t id = 0;
+    for (const auto& [tenant, k] :
+         std::vector<std::pair<std::string, int>>{{"a", 1},
+                                                  {"b", 2},
+                                                  {"a", 2},
+                                                  {"c", 1},
+                                                  {"b", 1},
+                                                  {"a", 1},
+                                                  {"c", 2}}) {
+      Request r = make_tenant_request(id++, tenant, 10);
+      r.decided_k = k;
+      ASSERT_TRUE(q.push(std::move(r)));
+    }
+  };
+  RequestQueue swept(16, 100), looped(16, 100);
+  fill(swept);
+  fill(looped);
+  const auto is_k1 = [](const Request& r) { return r.decided_k == 1; };
+
+  std::vector<std::uint64_t> swept_ids;
+  for (Request& r : swept.pop_all_if(is_k1, 3)) swept_ids.push_back(r.id);
+  std::vector<std::uint64_t> looped_ids;
+  for (int i = 0; i < 3; ++i) {
+    auto r = looped.pop_if(is_k1);
+    ASSERT_TRUE(r.has_value());
+    looped_ids.push_back(r->id);
+  }
+  EXPECT_EQ(swept_ids, looped_ids);
+  for (const std::string& tenant : {"a", "b", "c"}) {
+    EXPECT_EQ(swept.deficit(tenant), looped.deficit(tenant)) << tenant;
+  }
+  EXPECT_EQ(swept.size(), looped.size());
+}
+
+TEST(BatchSchedulerTest, OnePassCoalescingPinsBatchCompositionAndFusedRuns) {
+  // Regression pin for the single-sweep bucketing: a canned mode pattern
+  // must form exactly the same batches (count = dispatches = fused-run
+  // upper bound) the per-rider rescan produced.
+  RequestQueue q(16);
+  const std::vector<int> modes = {1, 1, 2, 1, 2, 2, 1, 1, 2, 1};
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    ASSERT_TRUE(q.push(make_gemm_request(i, modes[i])));
+  }
+  q.close();
+
+  BatchScheduler sched(&q, /*max_batch=*/8);
+  auto b1 = sched.next_batch();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->k, 1);
+  std::vector<std::uint64_t> ids1;
+  for (const Request& r : b1->requests) ids1.push_back(r.id);
+  EXPECT_EQ(ids1, (std::vector<std::uint64_t>{0, 1, 3, 6, 7, 9}));
+
+  auto b2 = sched.next_batch();
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->k, 2);
+  std::vector<std::uint64_t> ids2;
+  for (const Request& r : b2->requests) ids2.push_back(r.id);
+  EXPECT_EQ(ids2, (std::vector<std::uint64_t>{2, 4, 5, 8}));
+
+  // Two dispatches for ten requests: the whole backlog coalesced into one
+  // batch per (mode) bucket.
+  EXPECT_FALSE(sched.next_batch().has_value());
+}
+
 TEST(BatchSchedulerTest, MaxBatchOneDisablesCoalescing) {
   RequestQueue q(8);
   ASSERT_TRUE(q.push(make_gemm_request(0, 1)));
@@ -191,6 +265,132 @@ TEST(BatchSchedulerTest, MaxBatchOneDisablesCoalescing) {
   BatchScheduler sched(&q, /*max_batch=*/1);
   EXPECT_EQ(sched.next_batch()->requests.size(), 1u);
   EXPECT_EQ(sched.next_batch()->requests.size(), 1u);
+}
+
+// ---- dispatch layer (serve/dispatcher.h) ----------------------------------
+
+TEST(DispatcherRegistryTest, ListsExactlyTheShippedDispatchers) {
+  const std::vector<std::string> names = registered_dispatchers();
+  ASSERT_EQ(names.size(), 2u);
+  // Sorted (std::map) — the CI drift check against the README table relies
+  // on a stable order.
+  EXPECT_EQ(names[0], "global");
+  EXPECT_EQ(names[1], "stealing");
+  for (const std::string& name : names) {
+    EXPECT_FALSE(dispatcher_description(name).empty()) << name;
+    DispatcherOptions opts;
+    opts.max_shards = 2;
+    opts.live_shards = 2;
+    const std::unique_ptr<Dispatcher> d = make_dispatcher(name, opts);
+    EXPECT_EQ(d->name(), name);
+    EXPECT_EQ(d->live_shards(), 2);
+    EXPECT_EQ(d->depth(), 0u);
+  }
+  EXPECT_THROW(make_dispatcher("centralized", {}), Error);
+  EXPECT_THROW(dispatcher_description("centralized"), Error);
+}
+
+TEST(DispatcherTest, StealingRoutesByAffinityAndStealsWholeRounds) {
+  DispatcherOptions opts;
+  opts.max_shards = 2;
+  opts.live_shards = 2;
+  opts.max_batch = 8;
+  const std::unique_ptr<Dispatcher> d = make_dispatcher("stealing", opts);
+
+  // Two tenants whose affinity hashes land on DIFFERENT homes (found by
+  // probing the exposed routing hash, so the test cannot rot if the hash
+  // changes).
+  std::string home0, home1;
+  for (int i = 0; home0.empty() || home1.empty(); ++i) {
+    Request probe = make_tenant_request(0, "tenant-" + std::to_string(i), 1);
+    if (affinity_hash(probe) % 2 == 0 && home0.empty()) {
+      home0 = probe.tenant;
+    } else if (affinity_hash(probe) % 2 == 1 && home1.empty()) {
+      home1 = probe.tenant;
+    }
+  }
+  // home1's stream runs in a DIFFERENT pipeline mode, so it can neither
+  // join home0's batch nor ride its top-up — it must be STOLEN whole.
+  for (int i = 0; i < 3; ++i) {
+    Request r0 = make_tenant_request(i, home0, 1);
+    r0.decided_k = 1;
+    ASSERT_TRUE(d->submit(std::move(r0)));
+    Request r1 = make_tenant_request(10 + i, home1, 1);
+    r1.decided_k = 2;
+    ASSERT_TRUE(d->submit(std::move(r1)));
+  }
+  EXPECT_EQ(d->depth(), 6u);
+
+  // Shard 0's own deque holds home0's whole stream — one batch.
+  auto own = d->next_batch(0);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(own->requests.size(), 3u);
+  for (const Request& r : own->requests) EXPECT_EQ(r.tenant, home0);
+
+  // Shard 0 is dry now; it must steal home1's entire round from shard 1.
+  auto stolen = d->next_batch(0);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->requests.size(), 3u);
+  for (const Request& r : stolen->requests) EXPECT_EQ(r.tenant, home1);
+  EXPECT_EQ(d->steals(), 1);
+  EXPECT_EQ(d->depth(), 0u);
+}
+
+TEST(DispatcherTest, ShortRoundsTopUpWithCompatibleRidersAcrossDeques) {
+  DispatcherOptions opts;
+  opts.max_shards = 2;
+  opts.live_shards = 2;
+  opts.max_batch = 8;
+  const std::unique_ptr<Dispatcher> d = make_dispatcher("stealing", opts);
+  std::string home0, home1;
+  for (int i = 0; home0.empty() || home1.empty(); ++i) {
+    Request probe = make_tenant_request(0, "tenant-" + std::to_string(i), 1);
+    if (affinity_hash(probe) % 2 == 0 && home0.empty()) {
+      home0 = probe.tenant;
+    } else if (affinity_hash(probe) % 2 == 1 && home1.empty()) {
+      home1 = probe.tenant;
+    }
+  }
+  // Same mode everywhere: home1's stream is eligible to ride home0's
+  // batch, so a single dispatch coalesces BOTH deques — partitioning must
+  // not fragment batches the global queue would have pooled.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(d->submit(make_tenant_request(i, home0, 1)));
+    ASSERT_TRUE(d->submit(make_tenant_request(10 + i, home1, 1)));
+  }
+  auto batch = d->next_batch(0);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 6u);
+  EXPECT_EQ(d->depth(), 0u);
+  EXPECT_EQ(d->steals(), 0);  // riders are coalescing, not steals
+}
+
+TEST(DispatcherTest, ScaleDownDrainsRetiredDequesIntoTheLiveSet) {
+  DispatcherOptions opts;
+  opts.max_shards = 2;
+  opts.live_shards = 2;
+  opts.max_batch = 8;
+  const std::unique_ptr<Dispatcher> d = make_dispatcher("stealing", opts);
+  std::string home1;
+  for (int i = 0; home1.empty(); ++i) {
+    Request probe = make_tenant_request(0, "tenant-" + std::to_string(i), 1);
+    if (affinity_hash(probe) % 2 == 1) home1 = probe.tenant;
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d->submit(make_tenant_request(i, home1, 1)));
+  }
+
+  d->set_live_shards(1);
+  // The retired worker exits; nothing was lost — shard 0 now owns the
+  // drained backlog.
+  EXPECT_FALSE(d->next_batch(1).has_value());
+  EXPECT_EQ(d->depth(), 4u);
+  auto batch = d->next_batch(0);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 4u);
+
+  d->close();
+  EXPECT_FALSE(d->next_batch(0).has_value());
 }
 
 class ServeTest : public ::testing::Test {
@@ -691,6 +891,397 @@ TEST_F(ServeTest, CoalescedInferenceSplitsEnergy) {
   for (const ShardSnapshot& s : stats.shards) spent += s.energy_pj;
   EXPECT_LE(attributed, spent * (1.0 + 1e-9));
   EXPECT_GT(attributed, 0.0);
+}
+
+// ---- per-request fidelity routing -----------------------------------------
+
+TEST_F(ServeTest, PerRequestBackendOverrideRoutesAndRejects) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 4;
+  opts.backend = "analytic";
+  opts.audit_fraction = 1.0;  // overrides must bypass the sampled audit
+  Server server(shard16(), opts);
+
+  Rng rng(31337);
+  auto weights = random_weights(rng, 32, 24);
+
+  // Default: the shard's analytic engine.
+  gemm::Mat32 a0 = gemm::random_matrix(rng, 5, 32, -40, 40);
+  const gemm::Mat64 want0 = gemm::reference_gemm(a0, *weights);
+  GemmResult base = server.submit_gemm("t", std::move(a0), weights).get();
+  EXPECT_EQ(base.backend, "analytic");
+  EXPECT_FALSE(base.measured);
+
+  // Override: this one request runs cycle-accurately on the analytic
+  // server — measured ground truth on demand, no audit replay (it IS the
+  // ground truth).
+  gemm::Mat32 a1 = gemm::random_matrix(rng, 5, 32, -40, 40);
+  const gemm::Mat64 want1 = gemm::reference_gemm(a1, *weights);
+  GemmResult exact = server
+                         .submit_gemm("t", std::move(a1), weights, /*k=*/2,
+                                      /*want_output=*/true, "cycle")
+                         .get();
+  EXPECT_EQ(exact.backend, "cycle");
+  EXPECT_TRUE(exact.measured);
+  EXPECT_FALSE(exact.audited);
+  EXPECT_EQ(gemm::first_mismatch(exact.out, want1), "");
+  EXPECT_EQ(gemm::first_mismatch(base.out, want0), "");
+
+  // A mixed burst honours each request's own fidelity.
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.submit_gemm(
+        "t", gemm::random_matrix(rng, 4, 32, -40, 40), weights, /*k=*/1,
+        /*want_output=*/true, i % 2 == 0 ? "cycle" : ""));
+  }
+  for (int i = 0; i < 4; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.backend, i % 2 == 0 ? "cycle" : "analytic") << i;
+    EXPECT_EQ(r.measured, i % 2 == 0) << i;
+  }
+
+  // Unregistered names are rejected at admission with the registry listed.
+  EXPECT_THROW(server.submit_gemm("t", gemm::random_matrix(rng, 4, 32, -1, 1),
+                                  weights, /*k=*/0, /*want_output=*/true,
+                                  "rtl"),
+               Error);
+}
+
+// ---- the stealing dispatcher ----------------------------------------------
+
+namespace {
+
+struct StressOutcome {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t mismatches = 0;
+  std::int64_t steals = 0;
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+      per_tenant;  // tenant -> (requests, macs)
+};
+
+// The randomized 4-client x 4-shard stress, parameterized by dispatcher:
+// every result is checked bit-for-bit against the reference GEMM, and the
+// per-tenant books are returned so "global" and "stealing" runs can be
+// compared request-for-request.
+StressOutcome run_dispatcher_stress(const std::string& dispatcher) {
+  ServerOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 8;
+  opts.dispatcher = dispatcher;
+  opts.backend = "analytic";
+  Server server(arch::ArrayConfig::square(16), opts);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 32;
+  Rng weight_rng(2077);
+  auto weights = std::make_shared<gemm::Mat32>(
+      gemm::random_matrix(weight_rng, 48, 32, -60, 60));
+
+  std::atomic<std::int64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(42000 + static_cast<std::uint64_t>(c));
+      const std::string tenant = "stress-" + std::to_string(c);
+      std::vector<gemm::Mat32> inputs;
+      std::vector<std::future<GemmResult>> futures;
+      for (int i = 0; i < kPerClient; ++i) {
+        inputs.push_back(
+            gemm::random_matrix(rng, 2 + i % 5, 48, -60, 60));
+        futures.push_back(server.submit_gemm(
+            tenant, inputs.back(), weights, /*k=*/(i % 3 == 0) ? 2 : 1));
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        GemmResult r = futures[static_cast<std::size_t>(i)].get();
+        const gemm::Mat64 want = gemm::reference_gemm(
+            inputs[static_cast<std::size_t>(i)], *weights);
+        if (gemm::first_mismatch(r.out, want) != "") mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const ServerStats stats = server.stats();
+  StressOutcome outcome;
+  outcome.submitted = stats.submitted;
+  outcome.completed = stats.completed;
+  outcome.mismatches = mismatches.load();
+  outcome.steals = stats.steals;
+  for (const TenantSnapshot& t : stats.tenants) {
+    outcome.per_tenant[t.tenant] = {t.requests, t.macs};
+  }
+  return outcome;
+}
+
+}  // namespace
+
+TEST_F(ServeTest, StealingStressBitIdenticalToGlobal) {
+  // The acceptance gate: the same randomized 4-client x 4-shard workload
+  // on both dispatchers — all outputs bit-identical (each checked against
+  // the reference GEMM) and per-tenant accounting matching exactly.
+  const StressOutcome global = run_dispatcher_stress("global");
+  const StressOutcome stealing = run_dispatcher_stress("stealing");
+  EXPECT_EQ(global.mismatches, 0);
+  EXPECT_EQ(stealing.mismatches, 0);
+  EXPECT_EQ(global.submitted, global.completed);
+  EXPECT_EQ(stealing.submitted, stealing.completed);
+  EXPECT_EQ(stealing.submitted, global.submitted);
+  EXPECT_EQ(stealing.per_tenant, global.per_tenant);
+}
+
+TEST_F(ServeTest, StealingSpreadsAHotTenantAcrossShards) {
+  // One tenant's whole stream hashes to ONE home deque; with a slow
+  // (cycle-accurate) backend the backlog builds there and the other three
+  // shards must steal it dry — the motivation's "idle shards drain hot
+  // tenants without serializing every submission through one lock".
+  ServerOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 1;  // every request its own batch: stealing must spread
+  opts.dispatcher = "stealing";
+  opts.backend = "cycle";
+  Server server(shard16(), opts);
+
+  Rng rng(555);
+  auto weights = random_weights(rng, 96, 96);
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 8, 96, -30, 30));
+    futures.push_back(server.submit_gemm("hot", inputs.back(), weights));
+  }
+  for (int i = 0; i < 24; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    const gemm::Mat64 want = gemm::reference_gemm(
+        inputs[static_cast<std::size_t>(i)], *weights);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "") << i;
+  }
+
+  const ServerStats stats = server.stats();
+  // The whole stream homed on ONE deque, so any second shard serving it
+  // must have stolen — steals > 0 is the proof the hot tenant was drained
+  // across the pool.  (Which shards end up executing is scheduler timing —
+  // on a single core one thief may legally grab everything — so the count
+  // of shards used is not asserted.)
+  EXPECT_GT(stats.steals, 0);
+  std::int64_t served = 0;
+  for (const ShardSnapshot& s : stats.shards) served += s.requests;
+  EXPECT_EQ(served, 24);
+}
+
+TEST_F(ServeTest, StealingPreservesDrrServedShares) {
+  // Four tenants, equal aggregate MAC volume in very different request
+  // sizes, racing through the stealing dispatcher: each tenant's realized
+  // hardware share must come out near 1/4 — cost-fair accounting survives
+  // affinity routing and stealing.
+  ServerOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 4;
+  opts.dispatcher = "stealing";
+  Server server(shard16(), opts);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(7100 + static_cast<std::uint64_t>(c));
+      auto weights = std::make_shared<gemm::Mat32>(
+          gemm::random_matrix(rng, 32, 32, -20, 20));
+      const bool big = c < 2;
+      const std::int64_t t_rows = big ? 32 : 8;
+      const int count = big ? 8 : 32;  // equal aggregate T x N x M
+      const std::string tenant = "share-" + std::to_string(c);
+      std::vector<std::future<GemmResult>> futures;
+      for (int i = 0; i < count; ++i) {
+        futures.push_back(server.submit_gemm(
+            tenant, gemm::random_matrix(rng, t_rows, 32, -20, 20), weights));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.tenants.size(), 4u);
+  double share_sum = 0.0;
+  for (const TenantSnapshot& t : stats.tenants) {
+    EXPECT_NEAR(t.served_share, 0.25, 0.1) << t.tenant;
+    share_sum += t.served_share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-12);
+}
+
+// ---- queue-pressure autoscaling -------------------------------------------
+
+TEST(LatencyWindowTest, NearestRankP99RoundsUpOnSmallWindows) {
+  // The autoscaler's pressure signal: a tiny window must surface its slow
+  // sample (nearest-rank p99 of n=2 is the MAX), or trickle traffic with
+  // long waits would never trip the grow threshold.
+  LatencyWindow window;
+  window.sample(0.02);
+  window.sample(80.0);
+  LatencyWindow::Stats stats = window.drain();
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_EQ(stats.p99_ms, 80.0);
+  EXPECT_EQ(stats.max_ms, 80.0);
+  // drain resets the window.
+  EXPECT_EQ(window.drain().count, 0);
+  // 200 samples: nearest-rank p99 is the 198th order statistic.
+  for (int i = 1; i <= 200; ++i) window.sample(static_cast<double>(i));
+  EXPECT_EQ(window.drain().p99_ms, 198.0);
+}
+
+TEST(AutoscalePolicyTest, SquareWaveLoadDoesNotFlap) {
+  AutoscalePolicy policy;
+  policy.min_shards = 1;
+  policy.max_shards = 4;
+  policy.grow_patience = 3;
+  policy.shrink_patience = 3;
+
+  // A square wave faster than either patience: pressure, idle, pressure,
+  // idle...  Each flank resets the opposite streak, so the pool must not
+  // move once.
+  int live = 2;
+  for (int tick = 0; tick < 100; ++tick) {
+    const double depth = (tick % 2 == 0) ? 100.0 : 0.0;
+    const int want = policy.decide(live, depth, /*wait_p99_ms=*/0.0);
+    ASSERT_EQ(want, live) << "flapped at tick " << tick;
+  }
+
+  // Sustained pressure grows — one shard per grow_patience ticks, capped.
+  std::vector<int> trace;
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, /*depth_per_shard=*/100.0, 0.0);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{2, 2, 3, 3, 3, 4, 4, 4, 4, 4, 4, 4}));
+
+  // Sustained idle shrinks the same way, floored at min_shards.
+  trace.clear();
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, /*depth_per_shard=*/0.0, 0.0);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{4, 4, 3, 3, 3, 2, 2, 2, 1, 1, 1, 1}));
+
+  // The p99 wait signal alone also counts as pressure.
+  live = 1;
+  policy.grow_streak = 0;
+  for (int tick = 0; tick < 3; ++tick) {
+    live = policy.decide(live, /*depth_per_shard=*/0.0,
+                         /*wait_p99_ms=*/1e3);
+  }
+  EXPECT_EQ(live, 2);
+}
+
+TEST_F(ServeTest, AutoscalerGrowsUnderLoadAndShrinksWhenIdle) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.min_shards = 1;
+  opts.max_shards = 4;
+  opts.dispatcher = "stealing";
+  opts.backend = "cycle";  // slow enough that a burst builds real depth
+  opts.max_batch = 1;
+  opts.autoscale_interval_ms = 5.0;
+  opts.grow_depth_per_shard = 2.0;
+  opts.grow_patience = 1;
+  opts.shrink_patience = 2;
+  Server server(shard16(), opts);
+  EXPECT_EQ(server.num_shards(), 1);
+
+  Rng rng(808);
+  auto weights = random_weights(rng, 128, 128);
+  std::vector<gemm::Mat32> inputs;
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 48; ++i) {
+    inputs.push_back(gemm::random_matrix(rng, 16, 128, -20, 20));
+    futures.push_back(server.submit_gemm("burst", inputs.back(), weights));
+  }
+  for (int i = 0; i < 48; ++i) {
+    GemmResult r = futures[static_cast<std::size_t>(i)].get();
+    const gemm::Mat64 want = gemm::reference_gemm(
+        inputs[static_cast<std::size_t>(i)], *weights);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "") << i;
+  }
+  {
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.scale_ups, 1) << "queue pressure never grew the pool";
+  }
+
+  // Idle: the pool must come back down to min_shards (poll with a generous
+  // deadline — the autoscaler needs shrink_patience quiet ticks per step).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.num_shards() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.live_shards, 1) << "pool failed to shrink when idle";
+  EXPECT_GE(stats.scale_downs, 1);
+  EXPECT_EQ(stats.submitted, stats.completed);
+  int live_count = 0;
+  for (const ShardSnapshot& s : stats.shards) live_count += s.live ? 1 : 0;
+  EXPECT_EQ(live_count, 1);
+
+  // A retired slot can be re-grown and served through again.
+  std::vector<std::future<GemmResult>> again;
+  for (int i = 0; i < 16; ++i) {
+    again.push_back(server.submit_gemm(
+        "burst", gemm::random_matrix(rng, 16, 128, -20, 20), weights));
+  }
+  for (auto& f : again) EXPECT_NO_THROW(f.get());
+}
+
+TEST_F(ServeTest, AutoscaleStressNeverDropsOrDoubleServesAcrossScaleEvents) {
+  // Bursts and idle valleys while the autoscaler grows and shrinks under
+  // them: every future must resolve exactly once with the exact product,
+  // and the books must balance — no request dropped in a scale-down drain,
+  // none served twice off a stolen deque.
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.min_shards = 1;
+  opts.max_shards = 4;
+  opts.dispatcher = "stealing";
+  opts.backend = "cycle";
+  opts.autoscale_interval_ms = 2.0;
+  opts.grow_depth_per_shard = 2.0;
+  opts.grow_patience = 1;
+  opts.shrink_patience = 2;
+  Server server(shard16(), opts);
+
+  Rng rng(909);
+  auto weights = random_weights(rng, 96, 64);
+  std::int64_t expected = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<gemm::Mat32> inputs;
+    std::vector<std::future<GemmResult>> futures;
+    for (int i = 0; i < 24; ++i) {
+      inputs.push_back(gemm::random_matrix(rng, 8, 96, -30, 30));
+      futures.push_back(server.submit_gemm(
+          "cycle-" + std::to_string(cycle), inputs.back(), weights));
+      ++expected;
+    }
+    for (int i = 0; i < 24; ++i) {
+      GemmResult r = futures[static_cast<std::size_t>(i)].get();
+      const gemm::Mat64 want = gemm::reference_gemm(
+          inputs[static_cast<std::size_t>(i)], *weights);
+      EXPECT_EQ(gemm::first_mismatch(r.out, want), "")
+          << "cycle " << cycle << " request " << i;
+    }
+    // Idle valley: long enough for at least one shrink tick at this
+    // interval/patience, so the next burst hits a scaled-down pool.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, expected);
+  EXPECT_EQ(stats.completed, expected);
+  EXPECT_GE(stats.scale_ups + stats.scale_downs, 1)
+      << "autoscaler never moved — the stress exercised nothing";
+  std::int64_t shard_requests = 0;
+  for (const ShardSnapshot& s : stats.shards) shard_requests += s.requests;
+  EXPECT_EQ(shard_requests, expected) << "a request was lost or double-served";
 }
 
 }  // namespace
