@@ -25,6 +25,17 @@
 //      queue throttles the generator, and latency explodes — the classic
 //      hockey stick.
 //
+//   5. overload_sweep — the admission-control study: measure the closed-loop
+//      capacity of a 2-shard server on real (want_output = true) GEMMs, then
+//      offer Poisson traffic at {0.5, 1, 2, 4}x that capacity under each
+//      overload policy.  The queue is sized far above the offered burst so
+//      shedding can only come from the policy, never from queue-full
+//      throttling of the generator.  "block" admits everything and lets the
+//      backlog stretch admitted p99 without bound; "reject" fails fast with
+//      af::Error(kOverloaded) and keeps admitted p99 flat; "degrade" admits
+//      everything but serves cost-only (near-free on the analytic backend)
+//      while the pressure window holds, which also keeps p99 bounded.
+//
 //   4. contended_submit — the dispatch layer's reason to exist: 1/2/4/8
 //      producer threads (distinct tenants, evenly spread over the home
 //      deques, at a constant total in-flight window) hammering cost-only
@@ -381,6 +392,106 @@ OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
   return p;
 }
 
+// ---- 5. overload sweep: admission policies under offered pressure ----------
+
+struct OverloadPoint {
+  std::string policy;
+  double load_x = 0.0;          // offered / measured capacity
+  double offered_rps = 0.0;
+  std::int64_t offered = 0;     // generator attempts (admitted + shed)
+  std::int64_t admitted = 0;    // completions, full-fidelity or degraded
+  std::int64_t shed = 0;        // submissions refused with kOverloaded
+  std::int64_t degraded = 0;    // served cost-only under pressure
+  double seconds = 0.0;         // submit window + drain
+  double goodput_rps = 0.0;     // full-fidelity completions per second
+  double p50_ms = 0.0;          // admitted-request latency only
+  double p99_ms = 0.0;
+};
+
+OverloadPoint run_overload(const std::string& policy, double capacity_rps,
+                           double load_x, bool quick) {
+  serve::ServerOptions opts;
+  opts.num_shards = 2;
+  opts.max_batch = 8;
+  // Far above any burst the sweep offers: back-pressure on the generator
+  // would silently turn "block" into rate limiting and hide the backlog
+  // this study exists to expose.
+  opts.queue_capacity = 1 << 15;
+  opts.backend = "analytic";
+  opts.overload_policy = policy;
+  opts.overload_depth_per_shard = 16.0;
+  opts.overload_wait_p99_ms = 5.0;
+  // Wide histogram: the block policy's backlogged p99 reaches seconds and
+  // must not clip at the serving default of 100 ms.
+  opts.latency_hist_max_ms = 10000.0;
+  serve::Server server(arch::ArrayConfig::square(16), opts);
+
+  Rng weight_rng(1123);
+  auto weights = std::make_shared<gemm::Mat32>(
+      gemm::random_matrix(weight_rng, 256, 128, -40, 40));
+  Rng rng(4507 + static_cast<std::uint64_t>(load_x * 16));
+  std::vector<gemm::Mat32> activation_pool;
+  for (int i = 0; i < 8; ++i) {
+    activation_pool.push_back(gemm::random_matrix(rng, 64, 256, -40, 40));
+  }
+
+  const double offered_rps = capacity_rps * load_x;
+  const double window_s = quick ? 0.25 : 1.0;
+  const int total = std::max(100, static_cast<int>(offered_rps * window_s));
+
+  std::deque<std::future<serve::GemmResult>> in_flight;
+  std::int64_t shed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next_arrival = t0;
+  for (int i = 0; i < total; ++i) {
+    const double gap_s = -std::log(1.0 - rng.next_double()) / offered_rps;
+    next_arrival +=
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next_arrival);
+    try {
+      in_flight.push_back(server.submit_gemm(
+          "overload", activation_pool[static_cast<std::size_t>(i % 8)],
+          weights, /*k=*/0, /*want_output=*/true));
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kOverloaded) throw;
+      ++shed;  // the reject policy refusing at admission — the open loop
+               // keeps offering at the same rate regardless
+    }
+    while (!in_flight.empty() &&
+           in_flight.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      in_flight.front().get();
+      in_flight.pop_front();
+    }
+  }
+  for (auto& f : in_flight) f.get();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  AF_CHECK(stats.rejected == shed, "overload sweep shed accounting drifted");
+  OverloadPoint p;
+  p.policy = policy;
+  p.load_x = load_x;
+  p.offered_rps = offered_rps;
+  p.offered = total;
+  p.admitted = stats.completed;
+  p.shed = shed;
+  p.degraded = stats.degraded;
+  p.seconds = seconds;
+  p.goodput_rps =
+      seconds > 0
+          ? static_cast<double>(stats.completed - stats.degraded) / seconds
+          : 0.0;
+  if (!stats.tenants.empty()) {
+    p.p50_ms = stats.tenants[0].p50_latency_ms;
+    p.p99_ms = stats.tenants[0].p99_latency_ms;
+  }
+  return p;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 void append_point(std::ostringstream& json, const Point& p, bool last) {
@@ -400,6 +511,8 @@ void write_json(const std::vector<Point>& closed_loop,
                 const BackendComparison& cmp,
                 const std::vector<OpenLoopPoint>& open_loop,
                 const std::vector<ContendedPoint>& contended,
+                double overload_capacity_rps,
+                const std::vector<OverloadPoint>& overload,
                 const std::string& path) {
   std::ostringstream json;
   json << "{\n  \"bench\": \"serving\",\n  \"unit\": \"requests/s\",\n"
@@ -432,6 +545,19 @@ void write_json(const std::vector<Point>& closed_loop,
          << ", \"requests_per_s\": " << p.requests_per_s()
          << ", \"requests_per_cpu_s\": " << p.requests_per_cpu_s() << "}"
          << (i + 1 < contended.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"overload_capacity_rps\": " << overload_capacity_rps
+       << ",\n  \"overload_sweep\": [\n";
+  for (std::size_t i = 0; i < overload.size(); ++i) {
+    const OverloadPoint& p = overload[i];
+    json << "    {\"policy\": \"" << p.policy << "\", \"load_x\": " << p.load_x
+         << ", \"offered_rps\": " << p.offered_rps
+         << ", \"offered\": " << p.offered << ", \"admitted\": " << p.admitted
+         << ", \"shed\": " << p.shed << ", \"degraded\": " << p.degraded
+         << ", \"seconds\": " << p.seconds
+         << ", \"goodput_rps\": " << p.goodput_rps
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << "}" << (i + 1 < overload.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 
@@ -520,6 +646,36 @@ int main(int argc, char** argv) {
                 p.requests_per_s(), p.requests_per_cpu_s());
   }
 
-  write_json(closed_loop, cmp, open_loop, contended, "BENCH_serving.json");
+  // Capacity baseline for the overload sweep: the same GEMM the sweep
+  // offers, served closed-loop at full tilt on the sweep's 2-shard layout.
+  const Point capacity_point =
+      run_point(/*shards=*/2, /*max_batch=*/8, /*clients=*/4,
+                /*per_client=*/quick ? 50 : 200, "analytic",
+                /*want_output=*/true, /*t=*/64, /*n=*/256, /*m=*/128);
+  const double capacity_rps = capacity_point.requests_per_s();
+  std::vector<OverloadPoint> overload;
+  for (const std::string policy : serve::overload_policy_names()) {
+    for (const double load_x : {0.5, 1.0, 2.0, 4.0}) {
+      overload.push_back(run_overload(policy, capacity_rps, load_x, quick));
+    }
+  }
+  std::printf(
+      "\noverload sweep (2 shards, analytic full-output GEMM, capacity %.1f "
+      "req/s):\n",
+      capacity_rps);
+  std::printf("%8s %7s %9s %9s %7s %9s %12s %9s %9s\n", "policy", "load",
+              "offered", "admitted", "shed", "degraded", "goodput r/s",
+              "p50 ms", "p99 ms");
+  for (const OverloadPoint& p : overload) {
+    std::printf("%8s %6.1fx %9lld %9lld %7lld %9lld %12.1f %9.3f %9.3f\n",
+                p.policy.c_str(), p.load_x, static_cast<long long>(p.offered),
+                static_cast<long long>(p.admitted),
+                static_cast<long long>(p.shed),
+                static_cast<long long>(p.degraded), p.goodput_rps, p.p50_ms,
+                p.p99_ms);
+  }
+
+  write_json(closed_loop, cmp, open_loop, contended, capacity_rps, overload,
+             "BENCH_serving.json");
   return 0;
 }

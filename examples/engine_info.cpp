@@ -9,6 +9,9 @@
 //   $ ./engine_info --dispatchers  # one dispatcher key per line (same
 //                                  # CI check against the README's
 //                                  # dispatcher table)
+//   $ ./engine_info --policies     # one overload-policy key per line
+//                                  # (CI drift check against the README's
+//                                  # "Overload policies" table)
 
 #include <iostream>
 #include <string>
@@ -16,6 +19,7 @@
 #include "engine/engine.h"
 #include "gemm/reference.h"
 #include "serve/dispatcher.h"
+#include "serve/server.h"
 
 using namespace af;
 
@@ -24,6 +28,12 @@ int main(int argc, char** argv) {
   const bool names_only = flag == "--names";
   if (flag == "--dispatchers") {
     for (const std::string& name : serve::registered_dispatchers()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flag == "--policies") {
+    for (const std::string& name : serve::overload_policy_names()) {
       std::cout << name << "\n";
     }
     return 0;
@@ -63,5 +73,12 @@ int main(int argc, char** argv) {
   std::cout << "\nBoth dispatchers preserve per-tenant DRR fairness and "
                "produce\nbit-identical results (tests/serve_test.cpp); they "
                "differ in lock\ncontention on the serving hot path.\n";
+
+  std::cout << "\nserve overload policies ("
+            << serve::overload_policy_names().size() << " policies)\n\n";
+  for (const std::string& name : serve::overload_policy_names()) {
+    std::cout << "  \"" << name << "\"\n"
+              << "    " << serve::overload_policy_description(name) << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,53 @@
+// "chaos" backend: deterministic fault injection wrapped around any other
+// registered engine — the serving layer's failure-path test rig.
+//
+// Production hardening (retry, quarantine, deadline, audit) is only as
+// good as its tests, and real engines in this repo never fail once their
+// inputs validate.  ChaosEngine supplies the missing failures ON SCHEDULE:
+// throw-on-run (af::Error with ErrorCode::kEngineFault), injected latency
+// spikes, and wrong-cycle results (a +1 cycle perturbation the sampled
+// audit replay is designed to catch).  Every draw is a pure function of
+// (seed, run counter), so a given construction replays the identical fault
+// sequence — chaos stress tests are bit-reproducible, and a REBUILT chaos
+// engine restarts its schedule from run 1 (which is how a quarantine
+// recovery probe can succeed against a throw_every_n engine).
+//
+// Mode planning (evaluate / evaluate_tile_asym / optimizer) forwards to
+// the inner engine untouched: admission decisions stay correct even while
+// execution misbehaves, mirroring real deployments where the control plane
+// outlives a flaky data plane.
+
+#pragma once
+
+#include <atomic>
+
+#include "engine/engine.h"
+
+namespace af::engine {
+
+class ChaosEngine final : public Engine {
+ public:
+  // `inner` must be built over the same builder wiring (the registry
+  // creator guarantees it); `options` are the builder's chaos knobs.
+  ChaosEngine(const EngineBuilder& builder, std::shared_ptr<Engine> inner);
+
+  const std::string& name() const override;
+  bool measures() const override { return inner_->measures(); }
+
+  RunResult run_gemm(const GemmRequest& request) override;
+  CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
+  CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
+
+  // Runs attempted so far (fault draws consumed) — test introspection.
+  std::uint64_t runs() const { return runs_.load(); }
+
+ private:
+  // True when the seeded per-run draw for `salt` lands under `rate`.
+  bool draw(double rate, std::uint64_t run, std::uint64_t salt) const;
+
+  std::shared_ptr<Engine> inner_;
+  ChaosOptions options_;
+  std::atomic<std::uint64_t> runs_{0};
+};
+
+}  // namespace af::engine

@@ -8,6 +8,7 @@
 #include "arch/latency.h"
 #include "arch/sparse.h"
 #include "engine/analytic_engine.h"
+#include "engine/chaos_engine.h"
 #include "engine/cycle_engine.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -193,6 +194,11 @@ EngineBuilder& EngineBuilder::shared_pool(util::ThreadPool* pool) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::chaos(const ChaosOptions& options) {
+  chaos_ = options;
+  return *this;
+}
+
 std::shared_ptr<Engine> EngineBuilder::build(const std::string& backend) const {
   return make(backend, *this);
 }
@@ -217,6 +223,16 @@ const std::map<std::string, BackendEntry>& registry() {
           return std::make_shared<AnalyticEngine>(
               b.peek_config(), b.peek_clock(), b.peek_energy(),
               b.peek_shared_pool());
+        }}},
+      {"chaos",
+       {"fault-injection wrapper around any registered backend: seeded "
+        "deterministic throw-on-run, latency spikes and wrong-cycle results "
+        "(EngineBuilder::chaos); injects nothing by default",
+        [](const EngineBuilder& b) -> std::shared_ptr<Engine> {
+          const ChaosOptions& chaos = b.peek_chaos();
+          AF_CHECK(chaos.inner != "chaos",
+                   "chaos backend cannot wrap itself");
+          return std::make_shared<ChaosEngine>(b, make(chaos.inner, b));
         }}},
       {"cycle",
        {"cycle-accurate SystolicArray simulation; outputs, cycles and "

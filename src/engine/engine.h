@@ -12,10 +12,15 @@
 //   run_gemm(GemmRequest)        -> RunResult    execute (or price) one GEMM
 //   evaluate(GemmShape, k)       -> CostEstimate cost of a shape in mode k
 //
-// Two backends ship (see engine::make / registered_backends):
+// Three backends ship (see engine::make / registered_backends):
 //
 //   "cycle"    CycleAccurateEngine — wraps arch::SystolicArray; outputs and
 //              counters are MEASURED cycle by cycle.  Ground truth, slow.
+//   "chaos"    ChaosEngine — deterministic fault injection wrapped around
+//              any other backend (engine/chaos_engine.h): seeded
+//              throw-on-run, latency spikes, wrong-cycle results.  The
+//              serving layer's failure-path test rig; injects nothing by
+//              default.
 //   "analytic" AnalyticEngine — closed-form latency/activity/power (the
 //              equations pinned cycle-for-cycle and counter-for-counter
 //              against the simulator by tests/arch_equivalence_test.cpp and
@@ -203,6 +208,26 @@ class Engine {
   util::ThreadPool* external_pool_ = nullptr;
 };
 
+// Fault-injection knobs of the "chaos" backend (engine/chaos_engine.h), a
+// wrapper around any other registered backend.  Every failure draw is
+// seeded and counter-based — a given construction replays the exact same
+// fault sequence, which is what makes chaos stress tests reproducible.
+// The defaults inject NOTHING: a bare `make("chaos", builder)` is a
+// transparent analytic wrapper (so registry-wide smoke tests stay green);
+// tests and harnesses turn on faults via EngineBuilder::chaos.
+struct ChaosOptions {
+  std::string inner = "analytic";  // wrapped backend (any non-chaos key)
+  std::uint64_t seed = 0x5eedULL;
+  // Deterministic throw-on-run: every Nth run_gemm throws af::Error with
+  // ErrorCode::kEngineFault (0 disables).
+  int throw_every_n = 0;
+  // Seeded-random injections, probability per run_gemm in [0, 1]:
+  double throw_rate = 0.0;       // throw kEngineFault
+  double wrong_cost_rate = 0.0;  // perturb the returned cycle count (+1)
+  double delay_rate = 0.0;       // sleep delay_ms before executing
+  double delay_ms = 0.0;         // latency-spike duration
+};
+
 // Fluent owner of the config/clock/energy/thread-pool wiring.  Every field
 // has the repo-wide default (128x128 {1,2,4} array, the paper's DATE-23
 // calibrated clock, generic28nm energy, serial) so a one-liner works:
@@ -227,6 +252,9 @@ class EngineBuilder {
   // engine (the serve::Server path; shared-pool contract in arch/array.h).
   // Overrides threads() for pool construction; must outlive the engine.
   EngineBuilder& shared_pool(util::ThreadPool* pool);
+  // Fault-injection knobs consumed only by build("chaos"); other backends
+  // ignore them.
+  EngineBuilder& chaos(const ChaosOptions& options);
 
   // Construct the backend registered under `backend` ("analytic", "cycle").
   // Throws af::Error for unknown names, listing the registry.
@@ -240,12 +268,14 @@ class EngineBuilder {
   }
   const arch::EnergyParams& peek_energy() const { return energy_; }
   util::ThreadPool* peek_shared_pool() const { return shared_pool_; }
+  const ChaosOptions& peek_chaos() const { return chaos_; }
 
  private:
   arch::ArrayConfig config_;
   std::shared_ptr<const arch::ClockModel> clock_;
   arch::EnergyParams energy_;
   util::ThreadPool* shared_pool_ = nullptr;
+  ChaosOptions chaos_;
 };
 
 // String-keyed factory — the one place backend names resolve.  The names

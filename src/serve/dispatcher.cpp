@@ -40,13 +40,27 @@ class GlobalDispatcher final : public Dispatcher {
     return kName;
   }
 
-  bool submit(Request r) override { return queue_.push(std::move(r)); }
+  SubmitResult submit_for(Request& r,
+                          std::chrono::microseconds timeout) override {
+    switch (queue_.push_for(r, timeout)) {
+      case PushResult::kAccepted:
+        return SubmitResult::kAccepted;
+      case PushResult::kFull:
+        return SubmitResult::kWouldBlock;
+      case PushResult::kClosed:
+        break;
+    }
+    return SubmitResult::kClosed;
+  }
 
   std::optional<Batch> next_batch(int shard) override {
     if (!can_scale_) {
       // Fixed pool: this worker can never be retired, so park fully
       // blocking in pop() — an idle server makes no timed wakeups at all
-      // (the pre-dispatcher behaviour).
+      // (the pre-dispatcher behaviour).  Expiry needs no timed wakeup
+      // either: a request can only sit past its deadline while the queue is
+      // non-empty, and then pop() isn't parked — the reaper inside
+      // assemble_batch runs at every dispatch.
       std::optional<Request> head = queue_.pop();
       if (!head) return std::nullopt;
       return assemble_batch(std::move(*head), queue_, max_batch_);
@@ -56,10 +70,12 @@ class GlobalDispatcher final : public Dispatcher {
       if (std::optional<Request> head = queue_.try_pop()) {
         return assemble_batch(std::move(*head), queue_, max_batch_);
       }
-      // Safe shutdown order: close() precedes the emptiness observation,
-      // and no push succeeds after close — so closed+empty is final.
-      if (queue_.closed() && queue_.size() == 0) return std::nullopt;
-      queue_.wait_nonempty_for(kIdleWait);
+      // kClosed is final (closed AND drained; no push succeeds after
+      // close), so the tri-state wait doubles as the shutdown check — no
+      // separate closed()/size() round-trip under the lock.
+      if (queue_.wait_nonempty_for(kIdleWait) == WaitStatus::kClosed) {
+        return std::nullopt;
+      }
     }
   }
 
@@ -81,6 +97,8 @@ class GlobalDispatcher final : public Dispatcher {
 
   std::size_t depth() const override { return queue_.size(); }
 
+  std::size_t approx_depth() const override { return queue_.approx_size(); }
+
  private:
   RequestQueue queue_;
   const int max_batch_;
@@ -95,7 +113,8 @@ class StealingDispatcher final : public Dispatcher {
   explicit StealingDispatcher(const DispatcherOptions& options)
       : max_batch_(options.max_batch),
         live_(options.live_shards),
-        rng_state_(options.steal_seed) {
+        rng_state_(options.steal_seed),
+        failpoint_(options.failpoint) {
     AF_CHECK(options.max_shards >= 1, "stealing dispatcher needs a slot");
     AF_CHECK(options.live_shards >= 1 &&
                  options.live_shards <= options.max_shards,
@@ -106,6 +125,9 @@ class StealingDispatcher final : public Dispatcher {
                                                        options.drr_quantum));
     }
     probe_seq_.resize(static_cast<std::size_t>(options.max_shards));
+    banned_ = std::make_unique<std::atomic<bool>[]>(
+        static_cast<std::size_t>(options.max_shards));
+    for (int i = 0; i < options.max_shards; ++i) banned_[i].store(false);
   }
 
   const std::string& name() const override {
@@ -113,14 +135,22 @@ class StealingDispatcher final : public Dispatcher {
     return kName;
   }
 
-  bool submit(Request r) override {
-    const int live = std::max(1, live_.load(std::memory_order_acquire));
-    const std::size_t home =
-        affinity_hash(r) % static_cast<std::size_t>(live);
+  SubmitResult submit_for(Request& r,
+                          std::chrono::microseconds timeout) override {
+    if (failpoint_) failpoint_("submit");
+    const int home = route(r);
     // No dispatcher-level wakeup state: the home queue's own condvar wakes
     // exactly its parked worker (see next_batch), so a submit touches
     // nothing shared across homes — the whole point of this dispatcher.
-    return queues_[home]->push(std::move(r));
+    switch (queues_[static_cast<std::size_t>(home)]->push_for(r, timeout)) {
+      case PushResult::kAccepted:
+        return SubmitResult::kAccepted;
+      case PushResult::kFull:
+        return SubmitResult::kWouldBlock;
+      case PushResult::kClosed:
+        break;
+    }
+    return SubmitResult::kClosed;
   }
 
   std::optional<Batch> next_batch(int shard) override {
@@ -171,6 +201,7 @@ class StealingDispatcher final : public Dispatcher {
         // cross-queue contention this dispatcher exists to remove.  A
         // stale zero is recovered on the next probe or idle-wait tick.
         if (queues_[victim]->approx_size() == 0) continue;
+        if (failpoint_) failpoint_("steal");
         if (std::optional<Request> head = queues_[victim]->try_pop()) {
           steals_.fetch_add(1, std::memory_order_relaxed);
           // Riders come from the VICTIM's deque: the stolen unit is the
@@ -210,8 +241,31 @@ class StealingDispatcher final : public Dispatcher {
     // deques notice shard >= live at the next idle-wait tick.)
     for (int s = live; s < old; ++s) {
       for (Request& r : queues_[static_cast<std::size_t>(s)]->drain_all()) {
+        if (failpoint_) failpoint_("drain");
         submit(std::move(r));
       }
+    }
+  }
+
+  void set_banned(int shard, bool banned) override {
+    // Shares the control mutex with set_live_shards/close: the drain's
+    // blocking re-submits must never race a close, which would silently
+    // destroy accepted requests (same reasoning as the scale-down drain).
+    std::lock_guard<std::mutex> control(control_mutex_);
+    AF_CHECK(shard >= 0 && shard < static_cast<int>(queues_.size()),
+             "set_banned shard " << shard << " out of range");
+    if (closed_.load()) return;  // the shutdown drain supersedes quarantine
+    banned_[static_cast<std::size_t>(shard)].store(banned,
+                                                   std::memory_order_release);
+    if (!banned) return;
+    // Rehome the quarantined deque's backlog — the retiring-deque drain
+    // reused — so nothing waits behind a worker that stopped serving.  A
+    // submission racing this drain may still land here (stale flag read);
+    // the steal scan covers every slot, banned included, so it is served.
+    for (Request& r :
+         queues_[static_cast<std::size_t>(shard)]->drain_all()) {
+      if (failpoint_) failpoint_("drain");
+      submit(std::move(r));
     }
   }
 
@@ -238,11 +292,43 @@ class StealingDispatcher final : public Dispatcher {
     return total;
   }
 
+  std::size_t approx_depth() const override {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q->approx_size();
+    return total;
+  }
+
   std::int64_t steals() const override {
     return steals_.load(std::memory_order_relaxed);
   }
 
  private:
+  // Affinity routing with quarantine and retry steering: the hash picks
+  // the home among the live prefix; a banned (quarantined) home — or the
+  // shard that just failed this request (Request::avoid_shard) — is
+  // stepped over by linear probing.  When every live slot except the
+  // failing one is banned, the avoid preference yields first; when every
+  // live slot is banned outright, the raw home takes the push and the
+  // backlog waits there (served meanwhile by the steal scan, which covers
+  // every slot) until a probe recovers some shard.
+  int route(const Request& r) const {
+    const int live = std::max(1, live_.load(std::memory_order_acquire));
+    const int home =
+        static_cast<int>(affinity_hash(r) % static_cast<std::size_t>(live));
+    const auto open = [&](int s) {
+      return !banned_[static_cast<std::size_t>(s)].load(
+          std::memory_order_acquire);
+    };
+    for (int i = 0; i < live; ++i) {
+      const int candidate = (home + i) % live;
+      if (open(candidate) && candidate != r.avoid_shard) return candidate;
+    }
+    for (int i = 0; i < live; ++i) {
+      const int candidate = (home + i) % live;
+      if (open(candidate)) return candidate;
+    }
+    return home;
+  }
   // A round that came up short of max_batch tops up with compatible riders
   // from the other deques (skipping `swept`, already coalesced).  Riders
   // are charged to their own tenants' deficits in their own queues — the
@@ -251,6 +337,9 @@ class StealingDispatcher final : public Dispatcher {
   // pays a few extra probes exactly when the worker was about to go
   // stealing anyway, and deep deques (the loaded case) never probe at all.
   void top_up(Batch& batch, int swept) {
+    // An expired-only batch (the popped head was overdue) has no front()
+    // to match riders against — the worker just resolves the expiries.
+    if (batch.requests.empty()) return;
     int budget = max_batch_ - static_cast<int>(batch.requests.size());
     if (budget <= 0) return;
     for (std::size_t i = 0; i < queues_.size() && budget > 0; ++i) {
@@ -270,6 +359,11 @@ class StealingDispatcher final : public Dispatcher {
   std::atomic<bool> closed_{false};
   std::atomic<std::int64_t> steals_{0};
   std::atomic<std::uint64_t> rng_state_;
+  // Quarantined slots (set_banned): skipped by submit routing, still
+  // covered by the steal scan.  One flag per slot, read lock-free on the
+  // submit hot path.
+  std::unique_ptr<std::atomic<bool>[]> banned_;
+  const std::function<void(const char*)> failpoint_;
   // Per-shard dispatch counters driving the periodic retired-slot probe —
   // one cache line each, touched only by that shard's worker, so the hot
   // path shares nothing across shards (the dispatcher's whole point).

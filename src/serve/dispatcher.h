@@ -47,8 +47,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -79,7 +81,17 @@ struct DispatcherOptions {
   bool can_scale = true;
   // Seed of the stealing dispatcher's victim randomization.
   std::uint64_t steal_seed = 0x517cc1b727220a95ULL;
+  // Test-only failpoint hook: when set, the stealing dispatcher invokes it
+  // at named race-prone sites ("submit" before routing a request, "steal"
+  // after choosing a victim, "drain" per request while a retiring or
+  // banned deque is rehomed) so fault-injection tests can widen race
+  // windows with targeted sleeps.  Null (the default) costs one branch.
+  std::function<void(const char* site)> failpoint;
 };
+
+// Outcome of a timed submit_for: routed and queued, still full after the
+// wait (the request stays with the caller), or closed for good.
+enum class SubmitResult { kAccepted, kWouldBlock, kClosed };
 
 // Routing and batch formation policy.  Thread safety: submit() from many
 // producers, next_batch() from many workers, set_live_shards()/close()
@@ -97,12 +109,36 @@ class Dispatcher {
 
   // Routes one request.  Blocks while the target queue is full (admission
   // backpressure); returns false — dropping the request — once closed.
-  virtual bool submit(Request r) = 0;
+  bool submit(Request r) {
+    return submit_for(r, std::chrono::microseconds::max()) ==
+           SubmitResult::kAccepted;
+  }
+
+  // Timed admission: waits up to `timeout` for queue space (0 probes
+  // non-blocking, microseconds::max() blocks like submit).  Moves from `r`
+  // only on kAccepted — on kWouldBlock/kClosed the request and its promise
+  // stay with the caller, who fails it with a typed error (the reject
+  // overload policy and client admission timeouts ride on this).
+  virtual SubmitResult submit_for(Request& r,
+                                  std::chrono::microseconds timeout) = 0;
 
   // Blocks for shard `shard`'s next batch.  Returns nullopt when the shard
   // has been retired by set_live_shards, or when the dispatcher is closed
-  // AND fully drained — either way the worker thread exits.
+  // AND fully drained — either way the worker thread exits.  A returned
+  // batch may carry deadline-expired requests (Batch::expired) for the
+  // worker to fail — possibly with NO serveable requests at all.
   virtual std::optional<Batch> next_batch(int shard) = 0;
+
+  // Quarantine support: a banned live shard is skipped by submit routing
+  // and its queued backlog is drained back into the healthy set (the
+  // retiring-deque drain reused), while the slot itself stays live so its
+  // worker can probe for recovery.  Default no-op: the global dispatcher
+  // has one shared queue and nothing to route around — its quarantined
+  // worker simply stops calling next_batch.
+  virtual void set_banned(int shard, bool banned) {
+    (void)shard;
+    (void)banned;
+  }
 
   // Resizes the live prefix [0, live).  Shrinking drains the retired
   // shards' deques back into the live set before returning.  Must not be
@@ -116,6 +152,12 @@ class Dispatcher {
   // Requests currently queued across all shards — the autoscaler's
   // queue-pressure signal.
   virtual std::size_t depth() const = 0;
+
+  // Lock-free depth HINT (sums the queues' relaxed approx_size mirrors):
+  // the admission path's overload check reads it on every submit, where
+  // depth()'s per-queue mutex round-trips would reintroduce the contention
+  // the stealing dispatcher exists to remove.  May lag by an instant.
+  virtual std::size_t approx_depth() const { return depth(); }
 
   // Batches obtained by stealing (0 on dispatchers that never steal).
   virtual std::int64_t steals() const { return 0; }

@@ -5,6 +5,18 @@
 #include "util/status.h"
 
 namespace af::serve {
+namespace {
+
+std::int64_t deadline_ns(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             deadline.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 RequestQueue::RequestQueue(std::size_t capacity, std::int64_t quantum)
     : capacity_(capacity), quantum_(quantum) {
@@ -13,17 +25,32 @@ RequestQueue::RequestQueue(std::size_t capacity, std::int64_t quantum)
 }
 
 bool RequestQueue::push(Request r) {
+  return push_for(r, std::chrono::microseconds::max()) ==
+         PushResult::kAccepted;
+}
+
+PushResult RequestQueue::push_for(Request& r,
+                                  std::chrono::microseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock, [this] { return closed_ || total_ < capacity_; });
-  if (closed_) return false;
+  const auto admissible = [this] { return closed_ || total_ < capacity_; };
+  if (timeout == std::chrono::microseconds::max()) {
+    not_full_.wait(lock, admissible);
+  } else if (!not_full_.wait_for(lock, timeout, admissible)) {
+    return PushResult::kFull;
+  }
+  if (closed_) return PushResult::kClosed;
   TenantQueue& tq = tenants_[r.tenant];
   if (tq.items.empty()) ring_.push_back(r.tenant);  // newly backlogged
+  const std::int64_t dl = deadline_ns(r.deadline);
+  if (dl < earliest_deadline_ns_.load(std::memory_order_relaxed)) {
+    earliest_deadline_ns_.store(dl, std::memory_order_relaxed);
+  }
   tq.items.push_back(std::move(r));
   ++total_;
   approx_size_.store(total_, std::memory_order_relaxed);
   lock.unlock();
   not_empty_.notify_one();
-  return true;
+  return PushResult::kAccepted;
 }
 
 Request RequestQueue::take_front_locked() {
@@ -197,6 +224,8 @@ std::vector<Request> RequestQueue::drain_all() {
   ring_pos_ = 0;
   total_ = 0;
   approx_size_.store(0, std::memory_order_relaxed);
+  earliest_deadline_ns_.store(std::numeric_limits<std::int64_t>::max(),
+                              std::memory_order_relaxed);
   if (!out.empty()) {
     lock.unlock();
     not_full_.notify_all();
@@ -204,11 +233,65 @@ std::vector<Request> RequestQueue::drain_all() {
   return out;
 }
 
-bool RequestQueue::wait_nonempty_for(std::chrono::microseconds timeout) {
+void RequestQueue::refresh_deadline_hint_locked() {
+  std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [tenant, tq] : tenants_) {
+    for (const Request& r : tq.items) {
+      earliest = std::min(earliest, deadline_ns(r.deadline));
+    }
+  }
+  earliest_deadline_ns_.store(earliest, std::memory_order_relaxed);
+}
+
+std::vector<Request> RequestQueue::remove_expired(Clock::time_point now) {
+  std::vector<Request> out;
+  // Lock-free fast path: nothing queued can be overdue.  The hint is a
+  // lower bound (pops leave it stale-low), so a miss here only costs an
+  // occasional fruitless locked sweep, never a missed expiry.
+  if (earliest_deadline_ns_.load(std::memory_order_relaxed) >
+      deadline_ns(now)) {
+    return out;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Snapshot the scan order: taking a tenant's last request retires it and
+  // shifts ring slots under an index-based walk (same as pop_all_if).
+  std::vector<std::string> order;
+  order.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    order.push_back(ring_[(ring_pos_ + i) % ring_.size()]);
+  }
+  for (const std::string& tenant : order) {
+    const auto found = tenants_.find(tenant);
+    if (found == tenants_.end()) continue;
+    TenantQueue& tq = found->second;
+    for (auto it = tq.items.begin(); it != tq.items.end();) {
+      if (it->expired(now)) {
+        // No deficit charge: DRR debts measure service received, and an
+        // expired request was never served.
+        --total_;
+        approx_size_.store(total_, std::memory_order_relaxed);
+        out.push_back(std::move(*it));
+        it = tq.items.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    retire_if_empty_locked(tenant);
+  }
+  refresh_deadline_hint_locked();
+  if (!out.empty()) {
+    lock.unlock();
+    not_full_.notify_all();
+  }
+  return out;
+}
+
+WaitStatus RequestQueue::wait_nonempty_for(std::chrono::microseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait_for(lock, timeout,
                       [this] { return closed_ || total_ > 0; });
-  return total_ > 0;
+  if (total_ > 0) return WaitStatus::kNonEmpty;
+  return closed_ ? WaitStatus::kClosed : WaitStatus::kTimeout;
 }
 
 void RequestQueue::close() {

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -43,6 +44,17 @@
 #include "serve/request.h"
 
 namespace af::serve {
+
+// Result of a timed admission attempt (push_for).  The request is consumed
+// only on kAccepted; on kFull/kClosed it stays with the caller, promise
+// intact, so the caller can fail it with a typed error.
+enum class PushResult { kAccepted, kFull, kClosed };
+
+// What ended an idle wait (wait_nonempty_for): work arrived, the timeout
+// lapsed, or the queue is closed AND drained.  kClosed is final — no push
+// succeeds after close — so a dispatcher loop can exit on it directly
+// instead of re-checking closed()/size() under the lock.
+enum class WaitStatus { kNonEmpty, kTimeout, kClosed };
 
 class RequestQueue {
  public:
@@ -61,6 +73,12 @@ class RequestQueue {
   // Blocks while the queue is full.  Returns false (dropping the request)
   // once the queue is closed.
   bool push(Request r);
+
+  // Timed admission: waits up to `timeout` for space (0 = non-blocking
+  // probe; microseconds::max() = block like push).  Moves from `r` only on
+  // kAccepted — on kFull/kClosed the request (and its promise) stays valid
+  // with the caller.
+  PushResult push_for(Request& r, std::chrono::microseconds timeout);
 
   // Blocks while the queue is empty and open.  Returns the DRR-selected
   // request (see file comment), or nullopt once the queue is closed AND
@@ -94,11 +112,20 @@ class RequestQueue {
   std::vector<Request> drain_all();
 
   // Blocks up to `timeout` for the queue to become non-empty (or closed);
-  // returns true when at least one request is queued on return.  The
+  // the tri-state result says which it was (spurious wakeups re-wait).  The
   // dispatchers' idle wait — pairs with try_pop so a retiring worker can
   // re-check its own liveness between sleeps instead of parking forever
-  // inside pop().
-  bool wait_nonempty_for(std::chrono::microseconds timeout);
+  // inside pop(), and kClosed (closed AND drained, final) lets the loop
+  // exit without a second closed()/size() round-trip.
+  WaitStatus wait_nonempty_for(std::chrono::microseconds timeout);
+
+  // Reaper sweep: removes and returns every queued request whose deadline
+  // is at or before `now` (tenant ring order, FIFO within a tenant).
+  // Expired requests are NOT charged to their tenants' deficits — they
+  // received no service.  Cost when no queued request carries a deadline:
+  // one relaxed atomic load (the earliest-deadline hint below), so
+  // deadline-free traffic pays nothing for the sweep.
+  std::vector<Request> remove_expired(Clock::time_point now);
 
   // Closing wakes every blocked producer (push fails) and consumer (pop
   // drains then returns nullopt).  Idempotent.
@@ -141,10 +168,19 @@ class RequestQueue {
   // deficit (DRR forgets non-backlogged flows, debts included).
   void retire_if_empty_locked(const std::string& tenant);
 
+  // Recomputes the earliest-deadline hint from the current backlog; caller
+  // holds the lock.
+  void refresh_deadline_hint_locked();
+
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::map<std::string, TenantQueue> tenants_;
+  // Earliest queued deadline in ns-since-epoch (int64 max = none): the
+  // reaper's lock-free fast path.  A monotone lower bound between sweeps —
+  // push tightens it, remove_expired recomputes it exactly.
+  std::atomic<std::int64_t> earliest_deadline_ns_{
+      std::numeric_limits<std::int64_t>::max()};
   std::vector<std::string> ring_;  // backlogged tenants, arrival order
   std::size_t ring_pos_ = 0;       // DRR position into ring_
   std::size_t total_ = 0;          // queued requests across all tenants

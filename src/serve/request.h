@@ -47,6 +47,7 @@ struct GemmResult {
   std::string backend;          // engine backend that served the fused run
   bool measured = false;        // cost measured cycle-accurately (vs closed form)
   bool audited = false;         // fused run replayed on the audit engine
+  bool degraded = false;        // served cost-only under the degrade policy
 };
 
 // Response to a submit_inference: the merged per-layer report (bit-identical
@@ -86,6 +87,26 @@ struct Request {
   std::uint64_t id = 0;
   std::string tenant;
   Clock::time_point enqueue_time;
+
+  // Optional wall-clock deadline (time_point::max() = none).  A request
+  // still queued when this passes is expired with ErrorCode::
+  // kDeadlineExceeded by the dispatcher's reaper sweep instead of being
+  // served; the executor double-checks at dispatch so a request never
+  // starts running after its budget is gone.
+  Clock::time_point deadline = Clock::time_point::max();
+  bool expired(Clock::time_point now) const { return deadline <= now; }
+
+  // Engine-fault retry budget (SubmitOptions::max_retries) and the
+  // attempts already burned.  A failing shard stamps avoid_shard before
+  // resubmitting, so the retry routes to a DIFFERENT shard even before the
+  // quarantine machinery pulls the bad one from the pool.
+  int max_retries = 0;
+  int attempts = 0;
+  int avoid_shard = -1;
+
+  // Admitted under the "degrade" overload policy: served at cost-only
+  // analytic fidelity (no output, no audit) while the pressure lasts.
+  bool degraded = false;
 
   // Deficit-round-robin cost of this request (serve/queue.h): the useful
   // work it asks the hardware for, in MACs.  Set at admission; always >= 1.

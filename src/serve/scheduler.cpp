@@ -30,6 +30,18 @@ Batch assemble_batch(Request head, RequestQueue& queue, int max_batch) {
   Batch batch;
   batch.kind = head.kind;
   batch.k = head.decided_k;
+  // Reaper sweep, piggybacked on the dispatch wakeup path: every batch
+  // assembly first clears the overdue backlog (a relaxed load when no
+  // queued request carries a deadline), so an expired request's wait for
+  // its DeadlineExceeded is bounded by the queue's dispatch cadence.  The
+  // head itself may have expired while queued — it then rides in
+  // batch.expired and the batch may carry no serveable request at all.
+  const Clock::time_point now = Clock::now();
+  batch.expired = queue.remove_expired(now);
+  if (head.expired(now)) {
+    batch.expired.push_back(std::move(head));
+    return batch;
+  }
   batch.requests.push_back(std::move(head));
   if (max_batch > 1) {
     // One sweep over the backlog, keyed by the head's (mode, backend) /

@@ -37,6 +37,12 @@ struct Batch {
   RequestKind kind = RequestKind::kGemm;
   int k = 1;  // mode of a GEMM batch (meaningless for inference slices)
   std::vector<Request> requests;
+  // Requests whose deadline passed while queued, collected by the reaper
+  // sweep during batch assembly.  They are NOT served: the executor fails
+  // each with ErrorCode::kDeadlineExceeded.  `requests` may be empty when
+  // the popped head itself had expired — the batch then carries only
+  // expiries for the worker to resolve.
+  std::vector<Request> expired;
 };
 
 // True when `r` can join a batch headed by `head` (see file comment).

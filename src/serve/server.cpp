@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <thread>
 #include <tuple>
 #include <utility>
 
@@ -16,6 +18,26 @@ double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+// Maps SubmitOptions::admission_timeout_ms onto the dispatcher's timed
+// submit: negative = wait forever (classic blocking admission).
+std::chrono::microseconds admission_timeout(double timeout_ms) {
+  if (timeout_ms < 0.0) return std::chrono::microseconds::max();
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(timeout_ms * 1000.0));
+}
+
+// The ErrorCode carried by an in-flight exception (kUnknown for anything
+// that is not an af::Error — e.g. a std::bad_alloc out of an engine).
+ErrorCode code_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return e.code();
+  } catch (...) {
+    return ErrorCode::kUnknown;
+  }
+}
+
 std::int64_t slice_macs(const nn::Model& model, std::size_t first,
                         std::size_t count) {
   std::int64_t macs = 0;
@@ -26,6 +48,72 @@ std::int64_t slice_macs(const nn::Model& model, std::size_t first,
 }
 
 }  // namespace
+
+OverloadPolicy parse_overload_policy(const std::string& name) {
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "degrade") return OverloadPolicy::kDegrade;
+  if (name == "reject") return OverloadPolicy::kReject;
+  AF_CHECK(false, "unknown overload policy \""
+                      << name
+                      << "\" (registered: \"block\", \"degrade\", \"reject\")");
+  return OverloadPolicy::kBlock;  // unreachable
+}
+
+std::vector<std::string> overload_policy_names() {
+  // Sorted, like the engine and dispatcher registries — the README's
+  // policy matrix must list exactly these rows (CI diffs the two).
+  return {"block", "degrade", "reject"};
+}
+
+std::string overload_policy_description(const std::string& name) {
+  switch (parse_overload_policy(name)) {
+    case OverloadPolicy::kBlock:
+      return "classic backpressure: submit blocks on the full queue; nothing "
+             "is refused, admitted latency unbounded under sustained overload";
+    case OverloadPolicy::kDegrade:
+      return "admit everything, but serve GEMMs cost-only on the shard "
+             "default engine (no output, fidelity overrides dropped) and "
+             "shed sampled audits while the overload window holds";
+    case OverloadPolicy::kReject:
+      return "fail fast: submit throws af::Error(kOverloaded) while the "
+             "overload window or instantaneous depth trip holds; admitted "
+             "requests keep bounded waits";
+  }
+  return {};  // unreachable
+}
+
+bool OverloadDetector::update(double depth_per_shard_now,
+                              double wait_p99_ms_now) {
+  const bool hot = depth_per_shard_now >= depth_per_shard ||
+                   wait_p99_ms_now >= wait_p99_ms;
+  // Exit only once BOTH signals sit below half their enter thresholds —
+  // the band between is the dead zone, so a load hovering at the trip
+  // point cannot flap admission decisions tick to tick.
+  const bool cool = depth_per_shard_now <= 0.5 * depth_per_shard &&
+                    wait_p99_ms_now <= 0.5 * wait_p99_ms;
+  if (!overloaded) {
+    if (hot) {
+      exit_streak = 0;
+      if (++enter_streak >= enter_patience) {
+        overloaded = true;
+        enter_streak = 0;
+      }
+    } else {
+      enter_streak = 0;
+    }
+  } else {
+    if (cool) {
+      enter_streak = 0;
+      if (++exit_streak >= exit_patience) {
+        overloaded = false;
+        exit_streak = 0;
+      }
+    } else {
+      exit_streak = 0;
+    }
+  }
+  return overloaded;
+}
 
 int AutoscalePolicy::decide(int live, double depth_per_shard,
                             double wait_p99_ms) {
@@ -83,6 +171,12 @@ struct Server::Shard {
   // Deterministic audit sampling: += audit_fraction per fused run; every
   // crossing of 1.0 replays that run on the audit engine.
   double audit_credit = 0.0;
+  // Consecutive engine faults with no clean batch in between (worker-thread
+  // private); reaching quarantine_after_faults trips the quarantine below.
+  int fault_streak = 0;
+  // Set by the worker on quarantine, cleared by a successful recovery
+  // probe; read by stats() via ShardSnapshot::quarantined.
+  std::atomic<bool> quarantined{false};
   ShardSnapshot stats;
   std::thread worker;
 
@@ -112,6 +206,30 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
            "autoscale_interval_ms must be positive");
   AF_CHECK(options_.grow_patience >= 1 && options_.shrink_patience >= 1,
            "autoscale patience must be at least one tick");
+  overload_policy_ = parse_overload_policy(options_.overload_policy);
+  AF_CHECK(options_.overload_depth_per_shard > 0.0,
+           "overload_depth_per_shard must be positive");
+  AF_CHECK(options_.overload_wait_p99_ms > 0.0,
+           "overload_wait_p99_ms must be positive");
+  AF_CHECK(options_.overload_enter_patience >= 1 &&
+               options_.overload_exit_patience >= 1,
+           "overload patience must be at least one tick");
+  AF_CHECK(options_.max_retries >= 0, "max_retries must be non-negative");
+  AF_CHECK(options_.retry_backoff_base_ms >= 0.0 &&
+               options_.retry_backoff_max_ms >= 0.0,
+           "retry backoff must be non-negative");
+  AF_CHECK(options_.quarantine_after_faults >= 0,
+           "quarantine_after_faults must be non-negative");
+  AF_CHECK(options_.quarantine_probe_interval_ms > 0.0,
+           "quarantine_probe_interval_ms must be positive");
+  detector_.depth_per_shard = options_.overload_depth_per_shard;
+  detector_.wait_p99_ms = options_.overload_wait_p99_ms;
+  detector_.enter_patience = options_.overload_enter_patience;
+  detector_.exit_patience = options_.overload_exit_patience;
+  // The control thread exists for either consumer of the pressure window:
+  // the autoscaler, or a non-"block" overload policy.
+  control_enabled_ =
+      autoscale_enabled_ || overload_policy_ != OverloadPolicy::kBlock;
   // The shards' engines run serially on their own; cross-tile parallelism
   // comes from the one shared pool below (never a pool per shard — that is
   // the threads² oversubscription this layer exists to avoid).
@@ -131,7 +249,8 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   // Scale-ups and per-request overrides acquire through it too.
   engine_builder_.config(shard_config_)
       .energy(options_.energy)
-      .shared_pool(sim_pool_.get());
+      .shared_pool(sim_pool_.get())
+      .chaos(options_.chaos);
   admission_engine_ =
       engine::EngineBuilder().config(shard_config_).energy(options_.energy)
           .build("analytic");
@@ -165,8 +284,8 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   for (int i = 0; i < options_.num_shards; ++i) {
     start_worker(*shards_[static_cast<std::size_t>(i)]);
   }
-  if (autoscale_enabled_) {
-    autoscaler_ = std::thread([this] { autoscale_loop(); });
+  if (control_enabled_) {
+    autoscaler_ = std::thread([this] { control_loop(); });
   }
 }
 
@@ -192,8 +311,15 @@ void Server::acquire_shard(Shard& shard) {
     shard.audit_engine = engine_builder_.build("cycle");
   }
   shard.runner = std::make_unique<nn::InferenceRunner>(shard.engine);
+  // A slot re-acquired after retiring while quarantined starts clean: fault
+  // history cleared, routing ban lifted (set_banned(false) is a no-op for
+  // dispatchers without per-shard routing).
+  shard.fault_streak = 0;
+  shard.quarantined.store(false);
+  dispatcher_->set_banned(shard.index, false);
   std::lock_guard<std::mutex> lock(shard_stats_mutex_);
   shard.stats.backend = shard.engine->name();
+  shard.stats.quarantined = false;
   shard.stats.current_k = 0;  // a (re)acquired array configures from scratch
 }
 
@@ -227,7 +353,7 @@ void Server::start_worker(Shard& shard) {
   shard.worker = std::thread([this, s] { shard_loop(*s); });
 }
 
-void Server::autoscale_loop() {
+void Server::control_loop() {
   std::unique_lock<std::mutex> lock(scale_mutex_);
   const auto interval = std::chrono::duration<double, std::milli>(
       options_.autoscale_interval_ms);
@@ -235,15 +361,29 @@ void Server::autoscale_loop() {
                              [this] { return shut_down_.load(); })) {
     const int live = live_shards_.load();
     const double depth = static_cast<double>(dispatcher_->depth());
+    // One drain per tick feeds BOTH consumers — drain() empties the
+    // window, so detector and autoscaler must share the sample.
     const LatencyWindow::Stats waits = wait_window_.drain();
-    const int want =
-        policy_.decide(live, depth / static_cast<double>(live), waits.p99_ms);
-    if (want > live) {
-      grow_to(want);
-    } else if (want < live) {
-      shrink_to(want);
+    const double depth_per_shard = depth / static_cast<double>(live);
+    if (overload_policy_ != OverloadPolicy::kBlock) {
+      overloaded_.store(detector_.update(depth_per_shard, waits.p99_ms));
+    }
+    if (autoscale_enabled_) {
+      const int want = policy_.decide(live, depth_per_shard, waits.p99_ms);
+      if (want > live) {
+        grow_to(want);
+      } else if (want < live) {
+        shrink_to(want);
+      }
     }
   }
+}
+
+bool Server::under_pressure() const {
+  if (overloaded_.load(std::memory_order_relaxed)) return true;
+  const int live = std::max(1, live_shards_.load());
+  return static_cast<double>(dispatcher_->approx_depth()) >=
+         options_.overload_depth_per_shard * static_cast<double>(live);
 }
 
 void Server::grow_to(int want) {
@@ -280,55 +420,127 @@ std::future<GemmResult> Server::submit_gemm(
     const std::string& tenant, gemm::Mat32 a,
     std::shared_ptr<const gemm::Mat32> b, int k, bool want_output,
     const std::string& backend) {
-  AF_CHECK(!shut_down_.load(), "submit_gemm on a shut-down server");
+  SubmitOptions submit;
+  submit.k = k;
+  submit.want_output = want_output;
+  submit.backend = backend;
+  return submit_gemm(tenant, std::move(a), std::move(b), submit);
+}
+
+std::future<GemmResult> Server::submit_gemm(
+    const std::string& tenant, gemm::Mat32 a,
+    std::shared_ptr<const gemm::Mat32> b, const SubmitOptions& submit) {
+  if (shut_down_.load()) {
+    throw Error("submit_gemm on a shut-down server", ErrorCode::kShutdown);
+  }
   AF_CHECK(b != nullptr, "weight matrix required");
   AF_CHECK(a.rows() > 0, "activation matrix must be non-empty");
   AF_CHECK(a.cols() == b->rows(), "GEMM inner-dimension mismatch: "
                                       << a.cols() << " vs " << b->rows());
+  AF_CHECK(submit.deadline_ms >= 0.0, "deadline_ms must be non-negative");
   // is_registered is allocation-free and the message (with its registry
   // join) is only built on failure — this runs on every overridden submit.
-  if (!backend.empty()) {
-    AF_CHECK(engine::is_registered(backend),
+  if (!submit.backend.empty()) {
+    AF_CHECK(engine::is_registered(submit.backend),
              "unknown per-request backend \""
-                 << backend << "\" (registered: "
+                 << submit.backend << "\" (registered: "
                  << engine::registered_backend_list()
                  << ")");
   }
+  // Overload policy fires before any admission work: a rejected request
+  // costs the client one atomic read and one depth estimate.
+  if (overload_policy_ == OverloadPolicy::kReject && under_pressure()) {
+    rejected_.fetch_add(1);
+    tenants_.record_error(tenant, ErrorCode::kOverloaded);
+    throw Error("overloaded: admission rejected under the \"reject\" policy",
+                ErrorCode::kOverloaded);
+  }
+  const bool degrade_now =
+      overload_policy_ == OverloadPolicy::kDegrade && under_pressure();
   Request r;
   r.kind = RequestKind::kGemm;
   r.id = next_id_.fetch_add(1);
   r.tenant = tenant;
-  r.backend = backend;
+  r.backend = submit.backend;
   r.shape = gemm::GemmShape{b->cols(), b->rows(), a.rows()};
   r.drr_cost =
       std::max<std::int64_t>(1, r.shape.t * r.shape.n * r.shape.m);
-  if (k != 0) {
-    AF_CHECK(shard_config_.supports(k), "mode k=" << k << " not supported");
-    r.decided_k = k;
+  if (submit.k != 0) {
+    AF_CHECK(shard_config_.supports(submit.k),
+             "mode k=" << submit.k << " not supported");
+    r.decided_k = submit.k;
   } else {
     r.decided_k = admission_engine_->optimizer().best_mode(r.shape).k;
   }
   r.a = std::move(a);
   r.b = std::move(b);
-  r.want_output = want_output;
+  r.want_output = submit.want_output;
+  if (degrade_now) {
+    // Pressure traffic is admitted but served cost-only on the shard
+    // default engine: no output, no fidelity override, audits shed.  The
+    // result still carries exact cycles/time/energy (and degraded = true).
+    r.degraded = true;
+    r.want_output = false;
+    r.backend.clear();
+    degraded_.fetch_add(1);
+    tenants_.record_degraded(tenant);
+  }
+  r.max_retries =
+      submit.max_retries >= 0 ? submit.max_retries : options_.max_retries;
   r.enqueue_time = Clock::now();
+  if (submit.deadline_ms > 0.0) {
+    r.deadline = r.enqueue_time +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         submit.deadline_ms));
+  }
   std::future<GemmResult> future = r.gemm_promise.get_future();
   // Counted before the push: a fast worker may complete the request before
   // this thread runs another instruction, and stats() must never show
   // completed > submitted.
   submitted_.fetch_add(1);
-  if (!dispatcher_->submit(std::move(r))) {
-    submitted_.fetch_sub(1);
-    AF_CHECK(false, "server shut down while enqueueing");
+  // submit_for moves from r only on acceptance, so the promise stays with
+  // this frame (and dies with it, never double-resolved) on rejection.
+  switch (dispatcher_->submit_for(
+      r, admission_timeout(submit.admission_timeout_ms))) {
+    case SubmitResult::kAccepted:
+      return future;
+    case SubmitResult::kWouldBlock:
+      submitted_.fetch_sub(1);
+      rejected_.fetch_add(1);
+      tenants_.record_error(tenant, ErrorCode::kOverloaded);
+      throw Error("overloaded: queue still full after admission timeout",
+                  ErrorCode::kOverloaded);
+    case SubmitResult::kClosed:
+      break;
   }
-  return future;
+  submitted_.fetch_sub(1);
+  throw Error("server shut down while enqueueing", ErrorCode::kShutdown);
 }
 
 std::future<InferenceResult> Server::submit_inference(
     const std::string& tenant, std::shared_ptr<const nn::Model> model) {
-  AF_CHECK(!shut_down_.load(), "submit_inference on a shut-down server");
+  return submit_inference(tenant, std::move(model), SubmitOptions{});
+}
+
+std::future<InferenceResult> Server::submit_inference(
+    const std::string& tenant, std::shared_ptr<const nn::Model> model,
+    const SubmitOptions& submit) {
+  if (shut_down_.load()) {
+    throw Error("submit_inference on a shut-down server",
+                ErrorCode::kShutdown);
+  }
   AF_CHECK(model != nullptr && !model->layers.empty(),
            "inference needs a non-empty model");
+  AF_CHECK(submit.deadline_ms >= 0.0, "deadline_ms must be non-negative");
+  // Inference is never degraded (its fidelity IS the product); under
+  // pressure the "reject" policy sheds it like any other admission.
+  if (overload_policy_ == OverloadPolicy::kReject && under_pressure()) {
+    rejected_.fetch_add(1);
+    tenants_.record_error(tenant, ErrorCode::kOverloaded);
+    throw Error("overloaded: admission rejected under the \"reject\" policy",
+                ErrorCode::kOverloaded);
+  }
   const std::size_t layers = model->layers.size();
   const std::size_t slices = std::min<std::size_t>(
       static_cast<std::size_t>(std::max(1, live_shards_.load())), layers);
@@ -360,50 +572,96 @@ std::future<InferenceResult> Server::submit_inference(
     r.slice_index = i;
     r.join = join;
     r.drr_cost = std::max<std::int64_t>(1, slice_macs(*model, begin, count));
+    r.max_retries =
+        submit.max_retries >= 0 ? submit.max_retries : options_.max_retries;
+    if (submit.deadline_ms > 0.0) {
+      r.deadline = join->enqueue_time +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           submit.deadline_ms));
+    }
     begin += count;
-    if (!dispatcher_->submit(std::move(r))) {
-      // Shutdown raced the enqueue: slices pushed so far are already in
-      // workers' hands.  Marking the join failed turns them into no-ops
-      // (execute_infer_batch skips failed joins), so a rejected submission
-      // never half-completes or half-bills.
+    const SubmitResult pushed = dispatcher_->submit_for(
+        r, admission_timeout(submit.admission_timeout_ms));
+    if (pushed != SubmitResult::kAccepted) {
+      // Shutdown (or an admission timeout) raced the fan-out: slices pushed
+      // so far are already in workers' hands.  Marking the join failed
+      // turns them into no-ops (execute_infer_batch skips failed joins), so
+      // a rejected submission never half-completes or half-bills.
       {
         std::lock_guard<std::mutex> lock(join->mutex);
         join->failed = true;
       }
       submitted_.fetch_sub(1);
-      AF_CHECK(false, "server shut down while enqueueing");
+      if (pushed == SubmitResult::kWouldBlock) {
+        rejected_.fetch_add(1);
+        tenants_.record_error(tenant, ErrorCode::kOverloaded);
+        throw Error("overloaded: queue still full after admission timeout",
+                    ErrorCode::kOverloaded);
+      }
+      throw Error("server shut down while enqueueing", ErrorCode::kShutdown);
     }
   }
   return future;
 }
 
 void Server::shard_loop(Shard& shard) {
-  while (auto batch = dispatcher_->next_batch(shard.index)) {
+  while (true) {
+    // A quarantined shard stops serving and probes for recovery instead.
+    // It still exits promptly when retired by the autoscaler (so
+    // shrink_to's join cannot deadlock on a sick shard), and falls
+    // through to next_batch at shutdown so the final drain resolves every
+    // remaining promise — with a typed error if the engine is still sick.
+    while (shard.quarantined.load(std::memory_order_acquire) &&
+           !shut_down_.load()) {
+      if (shard.index >= live_shards_.load()) return;
+      if (probe_quarantined(shard)) break;
+    }
+    auto batch = dispatcher_->next_batch(shard.index);
+    if (!batch) return;
+    resolve_expired(*batch);
+    if (batch->requests.empty()) continue;  // everything in it was overdue
     try {
       if (batch->kind == RequestKind::kGemm) {
         execute_gemm_batch(shard, *batch);
       } else {
         execute_infer_batch(shard, *batch);
       }
+      shard.fault_streak = 0;  // a clean batch ends any fault run
     } catch (...) {
       // A failing batch must not take the whole server down (a worker
-      // thread's escaped exception is std::terminate): deliver the error
-      // to the affected clients and keep serving everyone else.
-      fail_batch(*batch, std::current_exception());
+      // thread's escaped exception is std::terminate): contain it —
+      // retry what the budget allows, fail the rest typed, quarantine
+      // the shard when faults keep coming.
+      handle_batch_failure(shard, *batch, std::current_exception());
     }
   }
 }
 
 void Server::fail_batch(Batch& batch, std::exception_ptr error) {
-  for (Request& r : batch.requests) {
+  fail_requests(batch.requests, error, code_of(error));
+}
+
+void Server::fail_requests(std::vector<Request>& requests,
+                           std::exception_ptr error, ErrorCode code) {
+  for (Request& r : requests) {
     if (r.kind == RequestKind::kGemm) {
-      // Counted before the promise resolves so a woken client never sees
-      // completed lagging; rolled back if the promise was already settled.
+      // All accounting lands before the promise resolves, so a client that
+      // wakes on the error and immediately calls stats() sees the books
+      // already balanced (the same ordering execute_gemm_batch keeps).
+      tenants_.record_error(r.tenant, code);
       completed_.fetch_add(1);
       try {
         r.gemm_promise.set_exception(error);
       } catch (const std::future_error&) {
-        completed_.fetch_sub(1);  // fulfilled before the failure
+        // A promise that already held a value or error means this request
+        // was served (or failed) twice — the exact lifecycle bug this
+        // layer exists to rule out.  Counted so release builds surface it
+        // in stats(); fatal in debug builds.
+        completed_.fetch_sub(1);
+        promise_double_sets_.fetch_add(1);
+        AF_ASSERT(false, "GEMM promise settled twice (request " << r.id
+                                                                << ")");
       }
     } else if (r.join != nullptr) {
       {
@@ -411,13 +669,176 @@ void Server::fail_batch(Batch& batch, std::exception_ptr error) {
         if (r.join->failed) continue;  // another slice already reported
         r.join->failed = true;
       }
+      tenants_.record_error(r.tenant, code);
       completed_.fetch_add(1);
       try {
         r.join->promise.set_exception(error);
       } catch (const std::future_error&) {
         completed_.fetch_sub(1);
+        promise_double_sets_.fetch_add(1);
+        AF_ASSERT(false, "inference promise settled twice (request "
+                             << r.id << ")");
       }
     }
+  }
+}
+
+void Server::resolve_expired(Batch& batch) {
+  // Two reaping sites meet here: requests the dispatcher swept while they
+  // sat queued (batch.expired), and riders that went overdue between batch
+  // assembly and this shard picking the batch up.
+  std::vector<Request> overdue = std::move(batch.expired);
+  batch.expired.clear();
+  const Clock::time_point now = Clock::now();
+  for (auto it = batch.requests.begin(); it != batch.requests.end();) {
+    if (it->expired(now)) {
+      overdue.push_back(std::move(*it));
+      it = batch.requests.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (overdue.empty()) return;
+  expired_.fetch_add(static_cast<std::int64_t>(overdue.size()));
+  fail_requests(
+      overdue,
+      std::make_exception_ptr(Error("deadline exceeded before execution",
+                                    ErrorCode::kDeadlineExceeded)),
+      ErrorCode::kDeadlineExceeded);
+}
+
+void Server::handle_batch_failure(Shard& shard, Batch& batch,
+                                  std::exception_ptr error) {
+  const ErrorCode code = code_of(error);
+  // Anything the engine threw mid-run counts as an engine fault for
+  // quarantine purposes — kInvalidArgument out of validation does not (a
+  // bad request must not poison its shard).
+  const bool engine_fault = code == ErrorCode::kEngineFault ||
+                            code == ErrorCode::kUnknown;
+  if (engine_fault) {
+    engine_faults_.fetch_add(1);
+    shard.fault_streak += 1;
+    {
+      std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+      shard.stats.engine_faults += 1;
+    }
+    if (options_.quarantine_after_faults > 0 &&
+        shard.fault_streak >= options_.quarantine_after_faults &&
+        !shard.quarantined.load(std::memory_order_relaxed)) {
+      quarantines_.fetch_add(1);
+      shard.quarantined.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+        shard.stats.quarantined = true;
+      }
+      // Ban lifts this shard out of submit routing and drains its queued
+      // work to healthy shards; in-flight retries below route around it
+      // via avoid_shard.
+      dispatcher_->set_banned(shard.index, true);
+    }
+  } else {
+    shard.fault_streak = 0;
+  }
+
+  // Split the batch: engine-faulted requests with retry budget left (and
+  // an unexpired deadline) are resubmitted to a different shard; the rest
+  // fail right here with the typed error.
+  const Clock::time_point now = Clock::now();
+  std::vector<Request> terminal;
+  std::vector<Request> retry;
+  for (Request& r : batch.requests) {
+    if (engine_fault && r.attempts < r.max_retries && !r.expired(now)) {
+      retry.push_back(std::move(r));
+    } else {
+      terminal.push_back(std::move(r));
+    }
+  }
+  batch.requests.clear();
+  if (!terminal.empty()) fail_requests(terminal, error, code);
+  if (retry.empty()) return;
+
+  // Capped exponential backoff, slept once for the whole batch (every
+  // member faulted together): base * 2^attempts, attempts being the most
+  // travelled member's count BEFORE this bump.
+  int worst_attempts = 0;
+  for (Request& r : retry) {
+    worst_attempts = std::max(worst_attempts, r.attempts);
+    r.attempts += 1;
+    r.avoid_shard = shard.index;
+    retries_.fetch_add(1);
+    tenants_.record_retry(r.tenant);
+  }
+  if (options_.retry_backoff_base_ms > 0.0) {
+    const double backoff_ms =
+        std::min(options_.retry_backoff_max_ms,
+                 options_.retry_backoff_base_ms *
+                     std::ldexp(1.0, worst_attempts));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+  std::vector<Request> orphaned;
+  for (Request& r : retry) {
+    // Blocking resubmit (the request was already admitted once — the
+    // backpressure debate is over); fails only when shutdown closed the
+    // dispatcher, and those orphans get a typed kShutdown below.
+    if (dispatcher_->submit_for(r, std::chrono::microseconds::max()) !=
+        SubmitResult::kAccepted) {
+      orphaned.push_back(std::move(r));
+    }
+  }
+  if (!orphaned.empty()) {
+    fail_requests(orphaned,
+                  std::make_exception_ptr(Error(
+                      "server shut down while retrying a faulted request",
+                      ErrorCode::kShutdown)),
+                  ErrorCode::kShutdown);
+  }
+}
+
+bool Server::probe_quarantined(Shard& shard) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      options_.quarantine_probe_interval_ms));
+  if (shut_down_.load() || shard.index >= live_shards_.load()) return false;
+  try {
+    // A fresh engine, not the sick one: rebuilding resets per-engine state
+    // (a chaos engine restarts its fault schedule), which is exactly what
+    // "did the fault condition clear?" means in this simulated setting.
+    std::shared_ptr<engine::Engine> fresh =
+        engine_builder_.build(options_.backend);
+    gemm::Mat32 a(1, shard_config_.rows);
+    gemm::Mat32 b(shard_config_.rows, 1);
+    for (std::int64_t i = 0; i < shard_config_.rows; ++i) {
+      a.at(0, i) = 1;
+      b.at(i, 0) = 1;
+    }
+    engine::GemmRequest probe;
+    probe.a = &a;
+    probe.b = &b;
+    probe.k = admission_engine_->optimizer()
+                  .best_mode(gemm::GemmShape{1, shard_config_.rows, 1})
+                  .k;
+    probe.want_output = false;
+    fresh->run_gemm(probe);
+    // Healthy: swap the fresh engine in, drop caches wired to the sick
+    // one, rejoin the routing pool.
+    shard.engine = std::move(fresh);
+    if (options_.audit_fraction > 0.0 && !shard.engine->measures()) {
+      shard.audit_engine = engine_builder_.build("cycle");
+    }
+    shard.runner = std::make_unique<nn::InferenceRunner>(shard.engine);
+    shard.override_engines.clear();
+    shard.fault_streak = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+      shard.stats.quarantined = false;
+      shard.stats.backend = shard.engine->name();
+      shard.stats.current_k = 0;  // the new array configures from scratch
+    }
+    shard.quarantined.store(false, std::memory_order_release);
+    dispatcher_->set_banned(shard.index, false);
+    return true;
+  } catch (...) {
+    return false;  // still sick; the worker loop probes again next interval
   }
 }
 
@@ -491,9 +912,11 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     const Request& head = batch.requests[members.front()];
     std::int64_t total_t = 0;
     bool want_output = false;
+    bool degraded_run = false;
     for (const std::size_t i : members) {
       total_t += batch.requests[i].shape.t;
       want_output = want_output || batch.requests[i].want_output;
+      degraded_run = degraded_run || batch.requests[i].degraded;
     }
     gemm::Mat32 stacked(total_t, head.shape.n);
     std::int64_t row = 0;
@@ -520,7 +943,10 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     // for bit, cycles / counters / energy number for number.  A measuring
     // override IS ground truth, so it audits nothing.
     bool audited = false;
-    if (shard.audit_engine != nullptr && !engine->measures()) {
+    // A degraded fused run sheds its audit: under pressure the replay's
+    // cycle-accurate simulation is exactly the capacity being protected.
+    if (shard.audit_engine != nullptr && !engine->measures() &&
+        !degraded_run) {
       shard.audit_credit += options_.audit_fraction;
       if (shard.audit_credit >= 1.0) {
         shard.audit_credit -= 1.0;
@@ -570,6 +996,7 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
       result.backend = engine->name();
       result.measured = run.measured;
       result.audited = audited;
+      result.degraded = r.degraded;
     }
   }
 
@@ -591,10 +1018,11 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
     Request& r = batch.requests[i];
     GemmResult& result = results[i];
     result.latency_ms = ms_between(r.enqueue_time, Clock::now());
-    // The wait window's only consumer is the autoscaler; with a fixed pool
-    // nothing drains it, so sampling would grow it without bound (and cost
-    // a shared mutex per request for nothing).
-    if (autoscale_enabled_) wait_window_.sample(result.queue_ms);
+    // The wait window's consumers are the control thread's autoscaler and
+    // overload detector; when neither runs nothing drains it, so sampling
+    // would grow it without bound (and cost a shared mutex per request
+    // for nothing).
+    if (control_enabled_) wait_window_.sample(result.queue_ms);
     // Tenant books use the same row-share as energy, so summing tenants'
     // sim_time reproduces the shards' busy time; the full fused-run time
     // stays visible in GemmResult::time_ps (the request's service time).
@@ -642,7 +1070,7 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
 
   for (Request& r : batch.requests) {
     const double queue_ms = ms_between(r.enqueue_time, dispatch_time);
-    if (autoscale_enabled_) wait_window_.sample(queue_ms);  // see GEMM path
+    if (control_enabled_) wait_window_.sample(queue_ms);  // see GEMM path
     std::shared_ptr<InferJoin> join = r.join;
     nn::ModelReport assembled;
     double energy_pj = 0.0;
@@ -697,6 +1125,15 @@ ServerStats Server::stats() const {
   out.steals = dispatcher_->steals();
   out.scale_ups = scale_ups_.load();
   out.scale_downs = scale_downs_.load();
+  out.overload_policy = options_.overload_policy;
+  out.overloaded = overloaded_.load();
+  out.rejected = rejected_.load();
+  out.expired = expired_.load();
+  out.engine_faults = engine_faults_.load();
+  out.retries = retries_.load();
+  out.quarantines = quarantines_.load();
+  out.degraded = degraded_.load();
+  out.promise_double_sets = promise_double_sets_.load();
   {
     std::lock_guard<std::mutex> lock(shard_stats_mutex_);
     // live_shards_ is read under the same lock publish_live_set writes it

@@ -78,6 +78,7 @@
 #include "serve/request.h"
 #include "serve/scheduler.h"
 #include "serve/tenant_stats.h"
+#include "util/status.h"
 
 namespace af::util {
 class ThreadPool;
@@ -140,6 +141,77 @@ struct ServerOptions {
   double shrink_wait_p99_ms = 1.0;
   int grow_patience = 2;
   int shrink_patience = 8;
+
+  // --- robustness: overload policy, retry, quarantine (PR 6) ---------------
+  // What admission does when the server is overloaded (queue depth per live
+  // shard >= overload_depth_per_shard, or the windowed p99 enqueue->
+  // dispatch wait >= overload_wait_p99_ms with hysteresis — see
+  // OverloadDetector).  Registry names, drift-checked against the README:
+  //   "block"    today's behaviour (the oracle): submit blocks on the full
+  //              queue until space frees — latency unbounded under
+  //              sustained overload.
+  //   "reject"   fail fast: submit throws af::Error(kOverloaded) while the
+  //              pressure lasts; admitted requests keep bounded waits.
+  //   "degrade"  admit everything, but serve GEMMs cost-only on the shard
+  //              default engine (no output, per-request fidelity override
+  //              dropped) and shed the sampled audit fraction while the
+  //              pressure lasts; full fidelity resumes when the window
+  //              clears.
+  std::string overload_policy = "block";
+  double overload_depth_per_shard = 16.0;
+  double overload_wait_p99_ms = 50.0;
+  // Hysteresis patience (control ticks) for the windowed-p99 signal.
+  int overload_enter_patience = 1;
+  int overload_exit_patience = 2;
+  // Default engine-fault retry budget per request (SubmitOptions can
+  // override): a request whose shard engine threw kEngineFault is
+  // resubmitted to a different shard up to this many times with capped
+  // exponential backoff.  0 = fail on first fault (pre-PR-6 behaviour).
+  int max_retries = 0;
+  double retry_backoff_base_ms = 0.1;
+  double retry_backoff_max_ms = 5.0;
+  // Consecutive engine faults on one shard before it is quarantined —
+  // banned from submit routing, its deque drained to healthy shards, its
+  // worker probing for recovery instead of serving (0 = never quarantine).
+  int quarantine_after_faults = 0;
+  // Recovery probe cadence of a quarantined shard: each probe rebuilds the
+  // shard's engine and runs a tiny GEMM; success rejoins the pool.
+  double quarantine_probe_interval_ms = 5.0;
+  // Fault-injection knobs forwarded to every shard engine the server
+  // builds — only meaningful with backend = "chaos" (the defaults inject
+  // nothing).  A quarantine recovery probe rebuilds the engine, which
+  // restarts the chaos schedule from run 1 — how recovery succeeds against
+  // a deterministic throw_every_n engine.
+  engine::ChaosOptions chaos;
+};
+
+// Overload-policy registry (mirrors the engine/dispatcher name contracts:
+// the README's policy matrix must list exactly these names — CI diffs the
+// two).
+enum class OverloadPolicy { kBlock, kReject, kDegrade };
+OverloadPolicy parse_overload_policy(const std::string& name);
+std::vector<std::string> overload_policy_names();
+// One-line human description per policy (the README matrix source).
+std::string overload_policy_description(const std::string& name);
+
+// Pure hysteresis state machine of the windowed overload signal, separated
+// from the server so enter/exit behaviour is unit-testable on synthetic
+// pressure traces (mirrors AutoscalePolicy).  One update() per control
+// tick; the EXIT thresholds are half the enter thresholds, so the band
+// between them is the dead zone that stops a borderline load from
+// flapping admission decisions.
+struct OverloadDetector {
+  double depth_per_shard = 16.0;
+  double wait_p99_ms = 50.0;
+  int enter_patience = 1;
+  int exit_patience = 2;
+
+  // Feeds one tick's pressure sample; returns the new overloaded state.
+  bool update(double depth_per_shard_now, double wait_p99_ms_now);
+
+  bool overloaded = false;
+  int enter_streak = 0;
+  int exit_streak = 0;
 };
 
 // Pure hysteresis policy of the queue-pressure autoscaler, separated from
@@ -167,14 +239,36 @@ struct AutoscalePolicy {
   int shrink_streak = 0;
 };
 
+// Per-submission knobs for the robustness-aware entry points.  The legacy
+// positional overloads delegate here with everything defaulted, so the two
+// surfaces cannot drift.
+struct SubmitOptions {
+  int k = 0;                 // pipeline mode (0 = optimizer's choice)
+  bool want_output = true;   // false = cost-only traffic
+  std::string backend;       // per-request engine override ("" = shard's)
+  // Wall-clock budget from submission; 0 = none.  An overdue request is
+  // failed with af::Error(kDeadlineExceeded) — reaped while queued by the
+  // dispatcher sweep, or at the shard right before execution.
+  double deadline_ms = 0.0;
+  // How long submit may block on a full queue before failing with
+  // kOverloaded: < 0 = wait forever (the classic blocking submit),
+  // 0 = never block, > 0 = bounded wait.  Independent of the overload
+  // POLICY check, which fires before the queue is even tried.
+  double admission_timeout_ms = -1.0;
+  // Engine-fault retry budget for this request; -1 = ServerOptions default.
+  int max_retries = -1;
+};
+
 struct ShardSnapshot {
   int shard = 0;
   bool live = false;               // currently in the serving set
+  bool quarantined = false;        // banned from routing, probing recovery
   std::string backend;             // engine that served this shard's work
   std::int64_t batches = 0;        // dispatches executed
   std::int64_t requests = 0;       // requests served (incl. coalesced)
   std::int64_t fused_runs = 0;     // hardware GEMM runs after fusion
   std::int64_t mode_switches = 0;  // reconfigurations between modes
+  std::int64_t engine_faults = 0;  // engine throws observed on this shard
   std::int64_t audit_runs = 0;     // fused runs replayed cycle-accurately
   std::int64_t audit_mismatches = 0;  // replays disagreeing with the serve run
   double busy_time_ps = 0.0;       // simulated execution time
@@ -193,6 +287,17 @@ struct ServerStats {
   std::int64_t steals = 0;     // batches obtained by work stealing
   std::int64_t scale_ups = 0;  // shards added by the autoscaler
   std::int64_t scale_downs = 0;  // shards retired by the autoscaler
+  // --- robustness accounting (every failed request lands in exactly one
+  // bucket; submitted == completed always balances, failures included) ----
+  std::string overload_policy;   // policy registry key
+  bool overloaded = false;       // windowed overload signal, now
+  std::int64_t rejected = 0;     // admissions refused (kOverloaded)
+  std::int64_t expired = 0;      // deadlines missed (kDeadlineExceeded)
+  std::int64_t engine_faults = 0;  // engine throws observed across shards
+  std::int64_t retries = 0;      // fault resubmissions to another shard
+  std::int64_t quarantines = 0;  // shards pulled for consecutive faults
+  std::int64_t degraded = 0;     // requests served cost-only under pressure
+  std::int64_t promise_double_sets = 0;  // broken-promise bugs caught (== 0)
   // One snapshot per SLOT (max_shards entries): retired slots keep their
   // history with live == false.
   std::vector<ShardSnapshot> shards;
@@ -230,6 +335,16 @@ class Server {
                                       int k = 0, bool want_output = true,
                                       const std::string& backend = "");
 
+  // Robustness-aware variant: deadline, bounded admission wait, retry
+  // budget (see SubmitOptions).  Throws af::Error(kOverloaded) when the
+  // "reject" policy sheds the request or the admission timeout elapses on
+  // a full queue; af::Error(kShutdown) after shutdown.  The legacy
+  // overload above delegates here.
+  std::future<GemmResult> submit_gemm(const std::string& tenant,
+                                      gemm::Mat32 a,
+                                      std::shared_ptr<const gemm::Mat32> b,
+                                      const SubmitOptions& submit);
+
   // Whole-model inference, sharded: the model's layers are split into up to
   // live_shards contiguous slices evaluated on different shards; the merged
   // report is bit-identical to InferenceRunner::run on one array with this
@@ -237,6 +352,18 @@ class Server {
   // (by shared_ptr identity).
   std::future<InferenceResult> submit_inference(
       const std::string& tenant, std::shared_ptr<const nn::Model> model);
+
+  // Robustness-aware variant (deadline / admission timeout / retries apply
+  // per layer-slice; one failed slice fails the whole join with that
+  // slice's error).  SubmitOptions::k, want_output and backend are ignored
+  // for inference.
+  std::future<InferenceResult> submit_inference(
+      const std::string& tenant, std::shared_ptr<const nn::Model> model,
+      const SubmitOptions& submit);
+
+  // The windowed overload signal as of the last control tick (always false
+  // under the "block" policy with autoscaling off — no control thread).
+  bool overloaded() const { return overloaded_.load(); }
 
   // Currently live shards (autoscaling moves this between min/max bounds).
   int num_shards() const { return live_shards_.load(); }
@@ -261,6 +388,29 @@ class Server {
   // set_exception; inference joins are marked failed so sibling slices
   // stand down) — a bad request fails its own futures, not the server.
   void fail_batch(Batch& batch, std::exception_ptr error);
+  // Core failure delivery: fails each request's promise with `error`,
+  // counts completions and per-tenant errors under `code`.  A promise that
+  // was already satisfied is a double-set bug: counted in
+  // ServerStats::promise_double_sets and fatal in debug builds.
+  void fail_requests(std::vector<Request>& requests, std::exception_ptr error,
+                     ErrorCode code);
+  // Shard-side reaper half: fails batch.expired (reaped while queued) and
+  // any rider that went overdue between assembly and now.
+  void resolve_expired(Batch& batch);
+  // Engine-throw containment: classifies `error`, retries retry-permitting
+  // requests on a different shard with capped exponential backoff, fails
+  // the rest, and quarantines the shard after quarantine_after_faults
+  // consecutive faults.
+  void handle_batch_failure(Shard& shard, Batch& batch,
+                            std::exception_ptr error);
+  // Quarantined-shard recovery probe: rebuilds the shard's engine and runs
+  // a tiny GEMM; on success the shard rejoins the routing pool.  Returns
+  // true when the shard is healthy again.
+  bool probe_quarantined(Shard& shard);
+  // The submit-path overload trip: the detector's windowed verdict OR an
+  // instantaneous queue-depth check (so a burst trips admission before the
+  // next control tick can see it).
+  bool under_pressure() const;
   // Mode bookkeeping before a GEMM batch runs in mode k: counts the switch
   // and bills the drain (time at the new mode's clock, leakage energy) to
   // the shard when it was configured differently.
@@ -276,7 +426,10 @@ class Server {
   // override built lazily (and cached) on the shard.
   engine::Engine* engine_for(Shard& shard, const Batch& batch);
 
-  void autoscale_loop();
+  // Control thread: one loop drains the wait window each tick and feeds
+  // BOTH the autoscaler policy and the overload detector.  Runs whenever
+  // autoscaling is enabled OR the overload policy is not "block".
+  void control_loop();
   void grow_to(int want);
   void shrink_to(int want);
   // Updates every ShardSnapshot::live flag AND live_shards_ under the
@@ -304,15 +457,27 @@ class Server {
 
   std::atomic<int> live_shards_{0};
   AutoscalePolicy policy_;
-  std::thread autoscaler_;
+  std::thread autoscaler_;             // the control thread (see control_loop)
+  bool control_enabled_ = false;       // autoscale or non-block policy
   std::mutex scale_mutex_;             // serializes scale transitions
-  std::condition_variable scale_cv_;   // wakes the autoscaler for shutdown
+  std::condition_variable scale_cv_;   // wakes the control thread for shutdown
   std::atomic<std::int64_t> scale_ups_{0};
   std::atomic<std::int64_t> scale_downs_{0};
+
+  OverloadPolicy overload_policy_ = OverloadPolicy::kBlock;
+  OverloadDetector detector_;          // control-thread private state
+  std::atomic<bool> overloaded_{false};  // detector's published verdict
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::int64_t> submitted_{0};
   std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> expired_{0};
+  std::atomic<std::int64_t> engine_faults_{0};
+  std::atomic<std::int64_t> retries_{0};
+  std::atomic<std::int64_t> quarantines_{0};
+  std::atomic<std::int64_t> degraded_{0};
+  std::atomic<std::int64_t> promise_double_sets_{0};
   mutable std::mutex shard_stats_mutex_;  // guards every Shard::stats
   std::mutex shutdown_mutex_;
   std::atomic<bool> shut_down_{false};

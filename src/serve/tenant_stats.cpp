@@ -14,16 +14,21 @@ TenantAccountant::TenantAccountant(double latency_hist_max_ms,
   AF_CHECK(latency_buckets > 0, "latency histogram needs buckets");
 }
 
+TenantAccountant::Account& TenantAccountant::account_locked(
+    const std::string& tenant) {
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    it = accounts_.emplace(tenant, Account(hist_max_ms_, buckets_)).first;
+  }
+  return it->second;
+}
+
 void TenantAccountant::record(const std::string& tenant, bool is_inference,
                               double latency_ms, double queue_ms,
                               double energy_pj, double sim_time_ps,
                               std::int64_t macs) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = accounts_.find(tenant);
-  if (it == accounts_.end()) {
-    it = accounts_.emplace(tenant, Account(hist_max_ms_, buckets_)).first;
-  }
-  Account& acc = it->second;
+  Account& acc = account_locked(tenant);
   (is_inference ? acc.infer_requests : acc.gemm_requests) += 1;
   acc.macs += macs;
   acc.energy_pj += energy_pj;
@@ -31,6 +36,33 @@ void TenantAccountant::record(const std::string& tenant, bool is_inference,
   acc.latency_ms.add(latency_ms);
   acc.queue_ms.add(queue_ms);
   acc.latency_hist.add(latency_ms);
+}
+
+void TenantAccountant::record_error(const std::string& tenant,
+                                    ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Account& acc = account_locked(tenant);
+  switch (code) {
+    case ErrorCode::kOverloaded:
+      acc.rejected += 1;
+      break;
+    case ErrorCode::kDeadlineExceeded:
+      acc.expired += 1;
+      break;
+    default:
+      acc.faults += 1;
+      break;
+  }
+}
+
+void TenantAccountant::record_retry(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  account_locked(tenant).retries += 1;
+}
+
+void TenantAccountant::record_degraded(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  account_locked(tenant).degraded += 1;
 }
 
 std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
@@ -47,6 +79,11 @@ std::vector<TenantSnapshot> TenantAccountant::snapshot() const {
     s.gemm_requests = acc.gemm_requests;
     s.infer_requests = acc.infer_requests;
     s.requests = acc.gemm_requests + acc.infer_requests;
+    s.rejected = acc.rejected;
+    s.expired = acc.expired;
+    s.faults = acc.faults;
+    s.retries = acc.retries;
+    s.degraded = acc.degraded;
     s.macs = acc.macs;
     s.energy_pj = acc.energy_pj;
     s.sim_time_ps = acc.sim_time_ps;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/stats.h"
+#include "util/status.h"
 
 namespace af::serve {
 
@@ -39,6 +40,15 @@ struct TenantSnapshot {
   double p99_latency_ms = 0.0;
   double mean_queue_ms = 0.0;       // wall-clock, enqueue -> dispatch
   double max_queue_ms = 0.0;
+  // Error/retry/shed accounting (PR 6): failures delivered to this tenant
+  // by ErrorCode class, plus resubmissions and degraded-fidelity serves.
+  // `requests` above counts only successful completions — a request that
+  // was rejected, expired or faulted lands in exactly one row below.
+  std::int64_t rejected = 0;   // kOverloaded at admission (reject policy)
+  std::int64_t expired = 0;    // kDeadlineExceeded before serving
+  std::int64_t faults = 0;     // kEngineFault (and other execution errors)
+  std::int64_t retries = 0;    // engine-fault resubmissions to other shards
+  std::int64_t degraded = 0;   // served cost-only under the degrade policy
 };
 
 class TenantAccountant {
@@ -53,12 +63,26 @@ class TenantAccountant {
               double latency_ms, double queue_ms, double energy_pj,
               double sim_time_ps, std::int64_t macs);
 
+  // One failed request delivered to `tenant` with `code` (the class picks
+  // the snapshot column: overloaded -> rejected, deadline -> expired,
+  // everything else -> faults).
+  void record_error(const std::string& tenant, ErrorCode code);
+  // One engine-fault resubmission on behalf of `tenant`.
+  void record_retry(const std::string& tenant);
+  // One request served at degraded fidelity for `tenant`.
+  void record_degraded(const std::string& tenant);
+
   std::vector<TenantSnapshot> snapshot() const;
 
  private:
   struct Account {
     std::int64_t gemm_requests = 0;
     std::int64_t infer_requests = 0;
+    std::int64_t rejected = 0;
+    std::int64_t expired = 0;
+    std::int64_t faults = 0;
+    std::int64_t retries = 0;
+    std::int64_t degraded = 0;
     std::int64_t macs = 0;
     double energy_pj = 0.0;
     double sim_time_ps = 0.0;
@@ -68,6 +92,9 @@ class TenantAccountant {
     explicit Account(double hist_max_ms, int buckets)
         : latency_hist(0.0, hist_max_ms, buckets) {}
   };
+
+  // Find-or-create; caller holds mutex_.
+  Account& account_locked(const std::string& tenant);
 
   const double hist_max_ms_;
   const int buckets_;

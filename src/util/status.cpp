@@ -3,12 +3,34 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace af {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kEngineFault:
+      return "engine_fault";
+    case ErrorCode::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace af
+
 namespace af::detail {
 
 void throw_error(const char* file, int line, const std::string& msg) {
   std::ostringstream out;
   out << msg << " [" << file << ":" << line << "]";
-  throw Error(out.str());
+  throw Error(out.str(), ErrorCode::kInvalidArgument);
 }
 
 void assert_fail(const char* file, int line, const char* expr,

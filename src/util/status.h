@@ -16,10 +16,35 @@
 
 namespace af {
 
+// Structured failure taxonomy carried by af::Error.  The serving layer's
+// clients dispatch on it — a DeadlineExceeded is retried upstream with a
+// longer budget, an Overloaded is shed or routed elsewhere, an EngineFault
+// may be retried on another shard, a Shutdown is terminal — so the codes
+// are a public contract alongside the registry names (README "Robustness").
+enum class ErrorCode {
+  kUnknown = 0,       // untyped failure (legacy throws)
+  kInvalidArgument,   // precondition violation (every AF_CHECK)
+  kDeadlineExceeded,  // request expired before it could be served
+  kOverloaded,        // admission rejected / timed out under load shedding
+  kEngineFault,       // execution engine threw while serving
+  kShutdown,          // server closed while submitting or serving
+};
+
+// Stable lower-case name of a code ("deadline_exceeded", ...), for error
+// messages, stats dumps and the README taxonomy table.
+const char* error_code_name(ErrorCode code);
+
 // Exception thrown for user-visible errors (bad configs, size mismatches).
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {

@@ -67,11 +67,12 @@ void expect_costs_exactly_equal(const CostEstimate& got,
 
 TEST(EngineFactoryTest, RegistryListsExactlyTheShippedBackends) {
   const std::vector<std::string> names = registered_backends();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   // Sorted (std::map) — the CI drift check against the README table relies
   // on a stable order.
   EXPECT_EQ(names[0], "analytic");
-  EXPECT_EQ(names[1], "cycle");
+  EXPECT_EQ(names[1], "chaos");
+  EXPECT_EQ(names[2], "cycle");
   for (const std::string& name : names) {
     EXPECT_FALSE(backend_description(name).empty()) << name;
   }
