@@ -36,6 +36,13 @@
 //      everything but serves cost-only (near-free on the analytic backend)
 //      while the pressure window holds, which also keeps p99 bounded.
 //
+//   6. fleet_sweep — the fleet layer's cost-of-robustness study: the same
+//      closed-loop load against fleet::Fleet at 1/2/4 servers, then the
+//      multi-server points again with one server killed mid-run.  The books
+//      must still balance — every request resolves OK, the killed server's
+//      stranded queue failing over to survivors — so the kill shows up as a
+//      failover count and a client-side latency blip, never as lost work.
+//
 //   4. contended_submit — the dispatch layer's reason to exist: 1/2/4/8
 //      producer threads (distinct tenants, evenly spread over the home
 //      deques, at a constant total in-flight window) hammering cost-only
@@ -47,11 +54,15 @@
 //      (requests per process-CPU-second) are recorded; the proxy is the
 //      steadier signal on a single-core dev container.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <deque>
+#include <mutex>
+#include <utility>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -60,6 +71,7 @@
 #include <thread>
 #include <vector>
 
+#include "fleet/fleet.h"
 #include "gemm/matrix.h"
 #include "serve/dispatcher.h"
 #include "serve/server.h"
@@ -492,6 +504,149 @@ OverloadPoint run_overload(const std::string& policy, double capacity_rps,
   return p;
 }
 
+// ---- 6. fleet sweep: server count x mid-run kill ---------------------------
+
+struct FleetPoint {
+  int servers = 0;
+  bool killed = false;          // server 0 killed halfway through the run
+  std::int64_t requests = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;          // client-side submit -> resolve latency
+  double p99_ms = 0.0;
+  std::int64_t failovers = 0;
+  std::int64_t resolved_ok = 0;
+  std::int64_t resolved_err = 0;
+  double requests_per_s() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+FleetPoint run_fleet_point(int servers, bool kill_one, int clients,
+                           int per_client) {
+  std::vector<fleet::FleetServerSpec> specs;
+  for (int s = 0; s < servers; ++s) {
+    fleet::FleetServerSpec spec;
+    spec.options.num_shards = 1;
+    spec.options.max_batch = 8;
+    spec.options.queue_capacity = 512;
+    spec.options.backend = "analytic";
+    spec.options.latency_hist_max_ms = 100.0;  // see run_point
+    specs.push_back(spec);
+  }
+  fleet::FleetOptions fopts;
+  // No prober: the kill is an explicit failpoint, so health changes are
+  // deterministic and the sweep measures failover, not detection latency.
+  fopts.probe_interval_ms = 0.0;
+  fleet::Fleet fl(std::move(specs), fopts);
+
+  Rng weight_rng(6161);
+  auto weights = std::make_shared<gemm::Mat32>(
+      gemm::random_matrix(weight_rng, 64, 48, -40, 40));
+  Rng act_rng(515);
+  std::vector<gemm::Mat32> activation_pool;
+  for (int i = 0; i < 8; ++i) {
+    activation_pool.push_back(gemm::random_matrix(act_rng, 8, 64, -40, 40));
+  }
+
+  const std::int64_t total =
+      static_cast<std::int64_t>(clients) * per_client;
+  std::atomic<std::int64_t> submitted{0};
+  std::mutex latency_mutex;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(total));
+
+  // The killer fires once half the load is in: enough backlog on the dying
+  // server to make the strand-and-failover path do real work.
+  std::thread killer;
+  if (kill_one) {
+    killer = std::thread([&] {
+      while (submitted.load(std::memory_order_relaxed) < total / 2) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      fl.kill_server(0);
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Distinct tenant per client so the affinity router actually spreads
+      // the load over the fleet (one tenant would home on one server).
+      const std::string tenant = "fleet-" + std::to_string(c);
+      constexpr int kWindow = 8;
+      std::deque<std::pair<std::future<serve::GemmResult>,
+                           std::chrono::steady_clock::time_point>> in_flight;
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<std::size_t>(per_client));
+      auto harvest = [&](bool block) {
+        while (!in_flight.empty() &&
+               (block || in_flight.front().first.wait_for(
+                             std::chrono::seconds(0)) ==
+                             std::future_status::ready)) {
+          in_flight.front().first.get();
+          local_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 in_flight.front().second)
+                                 .count());
+          in_flight.pop_front();
+          block = false;  // blocked for one slot; drain the rest lazily
+        }
+      };
+      for (int i = 0; i < per_client; ++i) {
+        serve::SubmitOptions sub;
+        sub.k = (i % 4 == 3) ? 2 : 1;
+        in_flight.emplace_back(
+            fl.submit_gemm(tenant,
+                           activation_pool[static_cast<std::size_t>(
+                               (c + i) % 8)],
+                           weights, sub),
+            std::chrono::steady_clock::now());
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        harvest(in_flight.size() >= kWindow);
+      }
+      harvest(true);
+      while (!in_flight.empty()) harvest(true);
+      std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (killer.joinable()) killer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const fleet::FleetStats stats = fl.stats();
+  // The headline contract, checked on every sweep point: nothing lost.
+  AF_CHECK(stats.submitted == total, "fleet sweep lost submissions");
+  AF_CHECK(stats.resolved() == stats.submitted,
+           "fleet sweep books do not balance");
+  AF_CHECK(stats.resolved_ok == total,
+           "fleet sweep: a request failed instead of failing over");
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto quantile = [&](double q) {
+    if (latencies_ms.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  FleetPoint p;
+  p.servers = servers;
+  p.killed = kill_one;
+  p.requests = stats.resolved_ok;
+  p.seconds = seconds;
+  p.p50_ms = quantile(0.5);
+  p.p99_ms = quantile(0.99);
+  p.failovers = stats.failovers;
+  p.resolved_ok = stats.resolved_ok;
+  p.resolved_err = stats.resolved_err;
+  return p;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 void append_point(std::ostringstream& json, const Point& p, bool last) {
@@ -513,6 +668,7 @@ void write_json(const std::vector<Point>& closed_loop,
                 const std::vector<ContendedPoint>& contended,
                 double overload_capacity_rps,
                 const std::vector<OverloadPoint>& overload,
+                const std::vector<FleetPoint>& fleet_sweep,
                 const std::string& path) {
   std::ostringstream json;
   json << "{\n  \"bench\": \"serving\",\n  \"unit\": \"requests/s\",\n"
@@ -558,6 +714,19 @@ void write_json(const std::vector<Point>& closed_loop,
          << ", \"goodput_rps\": " << p.goodput_rps
          << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
          << "}" << (i + 1 < overload.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"fleet_sweep\": [\n";
+  for (std::size_t i = 0; i < fleet_sweep.size(); ++i) {
+    const FleetPoint& p = fleet_sweep[i];
+    json << "    {\"servers\": " << p.servers
+         << ", \"killed_mid_run\": " << (p.killed ? "true" : "false")
+         << ", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
+         << ", \"requests_per_s\": " << p.requests_per_s()
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << ", \"failovers\": " << p.failovers
+         << ", \"resolved_ok\": " << p.resolved_ok
+         << ", \"resolved_err\": " << p.resolved_err << "}"
+         << (i + 1 < fleet_sweep.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 
@@ -675,7 +844,31 @@ int main(int argc, char** argv) {
                 p.p99_ms);
   }
 
+  std::vector<FleetPoint> fleet_sweep;
+  const int fleet_per_client = quick ? 64 : 256;
+  for (const int servers : {1, 2, 4}) {
+    fleet_sweep.push_back(run_fleet_point(servers, /*kill_one=*/false,
+                                          clients, fleet_per_client));
+  }
+  for (const int servers : {2, 4}) {
+    fleet_sweep.push_back(run_fleet_point(servers, /*kill_one=*/true,
+                                          clients, fleet_per_client));
+  }
+  std::printf(
+      "\nfleet sweep (1 analytic shard per server, 4 clients, kill = "
+      "server 0 dies mid-run):\n");
+  std::printf("%8s %7s %9s %12s %9s %9s %10s %13s\n", "servers", "killed",
+              "requests", "requests/s", "p50 ms", "p99 ms", "failovers",
+              "resolved ok");
+  for (const FleetPoint& p : fleet_sweep) {
+    std::printf("%8d %7s %9lld %12.1f %9.3f %9.3f %10lld %13lld\n", p.servers,
+                p.killed ? "yes" : "no", static_cast<long long>(p.requests),
+                p.requests_per_s(), p.p50_ms, p.p99_ms,
+                static_cast<long long>(p.failovers),
+                static_cast<long long>(p.resolved_ok));
+  }
+
   write_json(closed_loop, cmp, open_loop, contended, capacity_rps, overload,
-             "BENCH_serving.json");
+             fleet_sweep, "BENCH_serving.json");
   return 0;
 }

@@ -12,11 +12,15 @@
 //   $ ./engine_info --policies     # one overload-policy key per line
 //                                  # (CI drift check against the README's
 //                                  # "Overload policies" table)
+//   $ ./engine_info --routers      # one fleet-router key per line (CI
+//                                  # drift check against the README's
+//                                  # "Routers" table)
 
 #include <iostream>
 #include <string>
 
 #include "engine/engine.h"
+#include "fleet/router.h"
 #include "gemm/reference.h"
 #include "serve/dispatcher.h"
 #include "serve/server.h"
@@ -34,6 +38,12 @@ int main(int argc, char** argv) {
   }
   if (flag == "--policies") {
     for (const std::string& name : serve::overload_policy_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flag == "--routers") {
+    for (const std::string& name : fleet::registered_routers()) {
       std::cout << name << "\n";
     }
     return 0;
@@ -80,5 +90,15 @@ int main(int argc, char** argv) {
     std::cout << "  \"" << name << "\"\n"
               << "    " << serve::overload_policy_description(name) << "\n";
   }
+
+  std::cout << "\nfleet::make_router registry ("
+            << fleet::registered_routers().size() << " routers)\n\n";
+  for (const std::string& name : fleet::registered_routers()) {
+    std::cout << "  \"" << name << "\"\n"
+              << "    " << fleet::router_description(name) << "\n";
+  }
+  std::cout << "\nEvery router is a pure function of (key, loads): placement\n"
+               "is deterministic and never lands on an unroutable server\n"
+               "(tests/fleet_test.cpp pins both properties).\n";
   return 0;
 }

@@ -59,4 +59,11 @@ CostEstimate AnalyticEngine::evaluate_tile_asym(std::int64_t t, int k_v,
   return analytic_tile_asym_estimate(t, k_v, k_h);
 }
 
+CostEstimate AnalyticEngine::evaluate_sparse(
+    const gemm::GemmShape& shape, int k,
+    const arch::TileOccupancy& occupancy) {
+  check_occupancy(shape, occupancy);
+  return analytic_sparse_estimate(shape, resolve_mode(shape, k), occupancy);
+}
+
 }  // namespace af::engine

@@ -82,4 +82,10 @@ CostEstimate ChaosEngine::evaluate_tile_asym(std::int64_t t, int k_v,
   return inner_->evaluate_tile_asym(t, k_v, k_h);
 }
 
+CostEstimate ChaosEngine::evaluate_sparse(const gemm::GemmShape& shape, int k,
+                                          const arch::TileOccupancy& occupancy) {
+  // Planning forwards untouched, like evaluate: faults hit execution only.
+  return inner_->evaluate_sparse(shape, k, occupancy);
+}
+
 }  // namespace af::engine

@@ -37,6 +37,8 @@ class ChaosEngine final : public Engine {
   RunResult run_gemm(const GemmRequest& request) override;
   CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
   CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
+  CostEstimate evaluate_sparse(const gemm::GemmShape& shape, int k,
+                               const arch::TileOccupancy& occupancy) override;
 
   // Runs attempted so far (fault draws consumed) — test introspection.
   std::uint64_t runs() const { return runs_.load(); }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "arch/sparse.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,30 @@ CostEstimate CycleAccurateEngine::evaluate(const gemm::GemmShape& shape,
   const gemm::Mat32 b(shape.n, shape.m);
   gemm::Mat64 out;
   const arch::TileRunStats stats = array_.run_gemm(a, b, mode, &out);
+  return priced(stats, mode);
+}
+
+CostEstimate CycleAccurateEngine::evaluate_sparse(
+    const gemm::GemmShape& shape, int k,
+    const arch::TileOccupancy& occupancy) {
+  check_occupancy(shape, occupancy);
+  const int mode = resolve_mode(shape, k);
+  // Materialize the cheapest weight matrix with exactly this occupancy:
+  // one non-zero in the top-left corner of every occupied tile.  The
+  // sequencer's skip decisions depend only on which tiles are non-zero,
+  // and the counters are data-independent past that — so this measures
+  // the exact cost of ANY sparse GEMM with this shape and occupancy.
+  const gemm::Mat32 a(shape.t, shape.n);
+  gemm::Mat32 b(shape.n, shape.m);
+  for (std::int64_t rt = 0; rt < occupancy.row_tiles(); ++rt) {
+    for (std::int64_t ct = 0; ct < occupancy.col_tiles(); ++ct) {
+      if (occupancy.is_nonzero(rt, ct)) {
+        b.at(rt * config().rows, ct * config().cols) = 1;
+      }
+    }
+  }
+  gemm::Mat64 out;
+  const arch::TileRunStats stats = array_.run_gemm_sparse(a, b, mode, &out);
   return priced(stats, mode);
 }
 

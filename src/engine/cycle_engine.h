@@ -26,6 +26,12 @@ class CycleAccurateEngine final : public Engine {
   // real run; use the analytic backend for bulk cost queries).
   CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
   CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
+  // Measured by materializing the cheapest weight matrix WITH the given
+  // occupancy (one non-zero per occupied tile) and running the sparse
+  // sequencer over it — counters are data-independent, so the cost is
+  // exact for any matrix of that occupancy.
+  CostEstimate evaluate_sparse(const gemm::GemmShape& shape, int k,
+                               const arch::TileOccupancy& occupancy) override;
 
   arch::SystolicArray& array() { return array_; }
 

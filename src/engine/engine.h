@@ -159,6 +159,17 @@ class Engine {
   virtual CostEstimate evaluate_tile_asym(std::int64_t t, int k_v,
                                           int k_h) = 0;
 
+  // Cost of a BLOCK-SPARSE GEMM of `shape` given the weight matrix's tile
+  // occupancy alone — no weight matrix needed, so pruned-layer cost sweeps
+  // can price designs that exist only as sparsity statistics (pair with
+  // arch::TileOccupancy::synthetic).  Exactly what run_gemm with
+  // GemmRequest::sparse over a matrix of that occupancy costs (pinned by
+  // tests/engine_test.cpp); the occupancy's tile grid must match `shape`
+  // under this engine's R x C array.  k = 0 picks the Eq. 6 argmin.
+  virtual CostEstimate evaluate_sparse(const gemm::GemmShape& shape, int k,
+                                       const arch::TileOccupancy& occupancy)
+      = 0;
+
   // Eq. 6 argmin over the supported modes, via this backend's evaluate().
   CostEstimate best(const gemm::GemmShape& shape);
 
@@ -192,6 +203,10 @@ class Engine {
   CostEstimate analytic_sparse_estimate(
       const gemm::GemmShape& shape, int k,
       const arch::TileOccupancy& occupancy) const;
+  // Shared evaluate_sparse precondition: the occupancy's tile grid must be
+  // exactly `shape`'s weight matrix tiled by this engine's R x C array.
+  void check_occupancy(const gemm::GemmShape& shape,
+                       const arch::TileOccupancy& occupancy) const;
   // Price measured (or predicted) counters exactly the way every consumer
   // used to: utilization-aware, ArrayFlex hardware, Tclock(k).
   CostEstimate priced(const arch::TileRunStats& stats, int k) const;

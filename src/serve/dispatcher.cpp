@@ -99,6 +99,13 @@ class GlobalDispatcher final : public Dispatcher {
 
   std::size_t approx_depth() const override { return queue_.approx_size(); }
 
+  std::int64_t approx_cost() const override { return queue_.approx_cost(); }
+
+  std::vector<Request> drain_remaining() override {
+    AF_CHECK(queue_.closed(), "drain_remaining before close");
+    return queue_.drain_all();
+  }
+
  private:
   RequestQueue queue_;
   const int max_batch_;
@@ -127,7 +134,12 @@ class StealingDispatcher final : public Dispatcher {
     probe_seq_.resize(static_cast<std::size_t>(options.max_shards));
     banned_ = std::make_unique<std::atomic<bool>[]>(
         static_cast<std::size_t>(options.max_shards));
-    for (int i = 0; i < options.max_shards; ++i) banned_[i].store(false);
+    modes_ = std::make_unique<std::atomic<int>[]>(
+        static_cast<std::size_t>(options.max_shards));
+    for (int i = 0; i < options.max_shards; ++i) {
+      banned_[i].store(false);
+      modes_[i].store(0);  // 0 = mode not yet published
+    }
   }
 
   const std::string& name() const override {
@@ -174,6 +186,7 @@ class StealingDispatcher final : public Dispatcher {
             Batch batch = assemble_batch(
                 std::move(*head), *queues_[static_cast<std::size_t>(s)],
                 max_batch_);
+            batch.stolen = true;
             top_up(batch, s);
             return batch;
           }
@@ -188,28 +201,43 @@ class StealingDispatcher final : public Dispatcher {
       }
       // Dry: steal a whole DRR round from a random victim.  The scan
       // covers every slot — retired ones included, so a submission that
-      // raced a scale-down is still served.
+      // raced a scale-down is still served.  Two passes for pipeline-mode
+      // locality: the first only takes victims whose pending round is in
+      // the mode THIS shard's array is already configured in (peek_mode
+      // hint), so the stolen batch skips the reconfiguration drain; the
+      // second takes anyone.  Skipped entirely when the thief has not
+      // published a mode yet (a fresh array drains regardless).
       const int n = static_cast<int>(queues_.size());
       const int start = static_cast<int>(
           splitmix64(rng_state_.fetch_add(1, std::memory_order_relaxed)) %
           static_cast<std::uint64_t>(n));
-      for (int i = 0; i < n; ++i) {
-        const int victim = (start + i) % n;
-        if (victim == shard) continue;
-        // Lock-free emptiness hint first: a dry victim costs a relaxed
-        // load, not a mutex round-trip — idle probing must not become the
-        // cross-queue contention this dispatcher exists to remove.  A
-        // stale zero is recovered on the next probe or idle-wait tick.
-        if (queues_[victim]->approx_size() == 0) continue;
-        if (failpoint_) failpoint_("steal");
-        if (std::optional<Request> head = queues_[victim]->try_pop()) {
-          steals_.fetch_add(1, std::memory_order_relaxed);
-          // Riders come from the VICTIM's deque: the stolen unit is the
-          // victim's whole DRR round, so fairness moves with the work.
-          Batch batch = assemble_batch(std::move(*head), *queues_[victim],
-                                       max_batch_);
-          top_up(batch, victim);
-          return batch;
+      const int my_mode =
+          modes_[static_cast<std::size_t>(shard)].load(
+              std::memory_order_relaxed);
+      for (int pass = my_mode > 0 ? 0 : 1; pass < 2; ++pass) {
+        for (int i = 0; i < n; ++i) {
+          const int victim = (start + i) % n;
+          if (victim == shard) continue;
+          // Lock-free emptiness hint first: a dry victim costs a relaxed
+          // load, not a mutex round-trip — idle probing must not become the
+          // cross-queue contention this dispatcher exists to remove.  A
+          // stale zero is recovered on the next probe or idle-wait tick.
+          if (queues_[victim]->approx_size() == 0) continue;
+          if (pass == 0) {
+            const std::optional<int> head_mode = queues_[victim]->peek_mode();
+            if (!head_mode || *head_mode != my_mode) continue;
+          }
+          if (failpoint_) failpoint_("steal");
+          if (std::optional<Request> head = queues_[victim]->try_pop()) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            // Riders come from the VICTIM's deque: the stolen unit is the
+            // victim's whole DRR round, so fairness moves with the work.
+            Batch batch = assemble_batch(std::move(*head), *queues_[victim],
+                                         max_batch_);
+            batch.stolen = true;
+            top_up(batch, victim);
+            return batch;
+          }
         }
       }
       if (closed_.load(std::memory_order_acquire) && depth() == 0) {
@@ -298,6 +326,32 @@ class StealingDispatcher final : public Dispatcher {
     return total;
   }
 
+  std::int64_t approx_cost() const override {
+    std::int64_t total = 0;
+    for (const auto& q : queues_) total += q->approx_cost();
+    return total;
+  }
+
+  std::vector<Request> drain_remaining() override {
+    // The control mutex orders this after any in-flight scale-down or
+    // quarantine drain — their blocking re-submits land in some queue
+    // before we sweep, so nothing slips between the drains.
+    std::lock_guard<std::mutex> control(control_mutex_);
+    AF_CHECK(closed_.load(), "drain_remaining before close");
+    std::vector<Request> out;
+    for (auto& q : queues_) {
+      for (Request& r : q->drain_all()) out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  void set_shard_mode(int shard, int k) override {
+    AF_CHECK(shard >= 0 && shard < static_cast<int>(queues_.size()),
+             "set_shard_mode shard " << shard << " out of range");
+    modes_[static_cast<std::size_t>(shard)].store(k,
+                                                  std::memory_order_relaxed);
+  }
+
   std::int64_t steals() const override {
     return steals_.load(std::memory_order_relaxed);
   }
@@ -363,6 +417,10 @@ class StealingDispatcher final : public Dispatcher {
   // covered by the steal scan.  One flag per slot, read lock-free on the
   // submit hot path.
   std::unique_ptr<std::atomic<bool>[]> banned_;
+  // Pipeline mode each shard's array is currently configured in (0 until
+  // first published by the executor) — the locality-aware steal scan's
+  // preference signal.
+  std::unique_ptr<std::atomic<int>[]> modes_;
   const std::function<void(const char*)> failpoint_;
   // Per-shard dispatch counters driving the periodic retired-slot probe —
   // one cache line each, touched only by that shard's worker, so the hot

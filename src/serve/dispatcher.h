@@ -159,6 +159,29 @@ class Dispatcher {
   // the stealing dispatcher exists to remove.  May lag by an instant.
   virtual std::size_t approx_depth() const { return depth(); }
 
+  // Lock-free backlog-cost HINT: summed Request::drr_cost (MACs) queued
+  // across all shards, from the queues' relaxed approx_cost mirrors.  The
+  // simulated-hardware-pressure twin of approx_depth — feeds the
+  // backlog_cost autoscale signal and the fleet router's load reports.
+  virtual std::int64_t approx_cost() const = 0;
+
+  // Removes and returns EVERYTHING still queued, across all shards.  The
+  // no-loss handoff hook: Server::quiesce calls it after close() so queued
+  // work that will never run can be failed with kUnavailable (guaranteed
+  // never-executed) and re-admitted elsewhere by the fleet layer.  Must
+  // only be called after close() — with admission closed the drain cannot
+  // race a successful push, so nothing is left behind.
+  virtual std::vector<Request> drain_remaining() = 0;
+
+  // Publishes the pipeline mode shard `shard`'s array is currently
+  // configured in, so a locality-aware steal scan can prefer victims whose
+  // pending round would skip the thief's reconfiguration drain.  Default
+  // no-op: the global dispatcher has one queue and no victim choice.
+  virtual void set_shard_mode(int shard, int k) {
+    (void)shard;
+    (void)k;
+  }
+
   // Batches obtained by stealing (0 on dispatchers that never steal).
   virtual std::int64_t steals() const { return 0; }
 };

@@ -45,9 +45,11 @@ PushResult RequestQueue::push_for(Request& r,
   if (dl < earliest_deadline_ns_.load(std::memory_order_relaxed)) {
     earliest_deadline_ns_.store(dl, std::memory_order_relaxed);
   }
+  cost_total_ += r.drr_cost;
   tq.items.push_back(std::move(r));
   ++total_;
   approx_size_.store(total_, std::memory_order_relaxed);
+  approx_cost_.store(cost_total_, std::memory_order_relaxed);
   lock.unlock();
   not_empty_.notify_one();
   return PushResult::kAccepted;
@@ -60,7 +62,9 @@ Request RequestQueue::take_front_locked() {
   tq.items.pop_front();
   tq.deficit -= r.drr_cost;
   --total_;
+  cost_total_ -= r.drr_cost;
   approx_size_.store(total_, std::memory_order_relaxed);
+  approx_cost_.store(cost_total_, std::memory_order_relaxed);
   retire_if_empty_locked(tenant);
   return r;
 }
@@ -196,7 +200,9 @@ std::vector<Request> RequestQueue::pop_all_if(
         // even when coalescing jumps the round-robin order.
         tq.deficit -= it->drr_cost;
         --total_;
+        cost_total_ -= it->drr_cost;
         approx_size_.store(total_, std::memory_order_relaxed);
+        approx_cost_.store(cost_total_, std::memory_order_relaxed);
         out.push_back(std::move(*it));
         it = tq.items.erase(it);
       } else {
@@ -223,7 +229,9 @@ std::vector<Request> RequestQueue::drain_all() {
   ring_.clear();
   ring_pos_ = 0;
   total_ = 0;
+  cost_total_ = 0;
   approx_size_.store(0, std::memory_order_relaxed);
+  approx_cost_.store(0, std::memory_order_relaxed);
   earliest_deadline_ns_.store(std::numeric_limits<std::int64_t>::max(),
                               std::memory_order_relaxed);
   if (!out.empty()) {
@@ -269,7 +277,9 @@ std::vector<Request> RequestQueue::remove_expired(Clock::time_point now) {
         // No deficit charge: DRR debts measure service received, and an
         // expired request was never served.
         --total_;
+        cost_total_ -= it->drr_cost;
         approx_size_.store(total_, std::memory_order_relaxed);
+        approx_cost_.store(cost_total_, std::memory_order_relaxed);
         out.push_back(std::move(*it));
         it = tq.items.erase(it);
       } else {
@@ -311,6 +321,17 @@ std::size_t RequestQueue::size() const {
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::optional<int> RequestQueue::peek_mode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ == 0 || ring_.empty()) return std::nullopt;
+  const std::size_t pos = ring_pos_ < ring_.size() ? ring_pos_ : 0;
+  const auto it = tenants_.find(ring_[pos]);
+  if (it == tenants_.end() || it->second.items.empty()) return std::nullopt;
+  const Request& head = it->second.items.front();
+  if (head.kind != RequestKind::kGemm) return std::nullopt;
+  return head.decided_k;
 }
 
 std::int64_t RequestQueue::deficit(const std::string& tenant) const {

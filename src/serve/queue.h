@@ -144,6 +144,25 @@ class RequestQueue {
     return approx_size_.load(std::memory_order_relaxed);
   }
 
+  // Lock-free BACKLOG-COST hint: the summed Request::drr_cost (MACs) of
+  // everything currently queued, mirrored like approx_size.  This is the
+  // simulated-hardware-pressure signal — two queues of equal depth can
+  // differ by orders of magnitude in how long a shard needs to drain them —
+  // consumed by the backlog_cost autoscale signal and exported through
+  // ServerStats for the fleet router's power-of-two-choices placement.
+  std::int64_t approx_cost() const {
+    return approx_cost_.load(std::memory_order_relaxed);
+  }
+
+  // Locality hint for the stealing dispatcher's victim scan: the
+  // admission-decided pipeline mode of the request the DRR position would
+  // serve next (nullopt when empty or when the next request is an
+  // inference slice, which has no single mode).  A HINT, not a contract —
+  // the actual pop may serve a different tenant once deficits are
+  // consulted — good enough to prefer a victim whose stolen round skips
+  // the mode-switch drain.
+  std::optional<int> peek_mode() const;
+
   // Current deficit of a tenant (0 when unknown / not backlogged) — test
   // and debugging introspection.
   std::int64_t deficit(const std::string& tenant) const;
@@ -184,7 +203,9 @@ class RequestQueue {
   std::vector<std::string> ring_;  // backlogged tenants, arrival order
   std::size_t ring_pos_ = 0;       // DRR position into ring_
   std::size_t total_ = 0;          // queued requests across all tenants
+  std::int64_t cost_total_ = 0;    // summed drr_cost across all tenants
   std::atomic<std::size_t> approx_size_{0};  // lock-free mirror of total_
+  std::atomic<std::int64_t> approx_cost_{0};  // lock-free mirror of cost_total_
   const std::size_t capacity_;
   const std::int64_t quantum_;
   bool closed_ = false;

@@ -43,6 +43,10 @@ struct Batch {
   // the popped head itself had expired — the batch then carries only
   // expiries for the worker to resolve.
   std::vector<Request> expired;
+  // Assembled from another shard's deque (work stealing).  The executor
+  // uses it to credit locality-aware stealing: a stolen batch whose mode
+  // already matches the thief's array skipped a reconfiguration drain.
+  bool stolen = false;
 };
 
 // True when `r` can join a batch headed by `head` (see file comment).

@@ -115,12 +115,30 @@ bool OverloadDetector::update(double depth_per_shard_now,
   return overloaded;
 }
 
+AutoscaleSignal parse_autoscale_signal(const std::string& name) {
+  if (name == "wait_p99") return AutoscaleSignal::kWaitP99;
+  if (name == "backlog_cost") return AutoscaleSignal::kBacklogCost;
+  AF_CHECK(false, "unknown autoscale signal \""
+                      << name
+                      << "\" (registered: \"backlog_cost\", \"wait_p99\")");
+  return AutoscaleSignal::kWaitP99;  // unreachable
+}
+
 int AutoscalePolicy::decide(int live, double depth_per_shard,
-                            double wait_p99_ms) {
-  const bool pressure = depth_per_shard >= grow_depth_per_shard ||
-                        wait_p99_ms >= grow_wait_p99_ms;
-  const bool idle = depth_per_shard <= shrink_depth_per_shard &&
-                    wait_p99_ms <= shrink_wait_p99_ms;
+                            double wait_p99_ms,
+                            double backlog_macs_per_shard) {
+  // The depth term participates under either signal; the latency term is
+  // the wall-clock wait or the queued simulated work, per `signal`.
+  const bool lat_hot = signal == AutoscaleSignal::kBacklogCost
+                           ? backlog_macs_per_shard >=
+                                 grow_backlog_macs_per_shard
+                           : wait_p99_ms >= grow_wait_p99_ms;
+  const bool lat_cool = signal == AutoscaleSignal::kBacklogCost
+                            ? backlog_macs_per_shard <=
+                                  shrink_backlog_macs_per_shard
+                            : wait_p99_ms <= shrink_wait_p99_ms;
+  const bool pressure = depth_per_shard >= grow_depth_per_shard || lat_hot;
+  const bool idle = depth_per_shard <= shrink_depth_per_shard && lat_cool;
   if (pressure) {
     shrink_streak = 0;
     if (++grow_streak >= grow_patience) {
@@ -272,6 +290,13 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   policy_.shrink_wait_p99_ms = options_.shrink_wait_p99_ms;
   policy_.grow_patience = options_.grow_patience;
   policy_.shrink_patience = options_.shrink_patience;
+  policy_.signal = parse_autoscale_signal(options_.autoscale_signal);
+  AF_CHECK(options_.grow_backlog_macs_per_shard > 0.0 &&
+               options_.shrink_backlog_macs_per_shard >= 0.0,
+           "backlog_cost autoscale thresholds must be positive");
+  policy_.grow_backlog_macs_per_shard = options_.grow_backlog_macs_per_shard;
+  policy_.shrink_backlog_macs_per_shard =
+      options_.shrink_backlog_macs_per_shard;
 
   shards_.reserve(static_cast<std::size_t>(max_shards_));
   for (int i = 0; i < max_shards_; ++i) {
@@ -305,6 +330,41 @@ void Server::shutdown() {
   }
 }
 
+void Server::quiesce() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  // Ordered BEFORE the shut_down_ flip that wakes parked workers: any
+  // worker released from the stall nap sees quiescing_ and exits without
+  // calling next_batch, so it cannot race the strand below by grabbing
+  // queued work on the way down.
+  quiescing_.store(true, std::memory_order_release);
+  if (shut_down_.exchange(true)) return;  // shutdown/quiesce already ran
+  {
+    std::lock_guard<std::mutex> lock(scale_mutex_);
+  }
+  scale_cv_.notify_all();
+  if (autoscaler_.joinable()) autoscaler_.join();
+  dispatcher_->close();
+  // In-flight batches finish and deliver normally; workers blocked in
+  // next_batch wake on close() and exit at the quiescing_ check.  Joining
+  // them FIRST means drain_remaining below sees the queue's final state —
+  // no worker can pop concurrently with the strand.
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // The crash semantics: everything still QUEUED is handed back with
+  // kUnavailable instead of being served — these requests never touched an
+  // engine, so a fleet re-admitting them elsewhere cannot double-serve.
+  std::vector<Request> stranded = dispatcher_->drain_remaining();
+  if (!stranded.empty()) {
+    unserved_.fetch_add(static_cast<std::int64_t>(stranded.size()));
+    fail_requests(stranded,
+                  std::make_exception_ptr(
+                      Error("server killed before this request could run",
+                            ErrorCode::kUnavailable)),
+                  ErrorCode::kUnavailable);
+  }
+}
+
 void Server::acquire_shard(Shard& shard) {
   shard.engine = engine_builder_.build(options_.backend);
   if (options_.audit_fraction > 0.0 && !shard.engine->measures()) {
@@ -317,6 +377,7 @@ void Server::acquire_shard(Shard& shard) {
   shard.fault_streak = 0;
   shard.quarantined.store(false);
   dispatcher_->set_banned(shard.index, false);
+  dispatcher_->set_shard_mode(shard.index, 0);
   std::lock_guard<std::mutex> lock(shard_stats_mutex_);
   shard.stats.backend = shard.engine->name();
   shard.stats.quarantined = false;
@@ -328,6 +389,7 @@ void Server::release_shard(Shard& shard) {
   shard.override_engines.clear();
   shard.audit_engine.reset();
   shard.engine.reset();
+  dispatcher_->set_shard_mode(shard.index, 0);
   std::lock_guard<std::mutex> lock(shard_stats_mutex_);
   shard.stats.current_k = 0;
 }
@@ -369,7 +431,11 @@ void Server::control_loop() {
       overloaded_.store(detector_.update(depth_per_shard, waits.p99_ms));
     }
     if (autoscale_enabled_) {
-      const int want = policy_.decide(live, depth_per_shard, waits.p99_ms);
+      const double backlog_per_shard =
+          static_cast<double>(dispatcher_->approx_cost()) /
+          static_cast<double>(live);
+      const int want = policy_.decide(live, depth_per_shard, waits.p99_ms,
+                                      backlog_per_shard);
       if (want > live) {
         grow_to(want);
       } else if (want < live) {
@@ -607,6 +673,19 @@ std::future<InferenceResult> Server::submit_inference(
 
 void Server::shard_loop(Shard& shard) {
   while (true) {
+    // Stall failpoint: a paused worker holds no batch (the check sits
+    // BEFORE next_batch), so pausing strands nothing in a worker's hands —
+    // queued work waits in the dispatcher, where quiesce() can still hand
+    // it off.  Retirement and shutdown both break the nap.
+    while (paused_.load(std::memory_order_acquire) && !shut_down_.load()) {
+      if (shard.index >= live_shards_.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // A quiescing server strands its queue instead of draining it: exit
+    // here, before next_batch, so the crash path cannot half-serve work
+    // that quiesce() is about to hand back as kUnavailable.  (Plain
+    // shutdown leaves quiescing_ unset and falls through to the drain.)
+    if (quiescing_.load(std::memory_order_acquire)) return;
     // A quarantined shard stops serving and probes for recovery instead.
     // It still exits promptly when retired by the autoscaler (so
     // shrink_to's join cannot deadlock on a sick shard), and falls
@@ -834,6 +913,7 @@ bool Server::probe_quarantined(Shard& shard) {
       shard.stats.backend = shard.engine->name();
       shard.stats.current_k = 0;  // the new array configures from scratch
     }
+    dispatcher_->set_shard_mode(shard.index, 0);
     shard.quarantined.store(false, std::memory_order_release);
     dispatcher_->set_banned(shard.index, false);
     return true;
@@ -842,9 +922,15 @@ bool Server::probe_quarantined(Shard& shard) {
   }
 }
 
-void Server::prepare_mode(Shard& shard, int k) {
+void Server::prepare_mode(Shard& shard, int k, bool stolen) {
   std::lock_guard<std::mutex> lock(shard_stats_mutex_);
-  if (shard.stats.current_k == k) return;
+  if (shard.stats.current_k == k) {
+    // A stolen batch already in this array's mode: the locality-aware
+    // steal pass earned its keep — this dispatch skipped the drain an
+    // arbitrary-victim steal would likely have paid.
+    if (stolen && k != 0) shard.stats.steal_drains_avoided += 1;
+    return;
+  }
   if (shard.stats.current_k != 0) {
     // A genuine mode switch: drain the pipeline at the new mode's clock,
     // burning leakage but doing no work.  (current_k == 0 — fresh shard or
@@ -858,6 +944,9 @@ void Server::prepare_mode(Shard& shard, int k) {
     shard.stats.reconfig_energy_pj += leak_mw * time_ps * 1e-3;
   }
   shard.stats.current_k = k;
+  // Publish to the dispatcher's locality signal so steal scans can prefer
+  // victims whose pending round matches this array's configuration.
+  dispatcher_->set_shard_mode(shard.index, k);
 }
 
 engine::Engine* Server::engine_for(Shard& shard, const Batch& batch) {
@@ -877,7 +966,7 @@ engine::Engine* Server::engine_for(Shard& shard, const Batch& batch) {
 void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
   const int k = batch.k;
   const Clock::time_point dispatch_time = Clock::now();
-  prepare_mode(shard, k);
+  prepare_mode(shard, k, batch.stolen);
   // All batch members share one backend override (serve::compatible), so
   // the whole batch executes on one engine.
   engine::Engine* engine = engine_for(shard, batch);
@@ -1066,6 +1155,7 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
     // Per-layer mode choices leave the array outside any single GEMM mode;
     // the next GEMM batch reconfigures from scratch.
     shard.stats.current_k = 0;
+    dispatcher_->set_shard_mode(shard.index, 0);
   }
 
   for (Request& r : batch.requests) {
@@ -1133,6 +1223,8 @@ ServerStats Server::stats() const {
   out.retries = retries_.load();
   out.quarantines = quarantines_.load();
   out.degraded = degraded_.load();
+  out.unserved = unserved_.load();
+  out.backlog_macs = dispatcher_->approx_cost();
   out.promise_double_sets = promise_double_sets_.load();
   {
     std::lock_guard<std::mutex> lock(shard_stats_mutex_);

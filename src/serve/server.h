@@ -141,6 +141,18 @@ struct ServerOptions {
   double shrink_wait_p99_ms = 1.0;
   int grow_patience = 2;
   int shrink_patience = 8;
+  // Which latency-pressure signal the autoscaler (and its thresholds
+  // above) listens to, alongside the depth-per-shard term both use:
+  //   "wait_p99"      wall-clock p99 enqueue->dispatch wait (the default).
+  //   "backlog_cost"  queued simulated work (MACs per live shard, from the
+  //                   dispatcher's backlog-cost mirror) — scales "cycle"
+  //                   backend pools on hardware pressure, which wall-clock
+  //                   waits misrepresent when simulation is the bottleneck.
+  std::string autoscale_signal = "wait_p99";
+  // backlog_cost thresholds (queued MACs per live shard), the analogue of
+  // the grow/shrink wait-p99 pair.
+  double grow_backlog_macs_per_shard = 4e6;
+  double shrink_backlog_macs_per_shard = 0.25e6;
 
   // --- robustness: overload policy, retry, quarantine (PR 6) ---------------
   // What admission does when the server is overloaded (queue depth per live
@@ -214,6 +226,12 @@ struct OverloadDetector {
   int exit_streak = 0;
 };
 
+// Which pressure signal AutoscalePolicy pairs with queue depth: the
+// wall-clock p99 wait (classic) or the queued simulated work in MACs
+// (hardware pressure — what a "cycle" pool is actually behind on).
+enum class AutoscaleSignal { kWaitP99, kBacklogCost };
+AutoscaleSignal parse_autoscale_signal(const std::string& name);
+
 // Pure hysteresis policy of the queue-pressure autoscaler, separated from
 // the server so the no-flapping property is unit-testable on synthetic
 // load traces (square waves) without threads or clocks.  One decide() call
@@ -227,13 +245,21 @@ struct AutoscalePolicy {
   double shrink_wait_p99_ms = 1.0;
   int grow_patience = 2;
   int shrink_patience = 8;
+  AutoscaleSignal signal = AutoscaleSignal::kWaitP99;
+  // backlog_cost thresholds (queued MACs per live shard), used in place of
+  // the wait-p99 pair when signal == kBacklogCost.
+  double grow_backlog_macs_per_shard = 4e6;
+  double shrink_backlog_macs_per_shard = 0.25e6;
 
   // Desired live-shard count after observing this tick's pressure sample.
   // Grows/shrinks by at most one shard per decision (gradual scaling), and
   // only after the respective streak survives `patience` ticks unbroken —
   // any tick outside a band resets the opposite streak, so an oscillating
-  // signal with period < patience never moves the pool.
-  int decide(int live, double depth_per_shard, double wait_p99_ms);
+  // signal with period < patience never moves the pool.  The wait term is
+  // wait_p99_ms or backlog_macs_per_shard depending on `signal`; the
+  // depth term participates either way.
+  int decide(int live, double depth_per_shard, double wait_p99_ms,
+             double backlog_macs_per_shard = 0.0);
 
   int grow_streak = 0;
   int shrink_streak = 0;
@@ -268,6 +294,10 @@ struct ShardSnapshot {
   std::int64_t requests = 0;       // requests served (incl. coalesced)
   std::int64_t fused_runs = 0;     // hardware GEMM runs after fusion
   std::int64_t mode_switches = 0;  // reconfigurations between modes
+  // Stolen batches that arrived already in this shard's configured mode —
+  // the locality-aware steal scan's first pass found a same-mode victim,
+  // so the batch ran without the reconfiguration drain.
+  std::int64_t steal_drains_avoided = 0;
   std::int64_t engine_faults = 0;  // engine throws observed on this shard
   std::int64_t audit_runs = 0;     // fused runs replayed cycle-accurately
   std::int64_t audit_mismatches = 0;  // replays disagreeing with the serve run
@@ -297,6 +327,12 @@ struct ServerStats {
   std::int64_t retries = 0;      // fault resubmissions to another shard
   std::int64_t quarantines = 0;  // shards pulled for consecutive faults
   std::int64_t degraded = 0;     // requests served cost-only under pressure
+  // Requests still queued when quiesce() killed the server, failed with
+  // kUnavailable (never executed — safe for a fleet to re-admit elsewhere).
+  std::int64_t unserved = 0;
+  // Queued simulated work right now, in MACs (the dispatcher's lock-free
+  // backlog-cost mirror) — the fleet router's load signal.
+  std::int64_t backlog_macs = 0;
   std::int64_t promise_double_sets = 0;  // broken-promise bugs caught (== 0)
   // One snapshot per SLOT (max_shards entries): retired slots keep their
   // history with live == false.
@@ -374,9 +410,35 @@ class Server {
 
   ServerStats stats() const;
 
+  // Queued simulated work right now, in MACs — a lock-free read of the
+  // dispatcher's backlog-cost mirror.  The load signal the fleet router's
+  // power-of-two-choices placement compares servers by.
+  std::int64_t backlog_cost_macs() const { return dispatcher_->approx_cost(); }
+
   // Closes admission, drains every accepted request, joins the autoscaler
   // and the shard workers.  Idempotent; the destructor calls it.
   void shutdown();
+
+  // Simulated CRASH: closes admission immediately and fails everything
+  // still queued with af::Error(kUnavailable) instead of serving it —
+  // ServerStats::unserved counts them.  In-flight batches still finish and
+  // deliver (a real process death would lose them; in-process we keep the
+  // stronger contract that every accepted promise resolves).  The crucial
+  // guarantee for the fleet layer: a kUnavailable request was NEVER
+  // executed, so re-admitting it on another server cannot double-serve.
+  // Idempotent; safe concurrently with shutdown().
+  void quiesce();
+
+  // Simulated STALL failpoint: while paused, shard workers stop picking up
+  // batches (queued work sits, admission stays open, deadlines keep
+  // running).  pause_serving(false) resumes; quiesce()/shutdown() override
+  // a pause so a stalled server still dies and drains cleanly.
+  void pause_serving(bool paused) {
+    paused_.store(paused, std::memory_order_release);
+  }
+  bool serving_paused() const {
+    return paused_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Shard;
@@ -413,8 +475,10 @@ class Server {
   bool under_pressure() const;
   // Mode bookkeeping before a GEMM batch runs in mode k: counts the switch
   // and bills the drain (time at the new mode's clock, leakage energy) to
-  // the shard when it was configured differently.
-  void prepare_mode(Shard& shard, int k);
+  // the shard when it was configured differently, publishes the new mode
+  // to the dispatcher's locality signal, and credits a stolen batch that
+  // arrived already in the configured mode (steal_drains_avoided).
+  void prepare_mode(Shard& shard, int k, bool stolen = false);
 
   // Engine lifecycle on scale events: acquire builds the shard's serving
   // (and audit) engine through engine_builder_ and marks it live; release
@@ -477,7 +541,14 @@ class Server {
   std::atomic<std::int64_t> retries_{0};
   std::atomic<std::int64_t> quarantines_{0};
   std::atomic<std::int64_t> degraded_{0};
+  std::atomic<std::int64_t> unserved_{0};
   std::atomic<std::int64_t> promise_double_sets_{0};
+  std::atomic<bool> paused_{false};  // the stall failpoint (pause_serving)
+  // Set by quiesce() BEFORE it releases workers: a worker seeing it exits
+  // without calling next_batch again, so queued work stays in the
+  // dispatcher for the kUnavailable strand — never half-served on the way
+  // down.  (shutdown() leaves it false: its workers DO drain the queue.)
+  std::atomic<bool> quiescing_{false};
   mutable std::mutex shard_stats_mutex_;  // guards every Shard::stats
   std::mutex shutdown_mutex_;
   std::atomic<bool> shut_down_{false};

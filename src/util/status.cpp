@@ -19,6 +19,8 @@ const char* error_code_name(ErrorCode code) {
       return "engine_fault";
     case ErrorCode::kShutdown:
       return "shutdown";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

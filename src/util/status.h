@@ -28,6 +28,11 @@ enum class ErrorCode {
   kOverloaded,        // admission rejected / timed out under load shedding
   kEngineFault,       // execution engine threw while serving
   kShutdown,          // server closed while submitting or serving
+  // The server was killed, quiesced or drained before this request could
+  // run.  The crucial guarantee (vs kEngineFault): the request was NEVER
+  // executed, so re-admitting it elsewhere cannot double-serve — this is
+  // the fleet layer's failover signal (fleet/fleet.h).
+  kUnavailable,
 };
 
 // Stable lower-case name of a code ("deadline_exceeded", ...), for error

@@ -264,6 +264,86 @@ TEST(EngineEquivalenceTest, BlockSparseRequestsExactlyAgreeAcrossBackends) {
   }
 }
 
+TEST(EngineEquivalenceTest, EvaluateSparseMatchesMeasuredSparseRunsExactly) {
+  // evaluate_sparse prices a block-sparse GEMM from the occupancy alone —
+  // no weight matrix.  The contract: for a weight matrix OF that
+  // occupancy, its CostEstimate is EXACTLY what run_gemm with
+  // GemmRequest::sparse measures, on both backends, including every
+  // activity counter (skipped tiles contribute nothing anywhere).
+  Rng rng(6565);
+  const std::vector<int> sides = {4, 6, 8};
+  for (int iter = 0; iter < 10; ++iter) {
+    const int rows = sides[rng.next_below(sides.size())];
+    const int cols = sides[rng.next_below(sides.size())];
+    const arch::ArrayConfig cfg = config_for(rows, cols);
+    EngineBuilder builder;
+    builder.config(cfg);
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+
+    const gemm::GemmShape shape{rng.next_in(1, 40), rng.next_in(1, 40),
+                                rng.next_in(1, 16)};
+    const int k = cfg.supported_k[rng.next_below(cfg.supported_k.size())];
+    const gemm::Mat32 a = gemm::random_matrix(rng, shape.t, shape.n, -50, 50);
+    gemm::Mat32 b = gemm::random_matrix(rng, shape.n, shape.m, -50, 50);
+    for (std::int64_t r0 = 0; r0 < shape.n; r0 += rows) {
+      for (std::int64_t c0 = 0; c0 < shape.m; c0 += cols) {
+        if (rng.next_double() >= 0.5) continue;
+        for (std::int64_t r = r0; r < std::min<std::int64_t>(r0 + rows, shape.n);
+             ++r) {
+          for (std::int64_t c = c0;
+               c < std::min<std::int64_t>(c0 + cols, shape.m); ++c) {
+            b.at(r, c) = 0;
+          }
+        }
+      }
+    }
+    if (arch::TileOccupancy::from_matrix(b, rows, cols).nonzero_tiles() == 0) {
+      b.at(0, 0) = 1;
+    }
+    const arch::TileOccupancy occupancy =
+        arch::TileOccupancy::from_matrix(b, rows, cols);
+    const std::string label =
+        "R=" + std::to_string(rows) + " C=" + std::to_string(cols) +
+        " M=" + std::to_string(shape.m) + " N=" + std::to_string(shape.n) +
+        " T=" + std::to_string(shape.t) + " k=" + std::to_string(k);
+
+    GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = k;
+    request.sparse = true;
+    request.want_output = false;
+    const RunResult measured = cycle->run_gemm(request);
+    expect_costs_exactly_equal(analytic->evaluate_sparse(shape, k, occupancy),
+                               measured.cost, label + " analytic");
+    expect_costs_exactly_equal(cycle->evaluate_sparse(shape, k, occupancy),
+                               measured.cost, label + " cycle");
+  }
+
+  // k = 0 picks the same Eq. 6 argmin on both backends, priced on the
+  // sparse latency (a mode that wins dense can lose sparse only if the
+  // preload/stream balance shifts — whatever it picks must agree).
+  EngineBuilder builder;
+  builder.square(8);
+  auto analytic = builder.build("analytic");
+  auto cycle = builder.build("cycle");
+  const gemm::GemmShape shape{24, 32, 8};
+  const arch::TileOccupancy half =
+      arch::TileOccupancy::synthetic(shape, 8, 8, 0.5, rng);
+  const CostEstimate fast = analytic->evaluate_sparse(shape, 0, half);
+  const CostEstimate exact = cycle->evaluate_sparse(shape, 0, half);
+  EXPECT_EQ(fast.k, exact.k);
+  expect_costs_exactly_equal(fast, exact, "sparse argmin");
+
+  // The shared precondition: an occupancy gridded for a different array
+  // or shape is a loud kInvalidArgument, not a silent misprice.
+  const arch::TileOccupancy wrong =
+      arch::TileOccupancy::synthetic({8, 8, 8}, 8, 8, 0.5, rng);
+  EXPECT_THROW(analytic->evaluate_sparse(shape, 1, wrong), Error);
+  EXPECT_THROW(cycle->evaluate_sparse(shape, 1, wrong), Error);
+}
+
 TEST(EngineEquivalenceTest, ModeZeroPicksTheSameArgminOnBothBackends) {
   EngineBuilder builder;
   builder.square(8);

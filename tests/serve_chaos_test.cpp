@@ -557,6 +557,131 @@ TEST_F(ServeChaosTest, QuarantineBenchesFaultyShardsAndRecoversThem) {
   EXPECT_EQ(shard_faults, stats.engine_faults);
 }
 
+// ---- server-scoped failpoints (the fleet layer's crash/stall hooks) -------
+
+TEST_F(ServeChaosTest, PauseServingStallsPickupUntilResumed) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  Server server(shard16(), opts);
+  Rng rng(71);
+  auto weights = random_weights(rng, 16, 8);
+
+  EXPECT_FALSE(server.serving_paused());
+  server.pause_serving(true);
+  EXPECT_TRUE(server.serving_paused());
+  // A worker already blocked inside next_batch when the pause lands still
+  // grabs ONE batch before it naps: feed it a sacrificial request so
+  // everything after this provably sits in the queue.
+  auto parked = server.submit_gemm(
+      "stall", gemm::random_matrix(rng, 1, 16, -5, 5), weights);
+  std::this_thread::sleep_for(milliseconds(30));
+
+  gemm::Mat32 a = gemm::random_matrix(rng, 2, 16, -10, 10);
+  const gemm::Mat64 want = gemm::reference_gemm(a, *weights);
+  auto stuck = server.submit_gemm("stall", std::move(a), weights);
+  EXPECT_EQ(stuck.wait_for(milliseconds(50)), std::future_status::timeout)
+      << "a paused server picked up new work";
+  // The queued work is visible hardware load (the fleet router's signal).
+  EXPECT_GT(server.backlog_cost_macs(), 0);
+
+  server.pause_serving(false);
+  EXPECT_FALSE(server.serving_paused());
+  const GemmResult r = stuck.get();
+  EXPECT_EQ(gemm::first_mismatch(r.out, want), "");
+  EXPECT_GT(parked.get().cycles, 0);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.unserved, 0);
+}
+
+TEST_F(ServeChaosTest, QuiesceStrandsQueuedWorkTypedAndNeverExecuted) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  Server server(shard16(), opts);
+  Rng rng(67);
+  auto weights = random_weights(rng, 16, 8);
+
+  // Park the worker (stall + one sacrificial batch), then queue real work.
+  server.pause_serving(true);
+  auto parked = server.submit_gemm(
+      "doomed", gemm::random_matrix(rng, 1, 16, -5, 5), weights);
+  std::this_thread::sleep_for(milliseconds(30));
+  std::vector<std::future<GemmResult>> queued;
+  for (int i = 0; i < 5; ++i) {
+    queued.push_back(server.submit_gemm(
+        "doomed", gemm::random_matrix(rng, 2, 16, -10, 10), weights));
+  }
+  // The crash failpoint: queued work is handed BACK (kUnavailable, never
+  // executed — a fleet may re-admit it elsewhere without double-serving),
+  // not served on the way down.
+  server.quiesce();
+  int unavailable = 0;
+  for (auto& f : queued) {
+    try {
+      f.get();
+      FAIL() << "a quiesced server served queued work";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kUnavailable) << error_code_name(e.code());
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(unavailable, 5);
+  // The sacrificial request resolves too: served before the nap, or
+  // stranded with the rest.
+  try {
+    EXPECT_GT(parked.get().cycles, 0);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.completed, 6);  // failures included: the books balance
+  EXPECT_GE(stats.unserved, 5);
+  EXPECT_EQ(stats.promise_double_sets, 0);
+  // Admission after the crash refuses loudly; quiesce and shutdown stay
+  // idempotent and compatible in either order.
+  EXPECT_THROW(server.submit_gemm(
+                   "doomed", gemm::random_matrix(rng, 2, 16, -10, 10), weights),
+               Error);
+  server.quiesce();
+  server.shutdown();
+}
+
+TEST_F(ServeChaosTest, LocalityAwareStealingAvoidsReconfigurationDrains) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.dispatcher = "stealing";
+  opts.max_batch = 1;      // no coalescing: steals have many targets
+  opts.backend = "chaos";  // every run sleeps, so the hot deque backs up
+  opts.chaos.delay_rate = 1.0;
+  opts.chaos.delay_ms = 1.0;
+  Server server(shard16(), opts);
+
+  Rng rng(73);
+  auto weights = random_weights(rng, 16, 8);
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server.submit_gemm(
+        "hot", gemm::random_matrix(rng, 2, 16, -10, 10), weights, /*k=*/1));
+  }
+  for (auto& f : futures) EXPECT_GT(f.get().cycles, 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 32);
+  EXPECT_EQ(stats.completed, 32);
+  // One tenant hashes to one deque, so the other shard lives off steals.
+  EXPECT_GE(stats.steals, 2);
+  // Every request is pinned to mode k=1: once the stealing shard has
+  // configured k=1, the locality-aware first steal pass keeps finding
+  // same-mode batches — stolen work that skips the reconfiguration drain.
+  std::int64_t avoided = 0;
+  for (const ShardSnapshot& s : stats.shards) avoided += s.steal_drains_avoided;
+  EXPECT_GE(avoided, 1);
+}
+
 // The satellite stress run: chaos faults + retries + deadlines + autoscale
 // + stealing, many concurrent clients.  Every future must resolve — a
 // value or a typed af::Error — with the books balanced and zero

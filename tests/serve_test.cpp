@@ -1174,6 +1174,63 @@ TEST(AutoscalePolicyTest, SquareWaveLoadDoesNotFlap) {
   EXPECT_EQ(live, 2);
 }
 
+TEST(AutoscalePolicyTest, BacklogCostSquareWaveDoesNotFlapEither) {
+  // The hardware-pressure signal obeys the same hysteresis contract as
+  // wait_p99: a square wave of queued MACs faster than either patience
+  // never moves the pool, sustained pressure walks it one shard per
+  // patience window.
+  AutoscalePolicy policy;
+  policy.min_shards = 1;
+  policy.max_shards = 4;
+  policy.grow_patience = 3;
+  policy.shrink_patience = 3;
+  policy.signal = AutoscaleSignal::kBacklogCost;
+  policy.grow_backlog_macs_per_shard = 1e6;
+  policy.shrink_backlog_macs_per_shard = 1e5;
+
+  int live = 2;
+  for (int tick = 0; tick < 100; ++tick) {
+    const double backlog = (tick % 2 == 0) ? 5e6 : 0.0;
+    const int want = policy.decide(live, /*depth_per_shard=*/0.0,
+                                   /*wait_p99_ms=*/0.0, backlog);
+    ASSERT_EQ(want, live) << "flapped at tick " << tick;
+  }
+
+  // Sustained backlog grows one shard per grow_patience ticks, capped.
+  std::vector<int> trace;
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, 0.0, 0.0, /*backlog_macs_per_shard=*/5e6);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{2, 2, 3, 3, 3, 4, 4, 4, 4, 4, 4, 4}));
+
+  // Sustained idle shrinks the same way, floored at min_shards.
+  trace.clear();
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, 0.0, 0.0, /*backlog_macs_per_shard=*/0.0);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{4, 4, 3, 3, 3, 2, 2, 2, 1, 1, 1, 1}));
+
+  // Under kBacklogCost the wall-clock wait term is ignored: an enormous
+  // p99 with an idle backlog is simulation-host noise, not array pressure.
+  live = 2;
+  policy.grow_streak = 0;
+  policy.shrink_streak = 0;
+  for (int tick = 0; tick < 3; ++tick) {
+    const int want = policy.decide(live, 0.0, /*wait_p99_ms=*/1e3,
+                                   /*backlog_macs_per_shard=*/0.0);
+    EXPECT_LE(want, live) << "wall-clock wait moved a backlog_cost pool up";
+    live = want;
+  }
+
+  // And the registry round-trip both signal names resolve through.
+  EXPECT_EQ(parse_autoscale_signal("wait_p99"), AutoscaleSignal::kWaitP99);
+  EXPECT_EQ(parse_autoscale_signal("backlog_cost"),
+            AutoscaleSignal::kBacklogCost);
+  EXPECT_THROW(parse_autoscale_signal("queue_depth"), Error);
+}
+
 TEST_F(ServeTest, AutoscalerGrowsUnderLoadAndShrinksWhenIdle) {
   ServerOptions opts;
   opts.num_shards = 1;
