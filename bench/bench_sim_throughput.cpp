@@ -10,17 +10,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/array.h"
 #include "arch/latency.h"
 #include "engine/engine.h"
 #include "gemm/reference.h"
+#include "mem/tile_scheduler.h"
 #include "hw/builders/multiplier.h"
 #include "hw/netlist.h"
 #include "hw/netlist_sim.h"
@@ -209,6 +212,50 @@ struct ThroughputPoint {
   sim::RunningStat macs_per_s;  // one sample per repetition
 };
 
+// One simulated roofline point: the analytic engine evaluated with the
+// memory hierarchy at `bytes_per_cycle` of DRAM bandwidth.
+struct RooflinePoint {
+  double factor;  // multiple of the compute-balanced bandwidth
+  std::int64_t bytes_per_cycle;
+  std::int64_t cycles;
+  std::int64_t stall_cycles;
+  std::int64_t dram_bytes;
+  double macs_per_cycle;
+};
+
+// Bandwidth sweep from 0.25x to 8x of the compute-balanced point (the
+// bytes/cycle at which streaming the compulsory A+B+C traffic takes
+// exactly as long as the compute).  Below 1x the stream is the makespan
+// and stalls dominate (the bandwidth roof); above it the memory model
+// costs nothing (the compute roof) — the JSON section pins that knee so
+// perf tracking can see the memory model drifting.
+std::vector<RooflinePoint> roofline_sweep() {
+  const gemm::GemmShape shape{256, 256, 64};
+  arch::ArrayConfig cfg = config_for(32);
+  const std::int64_t compute = arch::total_latency_cycles(shape, cfg, 4);
+  const std::int64_t compulsory = mem::projected_gemm_bytes(shape, cfg);
+  const std::int64_t balanced =
+      std::max<std::int64_t>(1, (compulsory + compute - 1) / compute);
+  const std::int64_t macs = shape.t * shape.n * shape.m;
+  std::vector<RooflinePoint> points;
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    cfg.mem.enabled = true;
+    cfg.mem.spad_bytes = std::int64_t{1} << 18;  // 256 KiB
+    cfg.mem.dram_bytes_per_cycle = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(factor * static_cast<double>(balanced)));
+    cfg.mem.dram_latency_cycles = 64;
+    engine::EngineBuilder builder;
+    builder.config(cfg);
+    const engine::CostEstimate cost =
+        builder.build("analytic")->evaluate(shape, 4);
+    points.push_back({factor, cfg.mem.dram_bytes_per_cycle, cost.cycles,
+                      cost.stall_cycles, cost.dram_bytes,
+                      static_cast<double>(macs) /
+                          static_cast<double>(cost.cycles)});
+  }
+  return points;
+}
+
 // Self-measured MACs/s sweep over {side, k, threads} on the threaded
 // cycle-accurate path — driven through the engine facade, like every other
 // consumer since the API redesign — written as BENCH_sim_throughput.json
@@ -250,6 +297,8 @@ void write_throughput_json(const std::string& path) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"MACs/s\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ThroughputPoint& p = points[i];
@@ -260,6 +309,18 @@ void write_throughput_json(const std::string& path) {
          << ", \"stddev\": " << p.macs_per_s.stddev()
          << ", \"reps\": " << p.macs_per_s.count() << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  const std::vector<RooflinePoint> roofline = roofline_sweep();
+  json << "  ],\n  \"roofline\": [\n";
+  for (std::size_t i = 0; i < roofline.size(); ++i) {
+    const RooflinePoint& p = roofline[i];
+    json << "    {\"bandwidth_factor\": " << p.factor
+         << ", \"dram_bytes_per_cycle\": " << p.bytes_per_cycle
+         << ", \"cycles\": " << p.cycles
+         << ", \"stall_cycles\": " << p.stall_cycles
+         << ", \"dram_bytes\": " << p.dram_bytes
+         << ", \"macs_per_cycle\": " << p.macs_per_cycle << "}"
+         << (i + 1 < roofline.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"overall_mean_macs_per_s\": " << overall.mean() << "\n}\n";
 

@@ -15,10 +15,14 @@
 //   $ ./engine_info --routers      # one fleet-router key per line (CI
 //                                  # drift check against the README's
 //                                  # "Routers" table)
+//   $ ./engine_info --memory       # one MemoryConfig knob per line (CI
+//                                  # drift check against the README's
+//                                  # "Memory hierarchy" table)
 
 #include <iostream>
 #include <string>
 
+#include "arch/config.h"
 #include "engine/engine.h"
 #include "fleet/router.h"
 #include "gemm/reference.h"
@@ -44,6 +48,12 @@ int main(int argc, char** argv) {
   }
   if (flag == "--routers") {
     for (const std::string& name : fleet::registered_routers()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flag == "--memory") {
+    for (const std::string& name : arch::MemoryConfig::knob_names()) {
       std::cout << name << "\n";
     }
     return 0;

@@ -8,6 +8,61 @@
 
 namespace af::arch {
 
+const char* reuse_strategy_name(ReuseStrategy strategy) {
+  switch (strategy) {
+    case ReuseStrategy::kAuto:
+      return "auto";
+    case ReuseStrategy::kAStationary:
+      return "a_stationary";
+    case ReuseStrategy::kBStationary:
+      return "b_stationary";
+    case ReuseStrategy::kOutputStationary:
+      return "output_stationary";
+  }
+  AF_CHECK(false, "unknown ReuseStrategy value "
+                      << static_cast<int>(strategy));
+}
+
+ReuseStrategy parse_reuse_strategy(const std::string& name) {
+  for (const ReuseStrategy s :
+       {ReuseStrategy::kAuto, ReuseStrategy::kAStationary,
+        ReuseStrategy::kBStationary, ReuseStrategy::kOutputStationary}) {
+    if (name == reuse_strategy_name(s)) return s;
+  }
+  AF_CHECK(false, "unknown reuse strategy \""
+                      << name
+                      << "\" (known: \"auto\", \"a_stationary\", "
+                         "\"b_stationary\", \"output_stationary\")");
+}
+
+void MemoryConfig::validate() const {
+  if (!enabled) return;  // disabled knobs are never read
+  AF_CHECK(spad_bytes > 0,
+           "mem.spad_bytes must be positive, got " << spad_bytes);
+  AF_CHECK(dram_bytes_per_cycle > 0,
+           "mem.dram_bytes_per_cycle must be positive, got "
+               << dram_bytes_per_cycle);
+  AF_CHECK(dram_latency_cycles >= 0,
+           "mem.dram_latency_cycles must be >= 0, got "
+               << dram_latency_cycles);
+}
+
+std::string MemoryConfig::to_string() const {
+  if (!enabled) return "magic memory";
+  return format("spad %lld B, DRAM %lld B/cyc + %lld cyc latency, reuse %s",
+                static_cast<long long>(spad_bytes),
+                static_cast<long long>(dram_bytes_per_cycle),
+                static_cast<long long>(dram_latency_cycles),
+                reuse_strategy_name(reuse));
+}
+
+std::vector<std::string> MemoryConfig::knob_names() {
+  // Sorted: the CI drift check diffs this listing (via `engine_info
+  // --memory`) against the README's "Memory hierarchy" knob table.
+  return {"dram_bytes_per_cycle", "dram_latency_cycles", "enabled", "reuse",
+          "spad_bytes"};
+}
+
 void ArrayConfig::validate() const {
   AF_CHECK(rows > 0 && cols > 0, "array dimensions must be positive, got "
                                      << rows << "x" << cols);
@@ -28,6 +83,7 @@ void ArrayConfig::validate() const {
   AF_CHECK(sim.num_threads >= 0,
            "sim.num_threads must be >= 0 (0 = all hardware threads), got "
                << sim.num_threads);
+  mem.validate();
 }
 
 bool ArrayConfig::supports(int k) const {
@@ -45,8 +101,10 @@ std::string ArrayConfig::to_string() const {
     if (!modes.empty()) modes += ",";
     modes += std::to_string(k);
   }
-  return format("%dx%d SA (k in {%s}, %d-bit ops, %d-bit acc)", rows, cols,
-                modes.c_str(), input_bits, acc_bits);
+  std::string out = format("%dx%d SA (k in {%s}, %d-bit ops, %d-bit acc)",
+                           rows, cols, modes.c_str(), input_bits, acc_bits);
+  if (mem.enabled) out += ", " + mem.to_string();
+  return out;
 }
 
 ArrayConfig ArrayConfig::square(int side) {

@@ -65,6 +65,11 @@ struct EnergyParams {
   // Extra datapath switching per additional collapsed stage.
   double glitch_per_stage = 0.12;
   double leak_mw_per_pe = 0.012;
+  // DRAM access energy per byte moved (memory hierarchy, mem::TileScheduler;
+  // LPDDR-class ~2.5 pJ/bit).  Charged by the engine on top of the array
+  // pricing — from_counters never sees traffic — and exactly zero cost when
+  // the MemoryConfig is disabled.
+  double e_dram_byte_fj = 20000.0;
 
   static EnergyParams generic28nm() { return EnergyParams{}; }
 };

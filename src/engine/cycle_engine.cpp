@@ -38,7 +38,16 @@ RunResult CycleAccurateEngine::run_gemm(const GemmRequest& request) {
                      : array_.run_gemm(*request.a, *request.b, k, &out);
 
   RunResult result;
-  result.cost = priced(stats, k);
+  if (request.sparse) {
+    // The memory-aware finalization needs the tile occupancy to know which
+    // visits moved data; scanning B mirrors what the sparse sequencer did.
+    const arch::TileOccupancy occupancy = arch::TileOccupancy::from_matrix(
+        *request.b, config().rows, config().cols);
+    result.cost = finalized(shape, k, stats.total_cycles, stats.activity,
+                            &occupancy);
+  } else {
+    result.cost = finalized(shape, k, stats.total_cycles, stats.activity);
+  }
   result.measured = true;
   if (request.want_output) result.out = std::move(out);
   return result;
@@ -53,7 +62,7 @@ CostEstimate CycleAccurateEngine::evaluate(const gemm::GemmShape& shape,
   const gemm::Mat32 b(shape.n, shape.m);
   gemm::Mat64 out;
   const arch::TileRunStats stats = array_.run_gemm(a, b, mode, &out);
-  return priced(stats, mode);
+  return finalized(shape, mode, stats.total_cycles, stats.activity);
 }
 
 CostEstimate CycleAccurateEngine::evaluate_sparse(
@@ -77,7 +86,8 @@ CostEstimate CycleAccurateEngine::evaluate_sparse(
   }
   gemm::Mat64 out;
   const arch::TileRunStats stats = array_.run_gemm_sparse(a, b, mode, &out);
-  return priced(stats, mode);
+  return finalized(shape, mode, stats.total_cycles, stats.activity,
+                   &occupancy);
 }
 
 CostEstimate CycleAccurateEngine::evaluate_tile_asym(std::int64_t t, int k_v,

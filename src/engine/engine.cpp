@@ -10,6 +10,8 @@
 #include "engine/analytic_engine.h"
 #include "engine/chaos_engine.h"
 #include "engine/cycle_engine.h"
+#include "gemm/tiling.h"
+#include "mem/tile_scheduler.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -27,6 +29,8 @@ bool exactly_equal(const CostEstimate& a, const CostEstimate& b) {
   // arithmetic on the SAME integers, not merely land close.
   return a.k == b.k && a.cycles == b.cycles && a.period_ps == b.period_ps &&
          a.time_ps == b.time_ps && a.energy_pj == b.energy_pj &&
+         a.stall_cycles == b.stall_cycles && a.dram_bytes == b.dram_bytes &&
+         a.spad_peak_bytes == b.spad_peak_bytes &&
          exactly_equal(a.activity, b.activity);
 }
 
@@ -41,6 +45,9 @@ Engine::Engine(const arch::ArrayConfig& config,
       external_pool_(shared_pool) {
   AF_CHECK(clock_ != nullptr, "engine needs a clock model");
   config_.validate();
+  if (config_.mem.enabled) {
+    tiles_ = std::make_unique<mem::TileScheduler>(config_);
+  }
   if (external_pool_ == nullptr) {
     const int threads =
         util::ThreadPool::resolve_num_threads(config_.sim.num_threads);
@@ -64,16 +71,8 @@ int Engine::resolve_mode(const gemm::GemmShape& shape, int k) const {
 
 CostEstimate Engine::analytic_estimate(const gemm::GemmShape& shape,
                                        int k) const {
-  CostEstimate est;
-  est.k = k;
-  est.cycles = arch::total_latency_cycles(shape, config_, k);
-  est.activity = arch::predict_gemm_activity(shape, config_, k);
-  est.period_ps = clock_->period_ps(k);
-  const arch::PowerResult priced = power_.from_counters(
-      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
-  est.time_ps = priced.time_ps;
-  est.energy_pj = priced.energy_pj;
-  return est;
+  return finalized(shape, k, arch::total_latency_cycles(shape, config_, k),
+                   arch::predict_gemm_activity(shape, config_, k));
 }
 
 CostEstimate Engine::analytic_tile_asym_estimate(std::int64_t t, int k_v,
@@ -95,9 +94,6 @@ CostEstimate Engine::analytic_tile_asym_estimate(std::int64_t t, int k_v,
 CostEstimate Engine::analytic_sparse_estimate(
     const gemm::GemmShape& shape, int k,
     const arch::TileOccupancy& occupancy) const {
-  CostEstimate est;
-  est.k = k;
-  est.cycles = arch::sparse_total_latency_cycles(shape, config_, k, occupancy);
   // Every executed tile is zero-padded to the full R x C geometry with the
   // full T, so the per-tile counters are identical across tiles and the
   // sparse total is simply per-tile x nnz (the dense model's `x tiles`,
@@ -105,22 +101,21 @@ CostEstimate Engine::analytic_sparse_estimate(
   const arch::ActivityCounters per =
       arch::predict_tile_activity(config_, shape.t, k);
   const std::int64_t nnz = occupancy.nonzero_tiles();
-  est.activity.mult_ops = per.mult_ops * nnz;
-  est.activity.csa_ops = per.csa_ops * nnz;
-  est.activity.cpa_ops = per.cpa_ops * nnz;
-  est.activity.hreg_writes = per.hreg_writes * nnz;
-  est.activity.vreg_writes = per.vreg_writes * nnz;
-  est.activity.wreg_writes = per.wreg_writes * nnz;
-  est.activity.acc_writes = per.acc_writes * nnz;
-  est.activity.hreg_bypassed_bit_cycles = per.hreg_bypassed_bit_cycles * nnz;
-  est.activity.vreg_bypassed_bit_cycles = per.vreg_bypassed_bit_cycles * nnz;
-  est.activity.streaming_cycles = per.streaming_cycles * nnz;
-  est.period_ps = clock_->period_ps(k);
-  const arch::PowerResult priced = power_.from_counters(
-      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
-  est.time_ps = priced.time_ps;
-  est.energy_pj = priced.energy_pj;
-  return est;
+  arch::ActivityCounters activity;
+  activity.mult_ops = per.mult_ops * nnz;
+  activity.csa_ops = per.csa_ops * nnz;
+  activity.cpa_ops = per.cpa_ops * nnz;
+  activity.hreg_writes = per.hreg_writes * nnz;
+  activity.vreg_writes = per.vreg_writes * nnz;
+  activity.wreg_writes = per.wreg_writes * nnz;
+  activity.acc_writes = per.acc_writes * nnz;
+  activity.hreg_bypassed_bit_cycles = per.hreg_bypassed_bit_cycles * nnz;
+  activity.vreg_bypassed_bit_cycles = per.vreg_bypassed_bit_cycles * nnz;
+  activity.streaming_cycles = per.streaming_cycles * nnz;
+  return finalized(shape, k,
+                   arch::sparse_total_latency_cycles(shape, config_, k,
+                                                     occupancy),
+                   activity, &occupancy);
 }
 
 void Engine::check_occupancy(const gemm::GemmShape& shape,
@@ -150,6 +145,46 @@ CostEstimate Engine::priced(const arch::TileRunStats& stats, int k) const {
       est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
   est.time_ps = priced.time_ps;
   est.energy_pj = priced.energy_pj;
+  return est;
+}
+
+CostEstimate Engine::finalized(const gemm::GemmShape& shape, int k,
+                               std::int64_t compute_cycles,
+                               const arch::ActivityCounters& activity,
+                               const arch::TileOccupancy* occupancy) const {
+  CostEstimate est;
+  est.k = k;
+  est.cycles = compute_cycles;
+  est.activity = activity;
+  est.period_ps = clock_->period_ps(k);
+  if (tiles_ != nullptr) {
+    // Re-time the tile grid through the scratchpad/DRAM hierarchy.  The
+    // per-visit array cost is compute_cycles spread over the executed
+    // tiles — an exact division: every (zero-padded) tile costs the same
+    // L(k) cycles (Eq. 3), on the measured path as on the closed form.
+    const std::int64_t executed =
+        occupancy != nullptr
+            ? occupancy->nonzero_tiles()
+            : gemm::tile_count(shape, config_.rows, config_.cols);
+    const std::int64_t per_tile =
+        executed > 0 ? compute_cycles / executed : 0;
+    if (executed > 0) {
+      const mem::MemoryPlan plan = tiles_->plan(shape, per_tile, occupancy);
+      est.cycles = plan.total_cycles;
+      est.stall_cycles = plan.stall_cycles;
+      est.dram_bytes = plan.dram_bytes();
+      est.spad_peak_bytes = plan.spad_peak_bytes;
+    }
+  }
+  const arch::PowerResult priced = power_.from_counters(
+      est.activity, est.cycles, est.period_ps, /*arrayflex_hardware=*/true, k);
+  est.time_ps = priced.time_ps;
+  // DRAM access energy is the one term from_counters cannot see (it prices
+  // array activity; traffic lives in the memory model).  dram_bytes == 0
+  // when the model is off, so the default stays bit-exact (+0.0).
+  est.energy_pj =
+      priced.energy_pj +
+      static_cast<double>(est.dram_bytes) * energy_.e_dram_byte_fj * 1e-3;
   return est;
 }
 

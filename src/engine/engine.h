@@ -66,6 +66,10 @@ namespace af::arch {
 class TileOccupancy;
 }
 
+namespace af::mem {
+class TileScheduler;
+}
+
 namespace af::engine {
 
 // One GEMM to execute: X(T x M) = A(T x N) x B(N x M).  Non-owning views;
@@ -99,11 +103,20 @@ struct GemmRequest {
 // Unified cost of one GEMM (or shape) under a given clock + energy model.
 struct CostEstimate {
   int k = 1;                      // mode the cost describes
-  std::int64_t cycles = 0;        // Eq. 4 total (preload + streaming)
+  // Eq. 4 total (preload + streaming); with the memory hierarchy enabled
+  // (arch::MemoryConfig) this is the full makespan, compute + stalls.
+  std::int64_t cycles = 0;
   double period_ps = 0.0;         // Tclock(k), Eq. 5
   double time_ps = 0.0;           // cycles x period (Eq. 6)
-  double energy_pj = 0.0;         // utilization-aware pricing of `activity`
+  // Utilization-aware pricing of `activity`, plus EnergyParams::
+  // e_dram_byte_fj per byte of `dram_bytes` when the memory model is on.
+  double energy_pj = 0.0;
   arch::ActivityCounters activity;
+  // Memory-hierarchy terms (mem::TileScheduler; all zero when the config's
+  // MemoryConfig is disabled — magic memory).
+  std::int64_t stall_cycles = 0;     // cycles the array waited on DMA
+  std::int64_t dram_bytes = 0;       // DRAM traffic, reads + writes
+  std::int64_t spad_peak_bytes = 0;  // scratchpad high-water footprint
 };
 
 // Exact equality — the audit path's cross-check and the bit-exact
@@ -208,8 +221,23 @@ class Engine {
   void check_occupancy(const gemm::GemmShape& shape,
                        const arch::TileOccupancy& occupancy) const;
   // Price measured (or predicted) counters exactly the way every consumer
-  // used to: utilization-aware, ArrayFlex hardware, Tclock(k).
+  // used to: utilization-aware, ArrayFlex hardware, Tclock(k).  Magic
+  // memory only — evaluate_tile_asym's single-tile probes stay on this
+  // path; whole-GEMM costs go through finalized() below.
   CostEstimate priced(const arch::TileRunStats& stats, int k) const;
+  // The one finalization both backends share for whole-GEMM costs: price
+  // `compute_cycles` of array work plus, when the config's MemoryConfig is
+  // enabled, the mem::TileScheduler re-timing of the tile grid's data
+  // movement (stalls burn clock and leakage; DRAM traffic adds
+  // EnergyParams::e_dram_byte_fj per byte).  Because the analytic and
+  // cycle backends feed EXACTLY equal compute cycles in (the closed forms
+  // are pinned against the simulator), their memory-aware estimates are
+  // exactly equal by construction.  With the model disabled this is
+  // byte-for-byte the old pricing.
+  CostEstimate finalized(const gemm::GemmShape& shape, int k,
+                         std::int64_t compute_cycles,
+                         const arch::ActivityCounters& activity,
+                         const arch::TileOccupancy* occupancy = nullptr) const;
 
   int resolve_mode(const gemm::GemmShape& shape, int k) const;
 
@@ -219,6 +247,8 @@ class Engine {
   arch::EnergyParams energy_;
   arch::SaPowerModel power_;
   arch::PipelineOptimizer optimizer_;
+  // Tile-traffic scheduler, constructed iff config().mem.enabled.
+  std::unique_ptr<mem::TileScheduler> tiles_;
   std::unique_ptr<util::ThreadPool> pool_;  // private, when threads requested
   util::ThreadPool* external_pool_ = nullptr;
 };

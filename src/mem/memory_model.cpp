@@ -1,0 +1,21 @@
+#include "mem/memory_model.h"
+
+#include "util/status.h"
+
+namespace af::mem {
+
+MemoryModel::MemoryModel(const arch::ArrayConfig& config)
+    : mem_(config.mem),
+      input_bytes_((config.input_bits + 7) / 8),
+      acc_bytes_((config.acc_bits + 7) / 8) {
+  mem_.validate();
+}
+
+std::int64_t MemoryModel::transfer_cycles(std::int64_t bytes) const {
+  AF_CHECK(bytes > 0, "DMA transfer needs a positive byte count, got "
+                          << bytes);
+  return mem_.dram_latency_cycles +
+         (bytes + mem_.dram_bytes_per_cycle - 1) / mem_.dram_bytes_per_cycle;
+}
+
+}  // namespace af::mem

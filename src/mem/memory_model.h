@@ -1,0 +1,64 @@
+// Scratchpad/DRAM memory hierarchy in front of the systolic array.
+//
+// Every engine used to assume magic memory: operands appear at the array
+// edge for free, so the simulator could never be memory-bound.  This
+// module models the data movement the array actually needs — a scratchpad
+// of finite capacity fed by a single in-order DMA channel from DRAM with
+// finite bandwidth (bytes/cycle) and a fixed per-transfer latency — and
+// re-times a tiled GEMM through it (mem::TileScheduler).  The knobs live
+// in arch::MemoryConfig; disabled (the default) reproduces magic memory
+// bit-identically.
+//
+// Everything here is exact integer arithmetic on purpose: the analytic
+// and cycle backends both finalize their estimates through the SAME plan
+// (engine::Engine::finalized), so the facade's exact analytic==cycle
+// equivalence contract extends to cycles, stalls, traffic and energy with
+// the memory model enabled.
+
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.h"
+
+namespace af::mem {
+
+// The outcome of scheduling one tiled GEMM's data movement through the
+// hierarchy (mem::TileScheduler::plan).
+struct MemoryPlan {
+  // The concrete strategy the plan uses (never ReuseStrategy::kAuto —
+  // auto resolves to the winner).
+  arch::ReuseStrategy strategy = arch::ReuseStrategy::kOutputStationary;
+  std::int64_t compute_cycles = 0;  // sum of the executed tiles' array cycles
+  std::int64_t stall_cycles = 0;    // total - compute: cycles lost to DMA
+  std::int64_t total_cycles = 0;    // makespan incl. the writeback drain
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+  std::int64_t spad_peak_bytes = 0;  // double-buffered scratchpad footprint
+  std::int64_t dma_transfers = 0;
+
+  std::int64_t dram_bytes() const { return dram_read_bytes + dram_write_bytes; }
+};
+
+// Byte-level view of the hierarchy: operand widths derived from the
+// ArrayConfig's datapath (input_bits for A/B, acc_bits for outputs),
+// transfer timing from the MemoryConfig.
+class MemoryModel {
+ public:
+  explicit MemoryModel(const arch::ArrayConfig& config);
+
+  const arch::MemoryConfig& config() const { return mem_; }
+  std::int64_t input_bytes() const { return input_bytes_; }  // per A/B element
+  std::int64_t acc_bytes() const { return acc_bytes_; }      // per C element
+
+  // Cycles one DMA transfer of `bytes` occupies the in-order channel:
+  // fixed DRAM latency plus bandwidth-limited streaming.
+  std::int64_t transfer_cycles(std::int64_t bytes) const;
+
+ private:
+  arch::MemoryConfig mem_;
+  std::int64_t input_bytes_ = 0;
+  std::int64_t acc_bytes_ = 0;
+};
+
+}  // namespace af::mem

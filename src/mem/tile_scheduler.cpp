@@ -1,0 +1,309 @@
+#include "mem/tile_scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/status.h"
+
+namespace af::mem {
+namespace {
+
+// One DMA transfer in issue order through the single in-order channel.
+// `consumer`: executed-visit index whose compute waits for this transfer
+// to COMPLETE (-1 = none).  `after_visit`: executed-visit index whose
+// compute must FINISH before the transfer may START (-1 = immediately) —
+// the double-buffer constraint for fetches, the data dependency for
+// evictions and spills.
+struct Transfer {
+  std::int64_t bytes = 0;
+  std::int64_t consumer = -1;
+  std::int64_t after_visit = -1;
+  bool write = false;
+};
+
+// One outer-loop group with at least one executed visit: the column group
+// j (M-outer strategies) or the row group i (a_stationary), with the
+// executed inner indices in execution order.
+struct Group {
+  std::int64_t key = 0;
+  std::vector<std::int64_t> members;
+  std::int64_t first = 0;  // global executed-visit index of members.front()
+  std::int64_t last = 0;   // ... and members.back()
+};
+
+}  // namespace
+
+TileScheduler::TileScheduler(const arch::ArrayConfig& config)
+    : config_(config), model_(config) {
+  AF_CHECK(config.mem.enabled,
+           "TileScheduler needs an enabled MemoryConfig (disabled = magic "
+           "memory, nothing to schedule)");
+}
+
+std::int64_t TileScheduler::min_spad_bytes(
+    const gemm::GemmShape& shape, arch::ReuseStrategy strategy) const {
+  const std::int64_t in_b = model_.input_bytes();
+  const std::int64_t acc_b = model_.acc_bytes();
+  // Working-set maxima over the DENSE tile grid — buffers are provisioned
+  // statically, they cannot depend on which tiles happen to be zero.
+  const std::int64_t rows = std::min<std::int64_t>(config_.rows, shape.n);
+  const std::int64_t cols = std::min<std::int64_t>(config_.cols, shape.m);
+  const std::int64_t max_a = shape.t * rows * in_b;       // one A panel
+  const std::int64_t max_b = rows * cols * in_b;          // one B tile
+  const std::int64_t max_bg = shape.n * cols * in_b;      // one B column group
+  const std::int64_t max_c = shape.t * cols * acc_b;      // one C group
+  const std::int64_t sum_c = shape.t * shape.m * acc_b;   // the whole C
+  switch (strategy) {
+    case arch::ReuseStrategy::kOutputStationary:
+      return 2 * max_a + 2 * max_b + max_c;
+    case arch::ReuseStrategy::kBStationary:
+      return 2 * max_bg + 2 * max_a + max_c;
+    case arch::ReuseStrategy::kAStationary:
+      // Resident output (sum_c) when it fits, else spill buffers (2 max_c).
+      return 2 * max_a + 2 * max_b + std::min(sum_c, 2 * max_c);
+    case arch::ReuseStrategy::kAuto:
+      return std::min(
+          {min_spad_bytes(shape, arch::ReuseStrategy::kAStationary),
+           min_spad_bytes(shape, arch::ReuseStrategy::kBStationary),
+           min_spad_bytes(shape, arch::ReuseStrategy::kOutputStationary)});
+  }
+  AF_CHECK(false, "unknown ReuseStrategy value "
+                      << static_cast<int>(strategy));
+}
+
+MemoryPlan TileScheduler::plan(const gemm::GemmShape& shape,
+                               std::int64_t per_tile_cycles,
+                               const arch::TileOccupancy* occupancy) const {
+  AF_CHECK(shape.m > 0 && shape.n > 0 && shape.t > 0,
+           "GEMM shape must be positive, got m=" << shape.m
+                                                 << " n=" << shape.n
+                                                 << " t=" << shape.t);
+  AF_CHECK(per_tile_cycles > 0, "per_tile_cycles must be positive, got "
+                                    << per_tile_cycles);
+  const arch::ReuseStrategy want = config_.mem.reuse;
+  if (occupancy != nullptr && occupancy->nonzero_tiles() == 0) {
+    // Every tile is skipped: nothing computes, nothing moves.
+    MemoryPlan empty;
+    empty.strategy = want == arch::ReuseStrategy::kAuto
+                         ? arch::ReuseStrategy::kOutputStationary
+                         : want;
+    return empty;
+  }
+  const std::int64_t spad = config_.mem.spad_bytes;
+  if (want != arch::ReuseStrategy::kAuto) {
+    AF_CHECK(min_spad_bytes(shape, want) <= spad,
+             "reuse strategy " << arch::reuse_strategy_name(want)
+                               << " needs at least "
+                               << min_spad_bytes(shape, want)
+                               << " scratchpad bytes for shape (m=" << shape.m
+                               << ", n=" << shape.n << ", t=" << shape.t
+                               << "), config has " << spad);
+    return plan_one(shape, want, per_tile_cycles, occupancy);
+  }
+  MemoryPlan best;
+  bool have = false;
+  for (const arch::ReuseStrategy s : {arch::ReuseStrategy::kAStationary,
+                                      arch::ReuseStrategy::kBStationary,
+                                      arch::ReuseStrategy::kOutputStationary}) {
+    if (min_spad_bytes(shape, s) > spad) continue;
+    MemoryPlan p = plan_one(shape, s, per_tile_cycles, occupancy);
+    if (!have || p.total_cycles < best.total_cycles ||
+        (p.total_cycles == best.total_cycles &&
+         p.dram_bytes() < best.dram_bytes())) {
+      best = p;
+      have = true;
+    }
+  }
+  AF_CHECK(have, "no reuse strategy fits " << spad
+                                           << " scratchpad bytes for shape (m="
+                                           << shape.m << ", n=" << shape.n
+                                           << ", t=" << shape.t
+                                           << "); smallest workable scratchpad is "
+                                           << min_spad_bytes(
+                                                  shape,
+                                                  arch::ReuseStrategy::kAuto));
+  return best;
+}
+
+MemoryPlan TileScheduler::plan_one(const gemm::GemmShape& shape,
+                                   arch::ReuseStrategy strategy,
+                                   std::int64_t per_tile_cycles,
+                                   const arch::TileOccupancy* occupancy) const {
+  const std::int64_t array_rows = config_.rows;
+  const std::int64_t array_cols = config_.cols;
+  const std::int64_t row_tiles = (shape.n + array_rows - 1) / array_rows;
+  const std::int64_t col_tiles = (shape.m + array_cols - 1) / array_cols;
+  const std::int64_t in_b = model_.input_bytes();
+  const std::int64_t acc_b = model_.acc_bytes();
+  const auto n_ext = [&](std::int64_t i) {
+    return std::min(array_rows, shape.n - i * array_rows);
+  };
+  const auto m_ext = [&](std::int64_t j) {
+    return std::min(array_cols, shape.m - j * array_cols);
+  };
+  const auto a_bytes = [&](std::int64_t i) { return shape.t * n_ext(i) * in_b; };
+  const auto b_bytes = [&](std::int64_t i, std::int64_t j) {
+    return n_ext(i) * m_ext(j) * in_b;
+  };
+  const auto c_bytes = [&](std::int64_t j) { return shape.t * m_ext(j) * acc_b; };
+  const auto is_executed = [&](std::int64_t i, std::int64_t j) {
+    return occupancy == nullptr || occupancy->is_nonzero(i, j);
+  };
+
+  const bool m_outer = strategy != arch::ReuseStrategy::kAStationary;
+  std::vector<Group> groups;
+  std::int64_t visits = 0;
+  for (std::int64_t outer = 0; outer < (m_outer ? col_tiles : row_tiles);
+       ++outer) {
+    Group g;
+    g.key = outer;
+    for (std::int64_t inner = 0; inner < (m_outer ? row_tiles : col_tiles);
+         ++inner) {
+      const std::int64_t i = m_outer ? inner : outer;
+      const std::int64_t j = m_outer ? outer : inner;
+      if (is_executed(i, j)) g.members.push_back(inner);
+    }
+    if (g.members.empty()) continue;  // fully skipped group: no traffic
+    g.first = visits;
+    visits += static_cast<std::int64_t>(g.members.size());
+    g.last = visits - 1;
+    groups.push_back(std::move(g));
+  }
+
+  MemoryPlan out;
+  out.strategy = strategy;
+  if (visits == 0) return out;
+
+  // a_stationary keeps the whole output resident when it fits; otherwise
+  // partials spill after every visit and reload on every revisit.
+  const std::int64_t a_stationary_resident_bytes =
+      2 * shape.t * std::min(array_rows, shape.n) * in_b +       // A buffers
+      2 * std::min(array_rows, shape.n) * std::min(array_cols, shape.m) *
+          in_b +                                                 // B buffers
+      shape.t * shape.m * acc_b;                                 // whole C
+  const bool resident_c = strategy == arch::ReuseStrategy::kAStationary &&
+                          a_stationary_resident_bytes <=
+                              config_.mem.spad_bytes;
+  out.spad_peak_bytes = resident_c ? a_stationary_resident_bytes
+                                   : min_spad_bytes(shape, strategy);
+
+  std::vector<Transfer> transfers;
+  transfers.reserve(static_cast<std::size_t>(visits) * 2 + groups.size() * 2);
+  const std::int64_t num_groups = static_cast<std::int64_t>(groups.size());
+
+  if (m_outer) {
+    // output_stationary / b_stationary: sweep column groups; C(j)
+    // accumulates in a single resident buffer, drained once per group (the
+    // next group's first visit waits on the drain).
+    const auto group_b_bytes = [&](const Group& g) {
+      std::int64_t total = 0;
+      for (const std::int64_t i : g.members) total += b_bytes(i, g.key);
+      return total;
+    };
+    std::int64_t v = 0;
+    for (std::int64_t gi = 0; gi < num_groups; ++gi) {
+      const Group& g = groups[gi];
+      if (strategy == arch::ReuseStrategy::kBStationary && gi == 0) {
+        transfers.push_back({group_b_bytes(g), g.first, -1, false});
+      }
+      for (const std::int64_t i : g.members) {
+        transfers.push_back({a_bytes(i), v, v - 2, false});
+        if (strategy == arch::ReuseStrategy::kOutputStationary) {
+          transfers.push_back({b_bytes(i, g.key), v, v - 2, false});
+        }
+        ++v;
+      }
+      if (strategy == arch::ReuseStrategy::kBStationary && gi + 1 < num_groups) {
+        // Prefetch the next column group's burst while this group computes;
+        // the burst reuses the buffer freed when group gi-1 finished.
+        transfers.push_back({group_b_bytes(groups[gi + 1]),
+                             groups[gi + 1].first,
+                             gi >= 1 ? groups[gi - 1].last : -1, false});
+      }
+      transfers.push_back({c_bytes(g.key),
+                           gi + 1 < num_groups ? groups[gi + 1].first : -1,
+                           g.last, true});
+    }
+  } else {
+    // a_stationary: sweep row groups; A(i) arrives in one burst per group,
+    // prefetched a group ahead, B tiles stream per visit.
+    std::vector<std::int64_t> last_visit_of_col(col_tiles, -1);
+    std::int64_t v = 0;
+    for (std::int64_t gi = 0; gi < num_groups; ++gi) {
+      const Group& g = groups[gi];
+      if (gi == 0) transfers.push_back({a_bytes(g.key), g.first, -1, false});
+      for (const std::int64_t j : g.members) {
+        transfers.push_back({b_bytes(g.key, j), v, v - 2, false});
+        if (!resident_c) {
+          if (last_visit_of_col[j] >= 0) {
+            transfers.push_back({c_bytes(j), v, v - 2, false});  // reload
+          }
+          transfers.push_back({c_bytes(j), -1, v, true});  // spill out
+        }
+        last_visit_of_col[j] = v;
+        ++v;
+      }
+      if (gi + 1 < num_groups) {
+        transfers.push_back({a_bytes(groups[gi + 1].key),
+                             groups[gi + 1].first,
+                             gi >= 1 ? groups[gi - 1].last : -1, false});
+      }
+    }
+    if (resident_c) {
+      for (std::int64_t j = 0; j < col_tiles; ++j) {
+        if (last_visit_of_col[j] >= 0) {
+          transfers.push_back({c_bytes(j), -1, last_visit_of_col[j], true});
+        }
+      }
+    }
+  }
+
+  // Re-time compute against the in-order DMA channel.  Compute is lazy:
+  // visit v's end time is resolved the first time a transfer depends on it
+  // (or at the end), after all of v's fetches have been issued — issue
+  // order guarantees that.
+  std::vector<std::int64_t> ready(static_cast<std::size_t>(visits), 0);
+  std::vector<std::int64_t> end(static_cast<std::size_t>(visits), 0);
+  std::int64_t dma_free = 0;
+  std::int64_t comp_clock = 0;
+  std::int64_t next_compute = 0;
+  const auto compute_through = [&](std::int64_t u) {
+    while (next_compute <= u) {
+      comp_clock = std::max(comp_clock,
+                            ready[static_cast<std::size_t>(next_compute)]) +
+                   per_tile_cycles;
+      end[static_cast<std::size_t>(next_compute)] = comp_clock;
+      ++next_compute;
+    }
+  };
+  for (const Transfer& tr : transfers) {
+    std::int64_t start = dma_free;
+    if (tr.after_visit >= 0) {
+      compute_through(tr.after_visit);
+      start = std::max(start, end[static_cast<std::size_t>(tr.after_visit)]);
+    }
+    dma_free = start + model_.transfer_cycles(tr.bytes);
+    if (tr.consumer >= 0) {
+      std::int64_t& r = ready[static_cast<std::size_t>(tr.consumer)];
+      r = std::max(r, dma_free);
+    }
+    ++out.dma_transfers;
+    (tr.write ? out.dram_write_bytes : out.dram_read_bytes) += tr.bytes;
+  }
+  compute_through(visits - 1);
+  out.compute_cycles = per_tile_cycles * visits;
+  out.total_cycles = std::max(comp_clock, dma_free);
+  out.stall_cycles = out.total_cycles - out.compute_cycles;
+  return out;
+}
+
+std::int64_t projected_gemm_bytes(const gemm::GemmShape& shape,
+                                  const arch::ArrayConfig& config) {
+  const std::int64_t in_b = (config.input_bits + 7) / 8;
+  const std::int64_t acc_b = (config.acc_bits + 7) / 8;
+  return shape.t * shape.n * in_b +   // activations A
+         shape.n * shape.m * in_b +   // weights B
+         shape.t * shape.m * acc_b;   // outputs C
+}
+
+}  // namespace af::mem

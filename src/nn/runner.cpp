@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "arch/latency.h"
+#include "gemm/tiling.h"
+#include "mem/tile_scheduler.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +50,9 @@ arch::EfficiencyComparison ModelReport::totals() const {
 InferenceRunner::InferenceRunner(std::shared_ptr<engine::Engine> engine)
     : engine_(std::move(engine)) {
   AF_CHECK(engine_ != nullptr, "InferenceRunner needs an engine");
+  if (engine_->config().mem.enabled) {
+    tiles_ = std::make_unique<mem::TileScheduler>(engine_->config());
+  }
 }
 
 InferenceRunner::InferenceRunner(const arch::ArrayConfig& config,
@@ -78,6 +84,19 @@ LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
   report.conventional = optimizer.conventional(report.shape);
   report.arrayflex_power = power.arrayflex(report.shape, report.arrayflex.k);
   report.conventional_power = power.conventional(report.shape);
+  if (tiles_ != nullptr) {
+    // Same finalization arithmetic as engine::Engine::finalized: uniform
+    // per-tile cycles (the closed-form total divides exactly by the tile
+    // count), so these fields match what evaluate() would report.
+    const std::int64_t compute = arch::total_latency_cycles(
+        report.shape, engine_->config(), report.arrayflex.k);
+    const std::int64_t tiles = gemm::tile_count(
+        report.shape, engine_->config().rows, engine_->config().cols);
+    const mem::MemoryPlan plan = tiles_->plan(report.shape, compute / tiles);
+    report.dram_bytes = plan.dram_bytes();
+    report.stall_cycles = plan.stall_cycles;
+    report.spad_peak_bytes = plan.spad_peak_bytes;
+  }
   return report;
 }
 
@@ -110,6 +129,10 @@ ModelReport InferenceRunner::run_slice(const Model& model, std::size_t first,
     report.conventional_time_ps += lr.conventional.time_ps;
     report.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
     report.conventional_energy_pj += lr.conventional_power.energy_pj;
+    report.arrayflex_dram_bytes += lr.dram_bytes;
+    report.arrayflex_stall_cycles += lr.stall_cycles;
+    report.spad_peak_bytes = std::max(report.spad_peak_bytes,
+                                      lr.spad_peak_bytes);
   }
   return report;
 }

@@ -34,6 +34,10 @@ namespace af::util {
 class ThreadPool;
 }
 
+namespace af::mem {
+class TileScheduler;
+}
+
 namespace af::nn {
 
 struct LayerReport {
@@ -45,6 +49,13 @@ struct LayerReport {
   arch::ModeDecision conventional;
   arch::PowerResult arrayflex_power;
   arch::PowerResult conventional_power;
+
+  // Memory-hierarchy footprint of the ArrayFlex execution at the chosen
+  // mode.  All zero when the engine runs with magic memory
+  // (MemoryConfig::enabled == false).
+  std::int64_t dram_bytes = 0;
+  std::int64_t stall_cycles = 0;
+  std::int64_t spad_peak_bytes = 0;
 
   // Per-layer execution-time savings of ArrayFlex over the conventional SA
   // (negative when the conventional SA's faster clock wins).
@@ -61,6 +72,13 @@ struct ModelReport {
   double conventional_time_ps = 0.0;
   double arrayflex_energy_pj = 0.0;
   double conventional_energy_pj = 0.0;
+
+  // Whole-model memory-hierarchy totals (sums over layers; spad_peak_bytes
+  // is the max, since layers execute back to back on one scratchpad).
+  // All zero with magic memory.
+  std::int64_t arrayflex_dram_bytes = 0;
+  std::int64_t arrayflex_stall_cycles = 0;
+  std::int64_t spad_peak_bytes = 0;
 
   double arrayflex_avg_power_mw() const;
   double conventional_avg_power_mw() const;
@@ -110,6 +128,10 @@ class InferenceRunner {
 
  private:
   std::shared_ptr<engine::Engine> engine_;
+  // Present iff the engine's MemoryConfig is enabled; plans per-layer data
+  // movement for the footprint fields.  plan() is const and pure, so the
+  // parallel layer fan-out in run_slice stays race-free.
+  std::unique_ptr<mem::TileScheduler> tiles_;
 };
 
 }  // namespace af::nn

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -26,8 +27,11 @@ std::uint64_t splitmix64(std::uint64_t x) {
 class GlobalDispatcher final : public Dispatcher {
  public:
   explicit GlobalDispatcher(const DispatcherOptions& options)
-      : queue_(options.queue_capacity, options.drr_quantum),
+      : queue_(options.queue_capacity, options.drr_quantum,
+               options.drr_deadline_urgent_ms,
+               options.drr_deadline_weight_cap),
         max_batch_(options.max_batch),
+        max_batch_bytes_(options.max_batch_bytes),
         can_scale_(options.can_scale),
         live_(options.live_shards) {
     AF_CHECK(options.live_shards >= 1 &&
@@ -63,12 +67,14 @@ class GlobalDispatcher final : public Dispatcher {
       // assemble_batch runs at every dispatch.
       std::optional<Request> head = queue_.pop();
       if (!head) return std::nullopt;
-      return assemble_batch(std::move(*head), queue_, max_batch_);
+      return assemble_batch(std::move(*head), queue_, max_batch_,
+                            max_batch_bytes_);
     }
     for (;;) {
       if (shard >= live_.load(std::memory_order_acquire)) return std::nullopt;
       if (std::optional<Request> head = queue_.try_pop()) {
-        return assemble_batch(std::move(*head), queue_, max_batch_);
+        return assemble_batch(std::move(*head), queue_, max_batch_,
+                              max_batch_bytes_);
       }
       // kClosed is final (closed AND drained; no push succeeds after
       // close), so the tri-state wait doubles as the shutdown check — no
@@ -101,6 +107,8 @@ class GlobalDispatcher final : public Dispatcher {
 
   std::int64_t approx_cost() const override { return queue_.approx_cost(); }
 
+  std::int64_t approx_bytes() const override { return queue_.approx_bytes(); }
+
   std::vector<Request> drain_remaining() override {
     AF_CHECK(queue_.closed(), "drain_remaining before close");
     return queue_.drain_all();
@@ -109,6 +117,7 @@ class GlobalDispatcher final : public Dispatcher {
  private:
   RequestQueue queue_;
   const int max_batch_;
+  const std::int64_t max_batch_bytes_;
   const bool can_scale_;
   std::atomic<int> live_;
 };
@@ -119,6 +128,7 @@ class StealingDispatcher final : public Dispatcher {
  public:
   explicit StealingDispatcher(const DispatcherOptions& options)
       : max_batch_(options.max_batch),
+        max_batch_bytes_(options.max_batch_bytes),
         live_(options.live_shards),
         rng_state_(options.steal_seed),
         failpoint_(options.failpoint) {
@@ -128,8 +138,9 @@ class StealingDispatcher final : public Dispatcher {
              "live_shards must be in [1, max_shards]");
     queues_.reserve(static_cast<std::size_t>(options.max_shards));
     for (int i = 0; i < options.max_shards; ++i) {
-      queues_.push_back(std::make_unique<RequestQueue>(options.queue_capacity,
-                                                       options.drr_quantum));
+      queues_.push_back(std::make_unique<RequestQueue>(
+          options.queue_capacity, options.drr_quantum,
+          options.drr_deadline_urgent_ms, options.drr_deadline_weight_cap));
     }
     probe_seq_.resize(static_cast<std::size_t>(options.max_shards));
     banned_ = std::make_unique<std::atomic<bool>[]>(
@@ -185,7 +196,7 @@ class StealingDispatcher final : public Dispatcher {
             steals_.fetch_add(1, std::memory_order_relaxed);
             Batch batch = assemble_batch(
                 std::move(*head), *queues_[static_cast<std::size_t>(s)],
-                max_batch_);
+                max_batch_, max_batch_bytes_);
             batch.stolen = true;
             top_up(batch, s);
             return batch;
@@ -194,8 +205,8 @@ class StealingDispatcher final : public Dispatcher {
       }
       // Own deque first: affinity keeps a tenant's coalescable stream here.
       if (std::optional<Request> head = queues_[shard]->try_pop()) {
-        Batch batch =
-            assemble_batch(std::move(*head), *queues_[shard], max_batch_);
+        Batch batch = assemble_batch(std::move(*head), *queues_[shard],
+                                     max_batch_, max_batch_bytes_);
         top_up(batch, shard);
         return batch;
       }
@@ -233,7 +244,7 @@ class StealingDispatcher final : public Dispatcher {
             // Riders come from the VICTIM's deque: the stolen unit is the
             // victim's whole DRR round, so fairness moves with the work.
             Batch batch = assemble_batch(std::move(*head), *queues_[victim],
-                                         max_batch_);
+                                         max_batch_, max_batch_bytes_);
             batch.stolen = true;
             top_up(batch, victim);
             return batch;
@@ -332,6 +343,12 @@ class StealingDispatcher final : public Dispatcher {
     return total;
   }
 
+  std::int64_t approx_bytes() const override {
+    std::int64_t total = 0;
+    for (const auto& q : queues_) total += q->approx_bytes();
+    return total;
+  }
+
   std::vector<Request> drain_remaining() override {
     // The control mutex orders this after any in-flight scale-down or
     // quarantine drain — their blocking re-submits land in some queue
@@ -396,11 +413,24 @@ class StealingDispatcher final : public Dispatcher {
     if (batch.requests.empty()) return;
     int budget = max_batch_ - static_cast<int>(batch.requests.size());
     if (budget <= 0) return;
+    // The byte budget continues across deques: what assemble_batch already
+    // admitted counts against it (same contract as the local sweep).
+    std::int64_t byte_budget = std::numeric_limits<std::int64_t>::max();
+    if (max_batch_bytes_ > 0) {
+      byte_budget = max_batch_bytes_;
+      for (const Request& r : batch.requests) byte_budget -= r.drr_bytes;
+      if (byte_budget <= 0) return;
+    }
     for (std::size_t i = 0; i < queues_.size() && budget > 0; ++i) {
       if (static_cast<int>(i) == swept) continue;
       if (queues_[i]->approx_size() == 0) continue;
       std::vector<Request> riders = queues_[i]->pop_all_if(
-          [&](const Request& r) { return compatible(batch.requests.front(), r); },
+          [&](const Request& r) {
+            if (!compatible(batch.requests.front(), r)) return false;
+            if (r.drr_bytes > byte_budget) return false;
+            byte_budget -= r.drr_bytes;
+            return true;
+          },
           budget);
       budget -= static_cast<int>(riders.size());
       for (Request& r : riders) batch.requests.push_back(std::move(r));
@@ -408,6 +438,7 @@ class StealingDispatcher final : public Dispatcher {
   }
 
   const int max_batch_;
+  const std::int64_t max_batch_bytes_;
   std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::atomic<int> live_;
   std::atomic<bool> closed_{false};

@@ -68,8 +68,17 @@ struct DispatcherOptions {
   // backpressure domain — see the README migration notes).
   std::size_t queue_capacity = 256;
   std::int64_t drr_quantum = RequestQueue::kDefaultQuantum;
+  // Deadline-weighted DRR (see the RequestQueue constructor): requests
+  // within `drr_deadline_urgent_ms` of their deadline earn their tenant a
+  // multiplied quantum, capped at `drr_deadline_weight_cap` x the fair
+  // share.  0 (the default) disables the weighting.
+  std::int64_t drr_deadline_urgent_ms = 0;
+  std::int64_t drr_deadline_weight_cap = 8;
   // Coalescing cap per dispatch; 1 disables batching.
   int max_batch = 8;
+  // Byte budget per batch (summed Request::drr_bytes, the projected DRAM
+  // traffic); 0 = unlimited.  See assemble_batch.
+  std::int64_t max_batch_bytes = 0;
   // Slot space: the most shards the server may ever scale to.
   int max_shards = 1;
   // Initially live prefix [0, live_shards).
@@ -164,6 +173,12 @@ class Dispatcher {
   // simulated-hardware-pressure twin of approx_depth — feeds the
   // backlog_cost autoscale signal and the fleet router's load reports.
   virtual std::int64_t approx_cost() const = 0;
+
+  // Lock-free backlog-bytes HINT: summed Request::drr_bytes (projected
+  // DRAM traffic) queued across all shards — the bandwidth-pressure twin
+  // of approx_cost, feeding the backlog_bytes autoscale signal and the
+  // byte-threshold overload check.
+  virtual std::int64_t approx_bytes() const = 0;
 
   // Removes and returns EVERYTHING still queued, across all shards.  The
   // no-loss handoff hook: Server::quiesce calls it after close() so queued

@@ -18,10 +18,19 @@ std::int64_t deadline_ns(Clock::time_point deadline) {
 
 }  // namespace
 
-RequestQueue::RequestQueue(std::size_t capacity, std::int64_t quantum)
-    : capacity_(capacity), quantum_(quantum) {
+RequestQueue::RequestQueue(std::size_t capacity, std::int64_t quantum,
+                           std::int64_t deadline_urgent_ms,
+                           std::int64_t deadline_weight_cap)
+    : capacity_(capacity),
+      quantum_(quantum),
+      deadline_urgent_ns_(deadline_urgent_ms * 1'000'000),
+      weight_cap_(deadline_weight_cap) {
   AF_CHECK(capacity > 0, "request queue needs a positive capacity");
   AF_CHECK(quantum > 0, "DRR quantum must be positive");
+  AF_CHECK(deadline_urgent_ms >= 0,
+           "deadline_urgent_ms must be non-negative");
+  AF_CHECK(deadline_weight_cap >= 1,
+           "deadline_weight_cap must be at least 1");
 }
 
 bool RequestQueue::push(Request r) {
@@ -46,10 +55,12 @@ PushResult RequestQueue::push_for(Request& r,
     earliest_deadline_ns_.store(dl, std::memory_order_relaxed);
   }
   cost_total_ += r.drr_cost;
+  bytes_total_ += r.drr_bytes;
   tq.items.push_back(std::move(r));
   ++total_;
   approx_size_.store(total_, std::memory_order_relaxed);
   approx_cost_.store(cost_total_, std::memory_order_relaxed);
+  approx_bytes_.store(bytes_total_, std::memory_order_relaxed);
   lock.unlock();
   not_empty_.notify_one();
   return PushResult::kAccepted;
@@ -63,10 +74,27 @@ Request RequestQueue::take_front_locked() {
   tq.deficit -= r.drr_cost;
   --total_;
   cost_total_ -= r.drr_cost;
+  bytes_total_ -= r.drr_bytes;
   approx_size_.store(total_, std::memory_order_relaxed);
   approx_cost_.store(cost_total_, std::memory_order_relaxed);
+  approx_bytes_.store(bytes_total_, std::memory_order_relaxed);
   retire_if_empty_locked(tenant);
   return r;
+}
+
+std::int64_t RequestQueue::quantum_for_locked(const TenantQueue& tq,
+                                              std::int64_t now_ns) const {
+  if (deadline_urgent_ns_ == 0) return quantum_;
+  const std::int64_t dl = deadline_ns(tq.items.front().deadline);
+  if (dl == std::numeric_limits<std::int64_t>::max()) return quantum_;
+  const std::int64_t slack = dl - now_ns;
+  if (slack >= deadline_urgent_ns_) return quantum_;
+  // Inside the urgent window the weight ramps hyperbolically from 1 to the
+  // cap as slack runs out; at or past the deadline the cap applies.
+  const std::int64_t weight =
+      slack <= 0 ? weight_cap_
+                 : std::min(weight_cap_, deadline_urgent_ns_ / slack);
+  return quantum_ * std::max<std::int64_t>(1, weight);
 }
 
 void RequestQueue::retire_if_empty_locked(const std::string& tenant) {
@@ -112,6 +140,15 @@ Request RequestQueue::pop_drr_locked() {
   // — a head request costing thousands of quanta dispatches in O(ring)
   // work under the lock, with shares identical to circling that many
   // times.
+  // One clock read per pop, not per visit: the urgency weight of a head
+  // request moves far slower than the DRR pointer.  With the weighting
+  // disabled (the default) the clock is never read at all.
+  const std::int64_t now_ns =
+      deadline_urgent_ns_ > 0
+          ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count()
+          : 0;
   std::size_t fruitless = 0;
   for (;;) {
     if (ring_pos_ >= ring_.size()) ring_pos_ = 0;
@@ -134,7 +171,7 @@ Request RequestQueue::pop_drr_locked() {
     }
     if (!tq.credited) {
       tq.credited = true;
-      tq.deficit += quantum_;
+      tq.deficit += quantum_for_locked(tq, now_ns);
       continue;  // retry this tenant with the fresh credit
     }
     tq.credited = false;  // visit over; keep the accumulated deficit
@@ -148,16 +185,18 @@ Request RequestQueue::pop_drr_locked() {
       std::int64_t min_rounds = 0;
       for (const std::string& name : ring_) {
         const TenantQueue& t = tenants_[name];
+        const std::int64_t per_round = quantum_for_locked(t, now_ns);
         const std::int64_t shortfall =
             t.items.front().drr_cost - t.deficit;
         const std::int64_t rounds =
-            shortfall <= 0 ? 0 : (shortfall + quantum_ - 1) / quantum_;
+            shortfall <= 0 ? 0 : (shortfall + per_round - 1) / per_round;
         if (min_rounds == 0 || rounds < min_rounds) min_rounds = rounds;
         if (rounds == 0) break;
       }
       if (min_rounds > 0) {
         for (const std::string& name : ring_) {
-          tenants_[name].deficit += min_rounds * quantum_;
+          TenantQueue& t = tenants_[name];
+          t.deficit += min_rounds * quantum_for_locked(t, now_ns);
         }
       }
     }
@@ -201,8 +240,10 @@ std::vector<Request> RequestQueue::pop_all_if(
         tq.deficit -= it->drr_cost;
         --total_;
         cost_total_ -= it->drr_cost;
+        bytes_total_ -= it->drr_bytes;
         approx_size_.store(total_, std::memory_order_relaxed);
         approx_cost_.store(cost_total_, std::memory_order_relaxed);
+        approx_bytes_.store(bytes_total_, std::memory_order_relaxed);
         out.push_back(std::move(*it));
         it = tq.items.erase(it);
       } else {
@@ -230,8 +271,10 @@ std::vector<Request> RequestQueue::drain_all() {
   ring_pos_ = 0;
   total_ = 0;
   cost_total_ = 0;
+  bytes_total_ = 0;
   approx_size_.store(0, std::memory_order_relaxed);
   approx_cost_.store(0, std::memory_order_relaxed);
+  approx_bytes_.store(0, std::memory_order_relaxed);
   earliest_deadline_ns_.store(std::numeric_limits<std::int64_t>::max(),
                               std::memory_order_relaxed);
   if (!out.empty()) {
@@ -278,8 +321,10 @@ std::vector<Request> RequestQueue::remove_expired(Clock::time_point now) {
         // expired request was never served.
         --total_;
         cost_total_ -= it->drr_cost;
+        bytes_total_ -= it->drr_bytes;
         approx_size_.store(total_, std::memory_order_relaxed);
         approx_cost_.store(cost_total_, std::memory_order_relaxed);
+        approx_bytes_.store(bytes_total_, std::memory_order_relaxed);
         out.push_back(std::move(*it));
         it = tq.items.erase(it);
       } else {

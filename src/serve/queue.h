@@ -64,8 +64,18 @@ class RequestQueue {
   // larger quanta allow longer per-tenant bursts.
   static constexpr std::int64_t kDefaultQuantum = 1 << 20;
 
+  // DEADLINE-WEIGHTED DRR: when `deadline_urgent_ms` > 0, a tenant whose
+  // head request is inside that window of its deadline earns a multiplied
+  // quantum — credit = quantum x clamp(urgent / slack, 1, weight_cap) — so
+  // urgent tenants drain faster as the clock runs out, up to weight_cap x
+  // the fair share (requests at or past their deadline get the full cap;
+  // the reaper expires them soon after anyway).  Long-run shares of
+  // deadline-free traffic are unchanged, and the default (0) disables the
+  // weighting entirely: no clock is read on the pop path.
   explicit RequestQueue(std::size_t capacity,
-                        std::int64_t quantum = kDefaultQuantum);
+                        std::int64_t quantum = kDefaultQuantum,
+                        std::int64_t deadline_urgent_ms = 0,
+                        std::int64_t deadline_weight_cap = 8);
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
@@ -154,6 +164,15 @@ class RequestQueue {
     return approx_cost_.load(std::memory_order_relaxed);
   }
 
+  // Lock-free BACKLOG-BYTES hint: the summed Request::drr_bytes (projected
+  // DRAM traffic) of everything currently queued, mirrored like
+  // approx_cost.  The bandwidth-pressure signal: consumed by the
+  // backlog_bytes autoscale signal and the byte-budgeted batch assembly —
+  // a backlog can be compute-light yet saturate the DRAM pins.
+  std::int64_t approx_bytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Locality hint for the stealing dispatcher's victim scan: the
   // admission-decided pipeline mode of the request the DRR position would
   // serve next (nullopt when empty or when the next request is an
@@ -180,6 +199,12 @@ class RequestQueue {
   // Serves tenants_[ring_[ring_pos_]]'s head request; caller holds the
   // lock and guarantees the tenant is backlogged.
   Request take_front_locked();
+  // The quantum this tenant earns on a DRR visit: quantum_, scaled by the
+  // deadline-urgency weight of its head request (see the constructor
+  // comment).  `now_ns` is the clock captured once per pop_drr_locked
+  // (unused, and never read, when the weighting is disabled).
+  std::int64_t quantum_for_locked(const TenantQueue& tq,
+                                  std::int64_t now_ns) const;
   // The DRR selection loop shared by pop()/try_pop(); caller holds the
   // lock and guarantees total_ > 0.
   Request pop_drr_locked();
@@ -204,10 +229,14 @@ class RequestQueue {
   std::size_t ring_pos_ = 0;       // DRR position into ring_
   std::size_t total_ = 0;          // queued requests across all tenants
   std::int64_t cost_total_ = 0;    // summed drr_cost across all tenants
+  std::int64_t bytes_total_ = 0;   // summed drr_bytes across all tenants
   std::atomic<std::size_t> approx_size_{0};  // lock-free mirror of total_
   std::atomic<std::int64_t> approx_cost_{0};  // lock-free mirror of cost_total_
+  std::atomic<std::int64_t> approx_bytes_{0};  // mirror of bytes_total_
   const std::size_t capacity_;
   const std::int64_t quantum_;
+  const std::int64_t deadline_urgent_ns_;  // 0 = deadline weighting off
+  const std::int64_t weight_cap_;
   bool closed_ = false;
 };
 

@@ -40,6 +40,10 @@ struct GemmResult {
   std::int64_t batch_requests = 1;  // size of the coalesced batch
   std::int64_t fused_rows = 0;  // total T of the fused run this rode in
   std::int64_t cycles = 0;      // simulated cycles of the fused run
+  std::int64_t stall_cycles = 0;  // cycles of `cycles` spent waiting on DRAM
+                                  // (0 with magic memory)
+  std::int64_t dram_bytes = 0;  // DRAM traffic of the fused run (0 with
+                                // magic memory)
   double time_ps = 0.0;         // simulated execution time of the fused run
   double energy_pj = 0.0;       // this request's attributed energy share
   double queue_ms = 0.0;        // wall-clock enqueue -> dispatch
@@ -111,6 +115,15 @@ struct Request {
   // Deficit-round-robin cost of this request (serve/queue.h): the useful
   // work it asks the hardware for, in MACs.  Set at admission; always >= 1.
   std::int64_t drr_cost = 1;
+
+  // Projected DRAM traffic of this request in bytes (mem::
+  // projected_gemm_bytes — the compulsory A+B+C movement, computed whether
+  // or not the memory model is enabled).  The queue mirrors the sum as
+  // approx_bytes(), the bandwidth-pressure twin of approx_cost(): two
+  // backlogs of equal MAC volume can differ hugely in how much data they
+  // drag through DRAM.  Zero for inference slices (their traffic is
+  // layer-dependent and accounted in the ModelReport instead).
+  std::int64_t drr_bytes = 0;
 
   // Per-request fidelity override (engine::make registry key, e.g.
   // "cycle"): empty serves on the shard's default engine.  Validated at

@@ -1,5 +1,8 @@
 #include "serve/scheduler.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/status.h"
 
 namespace af::serve {
@@ -11,8 +14,11 @@ bool compatible(const Request& head, const Request& r) {
     // configuration.  (Same-weight fusion inside the batch is the
     // executor's business; mode equality is what batch membership needs.)
     // Same engine backend too: a per-request fidelity override must not
-    // drag neighbours onto a different engine.
-    return head.decided_k == r.decided_k && head.backend == r.backend;
+    // drag neighbours onto a different engine.  Degrade-uniform as well:
+    // degraded batches may run on a shrunk-scratchpad engine, so a full-
+    // fidelity rider must not be dragged onto it (nor vice versa).
+    return head.decided_k == r.decided_k && head.backend == r.backend &&
+           head.degraded == r.degraded;
   }
   // Inference slices coalesce only when they are the same analytic work:
   // identical model (by identity) and identical layer range.
@@ -20,13 +26,16 @@ bool compatible(const Request& head, const Request& r) {
          head.layer_count == r.layer_count;
 }
 
-BatchScheduler::BatchScheduler(RequestQueue* queue, int max_batch)
-    : queue_(queue), max_batch_(max_batch) {
+BatchScheduler::BatchScheduler(RequestQueue* queue, int max_batch,
+                               std::int64_t max_batch_bytes)
+    : queue_(queue), max_batch_(max_batch), max_batch_bytes_(max_batch_bytes) {
   AF_CHECK(queue != nullptr, "scheduler needs a queue");
   AF_CHECK(max_batch >= 1, "max_batch must be at least 1");
+  AF_CHECK(max_batch_bytes >= 0, "max_batch_bytes must be non-negative");
 }
 
-Batch assemble_batch(Request head, RequestQueue& queue, int max_batch) {
+Batch assemble_batch(Request head, RequestQueue& queue, int max_batch,
+                     std::int64_t max_batch_bytes) {
   Batch batch;
   batch.kind = head.kind;
   batch.k = head.decided_k;
@@ -46,9 +55,21 @@ Batch assemble_batch(Request head, RequestQueue& queue, int max_batch) {
   if (max_batch > 1) {
     // One sweep over the backlog, keyed by the head's (mode, backend) /
     // (model, range): the old per-rider pop_if loop rescanned the whole
-    // queue once per rider, O(batch x backlog) under the lock.
+    // queue once per rider, O(batch x backlog) under the lock.  The byte
+    // budget (when set) is spent inside the predicate: a rider whose
+    // projected DRAM traffic no longer fits keeps its queue position.
+    std::int64_t byte_budget =
+        max_batch_bytes > 0
+            ? std::max<std::int64_t>(0, max_batch_bytes -
+                                            batch.requests.front().drr_bytes)
+            : std::numeric_limits<std::int64_t>::max();
     std::vector<Request> riders = queue.pop_all_if(
-        [&](const Request& r) { return compatible(batch.requests.front(), r); },
+        [&](const Request& r) {
+          if (!compatible(batch.requests.front(), r)) return false;
+          if (r.drr_bytes > byte_budget) return false;
+          byte_budget -= r.drr_bytes;
+          return true;
+        },
         max_batch - 1);
     for (Request& r : riders) batch.requests.push_back(std::move(r));
   }
@@ -58,7 +79,8 @@ Batch assemble_batch(Request head, RequestQueue& queue, int max_batch) {
 std::optional<Batch> BatchScheduler::next_batch() {
   std::optional<Request> head = queue_->pop();
   if (!head) return std::nullopt;
-  return assemble_batch(std::move(*head), *queue_, max_batch_);
+  return assemble_batch(std::move(*head), *queue_, max_batch_,
+                        max_batch_bytes_);
 }
 
 }  // namespace af::serve

@@ -57,12 +57,23 @@ bool compatible(const Request& head, const Request& r);
 // BatchScheduler and the dispatch layer (serve/dispatcher.h), whose
 // work-stealing implementation assembles a stolen DRR round from the
 // victim's queue with exactly this call.
-Batch assemble_batch(Request head, RequestQueue& queue, int max_batch);
+//
+// `max_batch_bytes` (0 = unlimited) additionally caps the batch's summed
+// projected DRAM traffic (Request::drr_bytes): with the memory hierarchy
+// enabled, a fused run's DMA stream scales with its data footprint, so a
+// byte budget keeps one batch from parking the array behind a DRAM
+// transfer longer than the latency SLO.  The head always dispatches even
+// when it alone exceeds the budget — the cap shapes coalescing, never
+// strands work.
+Batch assemble_batch(Request head, RequestQueue& queue, int max_batch,
+                     std::int64_t max_batch_bytes = 0);
 
 class BatchScheduler {
  public:
-  // max_batch = 1 disables coalescing (every request dispatches alone).
-  BatchScheduler(RequestQueue* queue, int max_batch);
+  // max_batch = 1 disables coalescing (every request dispatches alone);
+  // max_batch_bytes = 0 leaves the byte budget unlimited.
+  BatchScheduler(RequestQueue* queue, int max_batch,
+                 std::int64_t max_batch_bytes = 0);
 
   // Blocks for the next request; returns it plus up to max_batch - 1
   // compatible followers.  nullopt once the queue is closed and drained.
@@ -71,6 +82,7 @@ class BatchScheduler {
  private:
   RequestQueue* queue_;
   int max_batch_;
+  std::int64_t max_batch_bytes_;
 };
 
 }  // namespace af::serve

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "mem/tile_scheduler.h"
 #include "nn/runner.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -83,14 +84,21 @@ std::string overload_policy_description(const std::string& name) {
 }
 
 bool OverloadDetector::update(double depth_per_shard_now,
-                              double wait_p99_ms_now) {
+                              double wait_p99_ms_now,
+                              double backlog_bytes_per_shard_now) {
+  // The byte trip participates only when configured (threshold > 0).
+  const bool bytes_hot = backlog_bytes_per_shard > 0.0 &&
+                         backlog_bytes_per_shard_now >= backlog_bytes_per_shard;
   const bool hot = depth_per_shard_now >= depth_per_shard ||
-                   wait_p99_ms_now >= wait_p99_ms;
-  // Exit only once BOTH signals sit below half their enter thresholds —
+                   wait_p99_ms_now >= wait_p99_ms || bytes_hot;
+  // Exit only once ALL signals sit below half their enter thresholds —
   // the band between is the dead zone, so a load hovering at the trip
   // point cannot flap admission decisions tick to tick.
   const bool cool = depth_per_shard_now <= 0.5 * depth_per_shard &&
-                    wait_p99_ms_now <= 0.5 * wait_p99_ms;
+                    wait_p99_ms_now <= 0.5 * wait_p99_ms &&
+                    (backlog_bytes_per_shard == 0.0 ||
+                     backlog_bytes_per_shard_now <=
+                         0.5 * backlog_bytes_per_shard);
   if (!overloaded) {
     if (hot) {
       exit_streak = 0;
@@ -118,25 +126,37 @@ bool OverloadDetector::update(double depth_per_shard_now,
 AutoscaleSignal parse_autoscale_signal(const std::string& name) {
   if (name == "wait_p99") return AutoscaleSignal::kWaitP99;
   if (name == "backlog_cost") return AutoscaleSignal::kBacklogCost;
+  if (name == "backlog_bytes") return AutoscaleSignal::kBacklogBytes;
   AF_CHECK(false, "unknown autoscale signal \""
                       << name
-                      << "\" (registered: \"backlog_cost\", \"wait_p99\")");
+                      << "\" (registered: \"backlog_bytes\", \"backlog_cost\", "
+                         "\"wait_p99\")");
   return AutoscaleSignal::kWaitP99;  // unreachable
 }
 
 int AutoscalePolicy::decide(int live, double depth_per_shard,
                             double wait_p99_ms,
-                            double backlog_macs_per_shard) {
-  // The depth term participates under either signal; the latency term is
-  // the wall-clock wait or the queued simulated work, per `signal`.
-  const bool lat_hot = signal == AutoscaleSignal::kBacklogCost
-                           ? backlog_macs_per_shard >=
-                                 grow_backlog_macs_per_shard
-                           : wait_p99_ms >= grow_wait_p99_ms;
-  const bool lat_cool = signal == AutoscaleSignal::kBacklogCost
-                            ? backlog_macs_per_shard <=
-                                  shrink_backlog_macs_per_shard
-                            : wait_p99_ms <= shrink_wait_p99_ms;
+                            double backlog_macs_per_shard,
+                            double backlog_bytes_per_shard) {
+  // The depth term participates under every signal; the latency term is
+  // the wall-clock wait, the queued simulated work, or the queued DRAM
+  // traffic, per `signal`.
+  bool lat_hot = false;
+  bool lat_cool = false;
+  switch (signal) {
+    case AutoscaleSignal::kBacklogCost:
+      lat_hot = backlog_macs_per_shard >= grow_backlog_macs_per_shard;
+      lat_cool = backlog_macs_per_shard <= shrink_backlog_macs_per_shard;
+      break;
+    case AutoscaleSignal::kBacklogBytes:
+      lat_hot = backlog_bytes_per_shard >= grow_backlog_bytes_per_shard;
+      lat_cool = backlog_bytes_per_shard <= shrink_backlog_bytes_per_shard;
+      break;
+    case AutoscaleSignal::kWaitP99:
+      lat_hot = wait_p99_ms >= grow_wait_p99_ms;
+      lat_cool = wait_p99_ms <= shrink_wait_p99_ms;
+      break;
+  }
   const bool pressure = depth_per_shard >= grow_depth_per_shard || lat_hot;
   const bool idle = depth_per_shard <= shrink_depth_per_shard && lat_cool;
   if (pressure) {
@@ -182,6 +202,10 @@ struct Server::Shard {
   int index;
   std::shared_ptr<engine::Engine> engine;
   std::shared_ptr<engine::Engine> audit_engine;
+  // Shrunk-scratchpad engine for degrade-mode GEMM batches (see
+  // ServerOptions::degrade_spad_fraction); built lazily on first degraded
+  // batch, null when the knob is off or the memory hierarchy is disabled.
+  std::shared_ptr<engine::Engine> degrade_engine;
   std::unique_ptr<nn::InferenceRunner> runner;
   // Per-request fidelity overrides, built lazily and cached.  Touched only
   // by this shard's worker thread.
@@ -240,8 +264,17 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
            "quarantine_after_faults must be non-negative");
   AF_CHECK(options_.quarantine_probe_interval_ms > 0.0,
            "quarantine_probe_interval_ms must be positive");
+  AF_CHECK(options_.overload_backlog_bytes_per_shard >= 0.0,
+           "overload_backlog_bytes_per_shard must be non-negative");
+  AF_CHECK(options_.degrade_spad_fraction > 0.0 &&
+               options_.degrade_spad_fraction <= 1.0,
+           "degrade_spad_fraction must be in (0, 1]");
+  AF_CHECK(options_.max_batch_bytes >= 0,
+           "max_batch_bytes must be non-negative");
   detector_.depth_per_shard = options_.overload_depth_per_shard;
   detector_.wait_p99_ms = options_.overload_wait_p99_ms;
+  detector_.backlog_bytes_per_shard =
+      options_.overload_backlog_bytes_per_shard;
   detector_.enter_patience = options_.overload_enter_patience;
   detector_.exit_patience = options_.overload_exit_patience;
   // The control thread exists for either consumer of the pressure window:
@@ -276,7 +309,10 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   DispatcherOptions dispatch;
   dispatch.queue_capacity = options_.queue_capacity;
   dispatch.drr_quantum = options_.drr_quantum;
+  dispatch.drr_deadline_urgent_ms = options_.drr_deadline_urgent_ms;
+  dispatch.drr_deadline_weight_cap = options_.drr_deadline_weight_cap;
   dispatch.max_batch = options_.max_batch;
+  dispatch.max_batch_bytes = options_.max_batch_bytes;
   dispatch.max_shards = max_shards_;
   dispatch.live_shards = options_.num_shards;
   dispatch.can_scale = autoscale_enabled_;
@@ -297,6 +333,13 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   policy_.grow_backlog_macs_per_shard = options_.grow_backlog_macs_per_shard;
   policy_.shrink_backlog_macs_per_shard =
       options_.shrink_backlog_macs_per_shard;
+  AF_CHECK(options_.grow_backlog_bytes_per_shard > 0.0 &&
+               options_.shrink_backlog_bytes_per_shard >= 0.0,
+           "backlog_bytes autoscale thresholds must be positive");
+  policy_.grow_backlog_bytes_per_shard =
+      options_.grow_backlog_bytes_per_shard;
+  policy_.shrink_backlog_bytes_per_shard =
+      options_.shrink_backlog_bytes_per_shard;
 
   shards_.reserve(static_cast<std::size_t>(max_shards_));
   for (int i = 0; i < max_shards_; ++i) {
@@ -388,6 +431,7 @@ void Server::release_shard(Shard& shard) {
   shard.runner.reset();
   shard.override_engines.clear();
   shard.audit_engine.reset();
+  shard.degrade_engine.reset();
   shard.engine.reset();
   dispatcher_->set_shard_mode(shard.index, 0);
   std::lock_guard<std::mutex> lock(shard_stats_mutex_);
@@ -427,15 +471,19 @@ void Server::control_loop() {
     // window, so detector and autoscaler must share the sample.
     const LatencyWindow::Stats waits = wait_window_.drain();
     const double depth_per_shard = depth / static_cast<double>(live);
+    const double bytes_per_shard =
+        static_cast<double>(dispatcher_->approx_bytes()) /
+        static_cast<double>(live);
     if (overload_policy_ != OverloadPolicy::kBlock) {
-      overloaded_.store(detector_.update(depth_per_shard, waits.p99_ms));
+      overloaded_.store(
+          detector_.update(depth_per_shard, waits.p99_ms, bytes_per_shard));
     }
     if (autoscale_enabled_) {
       const double backlog_per_shard =
           static_cast<double>(dispatcher_->approx_cost()) /
           static_cast<double>(live);
       const int want = policy_.decide(live, depth_per_shard, waits.p99_ms,
-                                      backlog_per_shard);
+                                      backlog_per_shard, bytes_per_shard);
       if (want > live) {
         grow_to(want);
       } else if (want < live) {
@@ -448,8 +496,18 @@ void Server::control_loop() {
 bool Server::under_pressure() const {
   if (overloaded_.load(std::memory_order_relaxed)) return true;
   const int live = std::max(1, live_shards_.load());
-  return static_cast<double>(dispatcher_->approx_depth()) >=
-         options_.overload_depth_per_shard * static_cast<double>(live);
+  if (static_cast<double>(dispatcher_->approx_depth()) >=
+      options_.overload_depth_per_shard * static_cast<double>(live)) {
+    return true;
+  }
+  // Bandwidth pressure: queued projected DRAM traffic past the byte
+  // threshold trips admission control even at modest request counts (a few
+  // giant GEMMs can saturate the memory system long before the depth
+  // check fires).  Off when the threshold is 0.
+  return options_.overload_backlog_bytes_per_shard > 0.0 &&
+         static_cast<double>(dispatcher_->approx_bytes()) >=
+             options_.overload_backlog_bytes_per_shard *
+                 static_cast<double>(live);
 }
 
 void Server::grow_to(int want) {
@@ -531,6 +589,10 @@ std::future<GemmResult> Server::submit_gemm(
   r.shape = gemm::GemmShape{b->cols(), b->rows(), a.rows()};
   r.drr_cost =
       std::max<std::int64_t>(1, r.shape.t * r.shape.n * r.shape.m);
+  // Projected compulsory DRAM traffic (A+B+C, byte widths from the shard
+  // config) — the byte-budget batching and bandwidth-pressure signal.
+  // Well-defined even with the memory hierarchy disabled.
+  r.drr_bytes = mem::projected_gemm_bytes(r.shape, shard_config_);
   if (submit.k != 0) {
     AF_CHECK(shard_config_.supports(submit.k),
              "mode k=" << submit.k << " not supported");
@@ -906,6 +968,7 @@ bool Server::probe_quarantined(Shard& shard) {
     }
     shard.runner = std::make_unique<nn::InferenceRunner>(shard.engine);
     shard.override_engines.clear();
+    shard.degrade_engine.reset();
     shard.fault_streak = 0;
     {
       std::lock_guard<std::mutex> lock(shard_stats_mutex_);
@@ -950,7 +1013,29 @@ void Server::prepare_mode(Shard& shard, int k, bool stolen) {
 }
 
 engine::Engine* Server::engine_for(Shard& shard, const Batch& batch) {
-  const std::string& override_name = batch.requests.front().backend;
+  const Request& head = batch.requests.front();
+  // Degrade-mode footprint shrink: with a memory hierarchy enabled and
+  // degrade_spad_fraction < 1, degraded batches run on an engine whose
+  // scratchpad is scaled down — pressure traffic yields on-chip capacity
+  // (more DRAM traffic, more stall cycles) instead of competing for it.
+  // Batches are degrade-uniform (serve::compatible), so the choice is per
+  // batch; a shape infeasible at the shrunk capacity fails the request
+  // with kInvalidArgument — the documented operator contract.
+  if (head.degraded && options_.degrade_spad_fraction < 1.0 &&
+      shard_config_.mem.enabled) {
+    if (shard.degrade_engine == nullptr) {
+      arch::ArrayConfig degraded_config = shard_config_;
+      degraded_config.mem.spad_bytes = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 options_.degrade_spad_fraction *
+                 static_cast<double>(shard_config_.mem.spad_bytes)));
+      engine::EngineBuilder degraded_builder = engine_builder_;
+      degraded_builder.config(degraded_config);
+      shard.degrade_engine = degraded_builder.build(options_.backend);
+    }
+    return shard.degrade_engine.get();
+  }
+  const std::string& override_name = head.backend;
   if (override_name.empty() || override_name == shard.engine->name()) {
     return shard.engine.get();
   }
@@ -1078,6 +1163,8 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
       result.batch_requests = batch_requests;
       result.fused_rows = total_t;
       result.cycles = run.cost.cycles;
+      result.stall_cycles = run.cost.stall_cycles;
+      result.dram_bytes = run.cost.dram_bytes;
       result.time_ps = run.cost.time_ps;
       result.energy_pj = run.cost.energy_pj * static_cast<double>(r.shape.t) /
                          static_cast<double>(total_t);
@@ -1188,6 +1275,10 @@ void Server::execute_infer_batch(Shard& shard, Batch& batch) {
           assembled.conventional_time_ps += lr.conventional.time_ps;
           assembled.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
           assembled.conventional_energy_pj += lr.conventional_power.energy_pj;
+          assembled.arrayflex_dram_bytes += lr.dram_bytes;
+          assembled.arrayflex_stall_cycles += lr.stall_cycles;
+          assembled.spad_peak_bytes =
+              std::max(assembled.spad_peak_bytes, lr.spad_peak_bytes);
         }
         energy_pj = join->energy_pj;
         sim_time_ps = join->sim_time_ps;
@@ -1225,6 +1316,7 @@ ServerStats Server::stats() const {
   out.degraded = degraded_.load();
   out.unserved = unserved_.load();
   out.backlog_macs = dispatcher_->approx_cost();
+  out.backlog_bytes = dispatcher_->approx_bytes();
   out.promise_double_sets = promise_double_sets_.load();
   {
     std::lock_guard<std::mutex> lock(shard_stats_mutex_);

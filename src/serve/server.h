@@ -106,6 +106,21 @@ struct ServerOptions {
   // DRR quantum in cost units (MACs) credited per scheduling round — see
   // serve/queue.h.  Any positive value gives equal long-run tenant shares.
   std::int64_t drr_quantum = RequestQueue::kDefaultQuantum;
+  // Deadline-weighted DRR (see the RequestQueue constructor): a tenant
+  // whose head request is within this window of its deadline earns a
+  // multiplied quantum — credit = quantum x clamp(urgent / slack, 1, cap)
+  // — so urgent work drains faster as its budget runs out instead of
+  // expiring behind fair-share peers.  0 (the default) disables the
+  // weighting; long-run shares of deadline-free traffic are unchanged
+  // either way.
+  std::int64_t drr_deadline_urgent_ms = 0;
+  std::int64_t drr_deadline_weight_cap = 8;
+  // Byte budget per coalesced batch (summed projected DRAM traffic,
+  // Request::drr_bytes); 0 = unlimited.  With the memory hierarchy enabled
+  // a fused run's DMA stream scales with its footprint, so this keeps one
+  // batch from parking the array behind a DRAM transfer longer than the
+  // latency SLO.  See serve::assemble_batch.
+  std::int64_t max_batch_bytes = 0;
   // Shared simulation pool threads; 1 (default) keeps every shard's
   // engine serial (parallelism then comes from the shards themselves),
   // 0 means all hardware threads — the repo-wide num_threads convention.
@@ -148,11 +163,19 @@ struct ServerOptions {
   //                   dispatcher's backlog-cost mirror) — scales "cycle"
   //                   backend pools on hardware pressure, which wall-clock
   //                   waits misrepresent when simulation is the bottleneck.
+  //   "backlog_bytes" queued projected DRAM traffic (bytes per live shard,
+  //                   from the dispatcher's backlog-bytes mirror) — scales
+  //                   bandwidth-bound pools: with the memory hierarchy
+  //                   enabled a compute-light backlog can still saturate
+  //                   the DRAM pins, which MAC counts misrepresent.
   std::string autoscale_signal = "wait_p99";
   // backlog_cost thresholds (queued MACs per live shard), the analogue of
   // the grow/shrink wait-p99 pair.
   double grow_backlog_macs_per_shard = 4e6;
   double shrink_backlog_macs_per_shard = 0.25e6;
+  // backlog_bytes thresholds (queued projected DRAM bytes per live shard).
+  double grow_backlog_bytes_per_shard = 16e6;
+  double shrink_backlog_bytes_per_shard = 1e6;
 
   // --- robustness: overload policy, retry, quarantine (PR 6) ---------------
   // What admission does when the server is overloaded (queue depth per live
@@ -172,6 +195,12 @@ struct ServerOptions {
   std::string overload_policy = "block";
   double overload_depth_per_shard = 16.0;
   double overload_wait_p99_ms = 50.0;
+  // Optional third overload trip: queued projected DRAM bytes per live
+  // shard (0 = off).  With the memory hierarchy enabled, an overload can
+  // be bandwidth-borne — shallow queues of huge-footprint GEMMs — which
+  // the depth and wait signals both under-report.  Participates in the
+  // windowed detector AND the instantaneous admission check.
+  double overload_backlog_bytes_per_shard = 0.0;
   // Hysteresis patience (control ticks) for the windowed-p99 signal.
   int overload_enter_patience = 1;
   int overload_exit_patience = 2;
@@ -189,6 +218,15 @@ struct ServerOptions {
   // Recovery probe cadence of a quarantined shard: each probe rebuilds the
   // shard's engine and runs a tiny GEMM; success rejoins the pool.
   double quarantine_probe_interval_ms = 5.0;
+  // Degrade-mode scratchpad shrink: with the memory hierarchy enabled and
+  // this fraction < 1, GEMMs admitted under the "degrade" policy are served
+  // on an engine whose scratchpad holds only this fraction of the
+  // configured spad_bytes — smaller tile footprints, so degraded traffic
+  // competes less for the buffer capacity the full-fidelity stream needs.
+  // The operator must leave enough for the workload's minimum working set;
+  // an infeasible shape fails that request with kInvalidArgument.  1.0
+  // (the default) serves degraded traffic on the regular shard engine.
+  double degrade_spad_fraction = 1.0;
   // Fault-injection knobs forwarded to every shard engine the server
   // builds — only meaningful with backend = "chaos" (the defaults inject
   // nothing).  A quarantine recovery probe rebuilds the engine, which
@@ -215,11 +253,15 @@ std::string overload_policy_description(const std::string& name);
 struct OverloadDetector {
   double depth_per_shard = 16.0;
   double wait_p99_ms = 50.0;
+  // Optional byte-pressure trip (queued projected DRAM bytes per live
+  // shard); 0 disables the term entirely.
+  double backlog_bytes_per_shard = 0.0;
   int enter_patience = 1;
   int exit_patience = 2;
 
   // Feeds one tick's pressure sample; returns the new overloaded state.
-  bool update(double depth_per_shard_now, double wait_p99_ms_now);
+  bool update(double depth_per_shard_now, double wait_p99_ms_now,
+              double backlog_bytes_per_shard_now = 0.0);
 
   bool overloaded = false;
   int enter_streak = 0;
@@ -227,9 +269,11 @@ struct OverloadDetector {
 };
 
 // Which pressure signal AutoscalePolicy pairs with queue depth: the
-// wall-clock p99 wait (classic) or the queued simulated work in MACs
-// (hardware pressure — what a "cycle" pool is actually behind on).
-enum class AutoscaleSignal { kWaitP99, kBacklogCost };
+// wall-clock p99 wait (classic), the queued simulated work in MACs
+// (hardware pressure — what a "cycle" pool is actually behind on), or the
+// queued projected DRAM traffic in bytes (bandwidth pressure — what a
+// memory-bound pool is actually behind on).
+enum class AutoscaleSignal { kWaitP99, kBacklogCost, kBacklogBytes };
 AutoscaleSignal parse_autoscale_signal(const std::string& name);
 
 // Pure hysteresis policy of the queue-pressure autoscaler, separated from
@@ -250,16 +294,21 @@ struct AutoscalePolicy {
   // the wait-p99 pair when signal == kBacklogCost.
   double grow_backlog_macs_per_shard = 4e6;
   double shrink_backlog_macs_per_shard = 0.25e6;
+  // backlog_bytes thresholds (queued projected DRAM bytes per live shard),
+  // used when signal == kBacklogBytes.
+  double grow_backlog_bytes_per_shard = 16e6;
+  double shrink_backlog_bytes_per_shard = 1e6;
 
   // Desired live-shard count after observing this tick's pressure sample.
   // Grows/shrinks by at most one shard per decision (gradual scaling), and
   // only after the respective streak survives `patience` ticks unbroken —
   // any tick outside a band resets the opposite streak, so an oscillating
-  // signal with period < patience never moves the pool.  The wait term is
-  // wait_p99_ms or backlog_macs_per_shard depending on `signal`; the
-  // depth term participates either way.
+  // signal with period < patience never moves the pool.  The latency term
+  // is wait_p99_ms, backlog_macs_per_shard or backlog_bytes_per_shard
+  // depending on `signal`; the depth term participates either way.
   int decide(int live, double depth_per_shard, double wait_p99_ms,
-             double backlog_macs_per_shard = 0.0);
+             double backlog_macs_per_shard = 0.0,
+             double backlog_bytes_per_shard = 0.0);
 
   int grow_streak = 0;
   int shrink_streak = 0;
@@ -333,6 +382,9 @@ struct ServerStats {
   // Queued simulated work right now, in MACs (the dispatcher's lock-free
   // backlog-cost mirror) — the fleet router's load signal.
   std::int64_t backlog_macs = 0;
+  // Queued projected DRAM traffic right now, in bytes (the dispatcher's
+  // lock-free backlog-bytes mirror) — the bandwidth-pressure twin.
+  std::int64_t backlog_bytes = 0;
   std::int64_t promise_double_sets = 0;  // broken-promise bugs caught (== 0)
   // One snapshot per SLOT (max_shards entries): retired slots keep their
   // history with live == false.
@@ -414,6 +466,12 @@ class Server {
   // dispatcher's backlog-cost mirror.  The load signal the fleet router's
   // power-of-two-choices placement compares servers by.
   std::int64_t backlog_cost_macs() const { return dispatcher_->approx_cost(); }
+
+  // Queued projected DRAM traffic right now, in bytes — the bandwidth
+  // twin of backlog_cost_macs, from the dispatcher's backlog-bytes mirror.
+  std::int64_t backlog_cost_bytes() const {
+    return dispatcher_->approx_bytes();
+  }
 
   // Closes admission, drains every accepted request, joins the autoscaler
   // and the shard workers.  Idempotent; the destructor calls it.

@@ -12,8 +12,10 @@
 #include <memory>
 
 #include "arch/clocking.h"
+#include "arch/latency.h"
 #include "arch/sparse.h"
 #include "engine/engine.h"
+#include "mem/tile_scheduler.h"
 #include "gemm/reference.h"
 #include "nn/models.h"
 #include "nn/runner.h"
@@ -45,6 +47,9 @@ void expect_costs_exactly_equal(const CostEstimate& got,
   EXPECT_EQ(got.period_ps, want.period_ps) << label;
   EXPECT_EQ(got.time_ps, want.time_ps) << label;
   EXPECT_EQ(got.energy_pj, want.energy_pj) << label;
+  EXPECT_EQ(got.stall_cycles, want.stall_cycles) << label;
+  EXPECT_EQ(got.dram_bytes, want.dram_bytes) << label;
+  EXPECT_EQ(got.spad_peak_bytes, want.spad_peak_bytes) << label;
   EXPECT_EQ(got.activity.mult_ops, want.activity.mult_ops) << label;
   EXPECT_EQ(got.activity.csa_ops, want.activity.csa_ops) << label;
   EXPECT_EQ(got.activity.cpa_ops, want.activity.cpa_ops) << label;
@@ -363,6 +368,160 @@ TEST(EngineEquivalenceTest, ModeZeroPicksTheSameArgminOnBothBackends) {
     EXPECT_EQ(analytic->best(shape).k, fast.k);
     EXPECT_EQ(cycle->best(shape).k, fast.k);
   }
+}
+
+// ---- memory hierarchy -----------------------------------------------------
+
+TEST(EngineMemoryTest, RandomizedMemoryConfigSweepExactlyAgrees) {
+  // The facade contract extended over the memory hierarchy: for every
+  // (spad x bandwidth x latency x reuse x k) draw — dense and sparse —
+  // the analytic closed form and the cycle-accurate measurement finalize
+  // through the same mem::TileScheduler plan and must agree EXACTLY on
+  // cycles, stalls, traffic, footprint and energy.
+  Rng rng(20260808);
+  const std::vector<int> sides = {4, 8, 16};
+  const std::vector<std::int64_t> bandwidths = {1, 4, 16, 64};
+  const std::vector<std::int64_t> latencies = {0, 8, 100};
+  const std::vector<arch::ReuseStrategy> strategies = {
+      arch::ReuseStrategy::kAuto, arch::ReuseStrategy::kAStationary,
+      arch::ReuseStrategy::kBStationary,
+      arch::ReuseStrategy::kOutputStationary};
+  for (int iter = 0; iter < 20; ++iter) {
+    const int side = sides[rng.next_below(sides.size())];
+    arch::ArrayConfig cfg = config_for(side, side);
+    cfg.mem.enabled = true;
+    cfg.mem.dram_bytes_per_cycle =
+        bandwidths[rng.next_below(bandwidths.size())];
+    cfg.mem.dram_latency_cycles = latencies[rng.next_below(latencies.size())];
+    cfg.mem.reuse = strategies[rng.next_below(strategies.size())];
+    const gemm::GemmShape shape{rng.next_in(1, 40), rng.next_in(1, 40),
+                                rng.next_in(1, 24)};
+    // Random scratchpad, always feasible for the drawn strategy: between
+    // the strategy's minimum and 8x it.
+    cfg.mem.spad_bytes = 1;
+    const std::int64_t min_spad =
+        mem::TileScheduler(cfg).min_spad_bytes(shape, cfg.mem.reuse);
+    cfg.mem.spad_bytes = min_spad * rng.next_in(1, 8) + rng.next_in(0, 64);
+
+    EngineBuilder builder;
+    builder.config(cfg);
+    auto analytic = builder.build("analytic");
+    auto cycle = builder.build("cycle");
+    const int k = cfg.supported_k[rng.next_below(cfg.supported_k.size())];
+    const std::string label =
+        std::to_string(side) + "x" + std::to_string(side) + " M=" +
+        std::to_string(shape.m) + " N=" + std::to_string(shape.n) + " T=" +
+        std::to_string(shape.t) + " k=" + std::to_string(k) + " " +
+        cfg.mem.to_string();
+
+    const CostEstimate fast = analytic->evaluate(shape, k);
+    const CostEstimate exact = cycle->evaluate(shape, k);
+    expect_costs_exactly_equal(fast, exact, label);
+    EXPECT_GT(fast.dram_bytes, 0) << label;
+    EXPECT_GT(fast.spad_peak_bytes, 0) << label;
+    EXPECT_LE(fast.spad_peak_bytes, cfg.mem.spad_bytes) << label;
+    EXPECT_GE(fast.stall_cycles, 0) << label;
+    // cycles is the full makespan: compute plus the reported stalls.
+    EXPECT_EQ(fast.cycles - fast.stall_cycles,
+              arch::total_latency_cycles(shape, cfg, k))
+        << label;
+
+    // run_gemm under memory: same costs, outputs still bit-exact.
+    const gemm::Mat32 a =
+        gemm::random_matrix(rng, shape.t, shape.n, -100, 100);
+    const gemm::Mat32 b =
+        gemm::random_matrix(rng, shape.n, shape.m, -100, 100);
+    GemmRequest request;
+    request.a = &a;
+    request.b = &b;
+    request.k = k;
+    const RunResult fast_run = analytic->run_gemm(request);
+    const RunResult exact_run = cycle->run_gemm(request);
+    expect_costs_exactly_equal(fast_run.cost, exact_run.cost, label + " run");
+    ASSERT_TRUE(fast_run.out.has_value() && exact_run.out.has_value());
+    EXPECT_EQ(gemm::first_mismatch(*fast_run.out, *exact_run.out), "")
+        << label;
+
+    // Sparse: skipped tiles move no bytes either, on both backends.
+    const arch::TileOccupancy occupancy =
+        arch::TileOccupancy::synthetic(shape, side, side, 0.5, rng);
+    const CostEstimate fast_sparse =
+        analytic->evaluate_sparse(shape, k, occupancy);
+    const CostEstimate exact_sparse =
+        cycle->evaluate_sparse(shape, k, occupancy);
+    expect_costs_exactly_equal(fast_sparse, exact_sparse, label + " sparse");
+    EXPECT_LE(fast_sparse.dram_bytes, fast.dram_bytes) << label;
+  }
+}
+
+TEST(EngineMemoryTest, DisabledMemoryConfigIsBitIdenticalToTheClosedForm) {
+  // The magic-memory regression pin: a default (disabled) MemoryConfig
+  // must reproduce the seed's numbers exactly — same cycles and energy as
+  // the raw Eq. 4 + from_counters pricing, all memory fields zero.
+  EngineBuilder builder;
+  builder.square(8);
+  for (const std::string& backend : {"analytic", "cycle"}) {
+    auto engine = builder.build(backend);
+    ASSERT_FALSE(engine->config().mem.enabled);
+    const gemm::GemmShape shape{24, 20, 12};
+    for (const int k : engine->config().supported_k) {
+      const CostEstimate est = engine->evaluate(shape, k);
+      EXPECT_EQ(est.stall_cycles, 0) << backend;
+      EXPECT_EQ(est.dram_bytes, 0) << backend;
+      EXPECT_EQ(est.spad_peak_bytes, 0) << backend;
+      EXPECT_EQ(est.cycles,
+                arch::total_latency_cycles(shape, engine->config(), k))
+          << backend;
+      const arch::PowerResult want = engine->power().from_counters(
+          est.activity, est.cycles, est.period_ps, true, k);
+      EXPECT_EQ(est.energy_pj, want.energy_pj) << backend;
+      EXPECT_EQ(est.time_ps, want.time_ps) << backend;
+    }
+  }
+}
+
+TEST(EngineMemoryTest, BandwidthStarvedConfigStallsEndToEnd) {
+  // Below the ridge point the array is DMA-bound: halving bandwidth must
+  // grow the stall count, and generous bandwidth must shrink it — with the
+  // DRAM traffic itself invariant (bandwidth changes WHEN bytes move, not
+  // HOW MANY).
+  const gemm::GemmShape shape{32, 32, 16};
+  std::int64_t previous_cycles = -1;
+  std::int64_t dram_bytes = -1;
+  for (const std::int64_t bw : {1, 4, 16, 256}) {
+    arch::ArrayConfig cfg = config_for(8, 8);
+    cfg.mem.enabled = true;
+    cfg.mem.dram_bytes_per_cycle = bw;
+    cfg.mem.dram_latency_cycles = 8;
+    auto engine = EngineBuilder().config(cfg).build("cycle");
+    const CostEstimate est = engine->evaluate(shape, 2);
+    EXPECT_GT(est.stall_cycles, 0) << "bw=" << bw;
+    if (previous_cycles >= 0) EXPECT_LT(est.cycles, previous_cycles);
+    if (dram_bytes >= 0) EXPECT_EQ(est.dram_bytes, dram_bytes);
+    previous_cycles = est.cycles;
+    dram_bytes = est.dram_bytes;
+  }
+  // At 1 byte/cycle the DMA stream dominates: the makespan is within one
+  // transfer's latency of the pure streaming time, far above compute.
+  arch::ArrayConfig starved = config_for(8, 8);
+  starved.mem.enabled = true;
+  starved.mem.dram_bytes_per_cycle = 1;
+  starved.mem.dram_latency_cycles = 0;
+  auto engine = EngineBuilder().config(starved).build("analytic");
+  const CostEstimate est = engine->evaluate(shape, 2);
+  EXPECT_GE(est.cycles, est.dram_bytes);
+}
+
+TEST(EngineMemoryTest, ChaosBackendForwardsMemoryFields) {
+  arch::ArrayConfig cfg = config_for(8, 8);
+  cfg.mem.enabled = true;
+  EngineBuilder builder;
+  builder.config(cfg);
+  auto chaos = builder.build("chaos");  // fault-free analytic wrapper
+  auto analytic = builder.build("analytic");
+  const gemm::GemmShape shape{16, 16, 8};
+  expect_costs_exactly_equal(chaos->evaluate(shape, 2),
+                             analytic->evaluate(shape, 2), "chaos passthrough");
 }
 
 TEST(EngineTest, WantOutputFalseSkipsTheProductButNotTheCost) {

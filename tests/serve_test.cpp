@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gemm/reference.h"
+#include "mem/tile_scheduler.h"
 #include "nn/models.h"
 #include "nn/runner.h"
 #include "serve/dispatcher.h"
@@ -1339,6 +1340,246 @@ TEST_F(ServeTest, AutoscaleStressNeverDropsOrDoubleServesAcrossScaleEvents) {
   std::int64_t shard_requests = 0;
   for (const ShardSnapshot& s : stats.shards) shard_requests += s.requests;
   EXPECT_EQ(shard_requests, expected) << "a request was lost or double-served";
+}
+
+TEST(RequestQueueTest, DeadlineUrgencyWeightsTheDrrShare) {
+  // Two tenants with identical per-request cost: plain DRR alternates
+  // 1:1.  With deadline weighting on, the tenant whose heads are past
+  // their deadline earns weight_cap quanta per visit, so its backlog
+  // drains weight_cap requests per round while the lax tenant still gets
+  // its one — urgency reorders shares, it never starves anyone.
+  constexpr std::int64_t kQuantum = 100;
+  const auto fill = [](RequestQueue& q) {
+    std::uint64_t id = 0;
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(q.push(make_tenant_request(id++, "lax", kQuantum)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      Request r = make_tenant_request(id++, "urgent", kQuantum);
+      r.deadline = Clock::now();  // already overdue: the cap applies
+      ASSERT_TRUE(q.push(std::move(r)));
+    }
+  };
+
+  RequestQueue weighted(64, kQuantum, /*deadline_urgent_ms=*/60'000,
+                        /*deadline_weight_cap=*/4);
+  fill(weighted);
+  int urgent_in_first_ten = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = weighted.pop();
+    ASSERT_TRUE(r.has_value());
+    if (r->tenant == "urgent") ++urgent_in_first_ten;
+  }
+  // One lax request per round, four urgent: the whole urgent backlog (8)
+  // clears within the first ten pops.
+  EXPECT_EQ(urgent_in_first_ten, 8);
+  // The lax tenant still drains — nothing was dropped or starved forever.
+  int lax_rest = 0;
+  weighted.close();
+  while (auto r = weighted.pop()) {
+    EXPECT_EQ(r->tenant, "lax");
+    ++lax_rest;
+  }
+  EXPECT_EQ(lax_rest, 6);
+
+  // Control: the default queue (weighting off) alternates evenly.
+  RequestQueue plain(64, kQuantum);
+  fill(plain);
+  int urgent_plain = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = plain.pop();
+    ASSERT_TRUE(r.has_value());
+    if (r->tenant == "urgent") ++urgent_plain;
+  }
+  EXPECT_EQ(urgent_plain, 5);
+}
+
+TEST(BatchSchedulerTest, ByteBudgetCapsRidersButTheHeadAlwaysDispatches) {
+  const auto sized = [](std::uint64_t id, std::int64_t bytes) {
+    Request r = make_gemm_request(id, 1);
+    r.drr_bytes = bytes;
+    return r;
+  };
+  RequestQueue q(16);
+  ASSERT_TRUE(q.push(sized(0, 500)));
+  ASSERT_TRUE(q.push(sized(1, 300)));
+  ASSERT_TRUE(q.push(sized(2, 300)));
+  ASSERT_TRUE(q.push(sized(3, 300)));
+
+  // Budget 1000: head (500) + one 300-byte rider fit; the next rider
+  // would overflow and keeps its queue position (no charge, no loss).
+  auto head = q.pop();
+  ASSERT_TRUE(head.has_value());
+  Batch b1 = assemble_batch(std::move(*head), q, /*max_batch=*/8,
+                            /*max_batch_bytes=*/1000);
+  ASSERT_EQ(b1.requests.size(), 2u);
+  EXPECT_EQ(b1.requests[0].id, 0u);
+  EXPECT_EQ(b1.requests[1].id, 1u);
+
+  // The skipped riders form the next batch under a fresh budget.
+  head = q.pop();
+  ASSERT_TRUE(head.has_value());
+  Batch b2 = assemble_batch(std::move(*head), q, 8, 1000);
+  ASSERT_EQ(b2.requests.size(), 2u);
+  EXPECT_EQ(b2.requests[0].id, 2u);
+  EXPECT_EQ(b2.requests[1].id, 3u);
+
+  // A head alone past the whole budget still dispatches — the cap shapes
+  // coalescing, it never strands admitted work.
+  ASSERT_TRUE(q.push(sized(4, 5000)));
+  ASSERT_TRUE(q.push(sized(5, 10)));
+  head = q.pop();
+  ASSERT_TRUE(head.has_value());
+  Batch b3 = assemble_batch(std::move(*head), q, 8, 1000);
+  ASSERT_EQ(b3.requests.size(), 1u);
+  EXPECT_EQ(b3.requests[0].id, 4u);
+  EXPECT_EQ(q.size(), 1u);  // the small rider waits for the next batch
+}
+
+TEST(AutoscalePolicyTest, BacklogBytesSignalFollowsTheSameHysteresis) {
+  AutoscalePolicy policy;
+  policy.min_shards = 1;
+  policy.max_shards = 4;
+  policy.grow_patience = 3;
+  policy.shrink_patience = 3;
+  policy.signal = AutoscaleSignal::kBacklogBytes;
+  policy.grow_backlog_bytes_per_shard = 1e6;
+  policy.shrink_backlog_bytes_per_shard = 1e5;
+
+  // A byte square wave faster than either patience never moves the pool.
+  int live = 2;
+  for (int tick = 0; tick < 100; ++tick) {
+    const double bytes = (tick % 2 == 0) ? 5e6 : 0.0;
+    ASSERT_EQ(policy.decide(live, 0.0, 0.0, 0.0, bytes), live)
+        << "flapped at tick " << tick;
+  }
+
+  // Sustained queued traffic grows one shard per patience window, capped.
+  std::vector<int> trace;
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, 0.0, 0.0, 0.0, /*backlog_bytes=*/5e6);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{2, 2, 3, 3, 3, 4, 4, 4, 4, 4, 4, 4}));
+
+  // Idle bytes shrink the same way, floored at min_shards.
+  trace.clear();
+  for (int tick = 0; tick < 12; ++tick) {
+    live = policy.decide(live, 0.0, 0.0, 0.0, 0.0);
+    trace.push_back(live);
+  }
+  EXPECT_EQ(trace, (std::vector<int>{4, 4, 3, 3, 3, 2, 2, 2, 1, 1, 1, 1}));
+
+  // Under kBacklogBytes the MAC and wall-clock terms are ignored.
+  live = 2;
+  policy.grow_streak = 0;
+  policy.shrink_streak = 0;
+  for (int tick = 0; tick < 3; ++tick) {
+    const int want = policy.decide(live, 0.0, /*wait_p99_ms=*/1e3,
+                                   /*backlog_macs=*/1e12, /*bytes=*/0.0);
+    EXPECT_LE(want, live) << "a non-byte signal moved a backlog_bytes pool";
+    live = want;
+  }
+
+  EXPECT_EQ(parse_autoscale_signal("backlog_bytes"),
+            AutoscaleSignal::kBacklogBytes);
+}
+
+TEST_F(ServeTest, ByteBacklogPressureTripsRejectAdmissionEndToEnd) {
+  // Bandwidth-starved memory hierarchy + a wall-clock-slow engine: the
+  // queued projected DRAM traffic trips the byte overload threshold long
+  // before the depth check (set absurdly high) could, and every served
+  // result carries the starved config's nonzero stall/traffic counters.
+  arch::ArrayConfig config = shard16();
+  config.mem.enabled = true;
+  config.mem.spad_bytes = 12288;
+  config.mem.dram_bytes_per_cycle = 1;  // the DRAM stream IS the makespan
+  config.mem.dram_latency_cycles = 8;
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  opts.backend = "chaos";
+  opts.chaos.delay_rate = 1.0;  // every run sleeps — backlog builds
+  opts.chaos.delay_ms = 20.0;
+  opts.overload_policy = "reject";
+  opts.overload_depth_per_shard = 1e18;  // only the byte signal may trip
+  opts.overload_wait_p99_ms = 1e9;
+  opts.overload_backlog_bytes_per_shard = 1.0;  // any queued byte is pressure
+  Server server(config, opts);
+
+  Rng rng(77);
+  auto weights = random_weights(rng, 64, 64);
+  std::vector<std::future<GemmResult>> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      accepted.push_back(server.submit_gemm(
+          "bandwidth-hog", gemm::random_matrix(rng, 8, 64, -10, 10), weights));
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1) << "queued bytes never tripped admission";
+  EXPECT_LE(rejected, 7);  // the first request always lands
+  for (auto& f : accepted) {
+    const GemmResult r = f.get();
+    EXPECT_GT(r.dram_bytes, 0);
+    EXPECT_GT(r.stall_cycles, 0) << "starved bandwidth produced no stalls";
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.backlog_bytes, 0);  // everything drained
+}
+
+TEST_F(ServeTest, DegradeModeServesOnAShrunkScratchpad) {
+  // degrade_spad_fraction < 1: degraded traffic runs on an engine whose
+  // scratchpad is half-sized, where the A-stationary resident plan no
+  // longer fits — so degraded results move strictly MORE than the
+  // compulsory A+B+C traffic while full-fidelity results move exactly it.
+  arch::ArrayConfig config = shard16();
+  config.mem.enabled = true;
+  config.mem.spad_bytes = 12288;
+  config.mem.dram_bytes_per_cycle = 64;  // compute-bound: minimal-traffic
+  config.mem.dram_latency_cycles = 8;    // plans win the kAuto pick
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 1;
+  opts.backend = "chaos";
+  opts.chaos.delay_rate = 1.0;
+  opts.chaos.delay_ms = 20.0;
+  opts.overload_policy = "degrade";
+  opts.overload_depth_per_shard = 1.0;
+  opts.overload_wait_p99_ms = 1e9;
+  opts.degrade_spad_fraction = 0.5;
+  Server server(config, opts);
+
+  Rng rng(78);
+  auto weights = random_weights(rng, 64, 64);
+  const gemm::GemmShape shape{64, 64, 8};
+  const std::int64_t compulsory = mem::projected_gemm_bytes(shape, config);
+  std::vector<std::future<GemmResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit_gemm(
+        "bursty", gemm::random_matrix(rng, 8, 64, -10, 10), weights));
+  }
+  int degraded = 0;
+  for (auto& f : futures) {
+    const GemmResult r = f.get();
+    EXPECT_GT(r.cycles, 0);
+    if (r.degraded) {
+      ++degraded;
+      EXPECT_GT(r.dram_bytes, compulsory)
+          << "the shrunk scratchpad did not change the memory plan";
+    } else {
+      EXPECT_EQ(r.dram_bytes, compulsory);
+    }
+  }
+  EXPECT_GE(degraded, 1) << "pressure never degraded a request";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.degraded, degraded);
+  EXPECT_EQ(stats.rejected, 0);  // degrade admits everything
 }
 
 }  // namespace
