@@ -43,6 +43,22 @@
 //      stranded queue failing over to survivors — so the kill shows up as a
 //      failover count and a client-side latency blip, never as lost work.
 //
+//   7. transformer_mix — the runtime-reconfiguration study: transformer
+//      serving traffic (serve/transformer_traffic.h) at prefill:decode step
+//      mixes 1:0, 1:8 and 1:32 on one shard, served under static pipeline
+//      modes k = 1/2/4 and under the admission-time ReconfigPolicy registry
+//      ("argmin" and "sticky").  The stream is identical across policies:
+//      an arrival ramp of full prefills (fat, shallow-collapse territory),
+//      then a long decode regime (T = 1, deep-collapse territory) with the
+//      late sessions' CHUNKED prefills interleaved one GEMM at a time —
+//      the continuous-batching pattern that makes a per-request argmin
+//      thrash.  The headline metric is simulated requests/s over
+//      busy + reconfiguration time, so mode-switch drains (priced at a
+//      deliberately meaty reconfig_cycles) are first-class: "sticky" must
+//      beat every static k on the decode-heavy mixes while paying an order
+//      of magnitude fewer drains than "argmin", and no point may lose a
+//      request.
+//
 //   4. contended_submit — the dispatch layer's reason to exist: 1/2/4/8
 //      producer threads (distinct tenants, evenly spread over the home
 //      deques, at a constant total in-flight window) hammering cost-only
@@ -73,8 +89,10 @@
 
 #include "fleet/fleet.h"
 #include "gemm/matrix.h"
+#include "nn/transformer.h"
 #include "serve/dispatcher.h"
 #include "serve/server.h"
+#include "serve/transformer_traffic.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -647,6 +665,160 @@ FleetPoint run_fleet_point(int servers, bool kill_one, int clients,
   return p;
 }
 
+// ---- 7. transformer traffic-mix: static k vs runtime reconfiguration -------
+
+struct MixPoint {
+  std::string mix;     // prefill:decode step ratio, e.g. "1:8"
+  std::string policy;  // "static-k1".."static-k4", "argmin", "sticky"
+  std::int64_t requests = 0;
+  double wall_s = 0.0;
+  double busy_ms = 0.0;      // simulated execution time (all shards)
+  double reconfig_ms = 0.0;  // simulated drain time (all shards)
+  std::int64_t mode_switches = 0;
+  std::int64_t fused_runs = 0;
+  std::int64_t stream_switches = 0;  // sticky policy: switches it chose
+  std::int64_t holds = 0;            // sticky policy: drains it declined
+  double p99_ms = 0.0;               // wall-clock, closed-loop generator
+  // Served requests per SIMULATED second: the drain tax and the
+  // wrong-mode tax land in the same denominator, so a policy only wins
+  // here by genuinely spending less array time per request.
+  double sim_requests_per_s() const {
+    const double s = (busy_ms + reconfig_ms) * 1e-3;
+    return s > 0 ? static_cast<double>(requests) / s : 0.0;
+  }
+};
+
+// One traffic stream per (mix, session count), identical for every policy:
+// 1. Arrival ramp — the EARLY half of the sessions prefill their full
+//    `ramp_seq`-token prompts back to back (a sustained fat regime; any
+//    static deep-collapse mode bleeds here).
+// 2. Decode regime — sessions * decode_per_prefill decode steps (T = 1,
+//    sustained deep-collapse regime; any static shallow mode bleeds here),
+//    with the LATE sessions' follow-up turns — short `followup_seq`-token
+//    prompts against the already-warm KV cache, split into
+//    `chunk_seq`-token chunks — interleaved ONE GEMM AT A TIME between
+//    decode steps: chunked prefill under continuous batching.  Those
+//    isolated fatter GEMMs are the hysteresis test: per-request argmin
+//    pays two drains around each one, "sticky" holds the stream mode and
+//    serves them slightly off-optimal.
+// All sessions share one weight bundle (one model, many streams), so
+// same-phase decode steps carry identical B pointers and fuse.
+std::vector<serve::PhaseGemm> build_mix_stream(
+    const serve::TransformerWeights& weights, int sessions,
+    int decode_per_prefill, std::int64_t ramp_seq, std::int64_t followup_seq,
+    std::int64_t chunk_seq, Rng& rng) {
+  std::vector<serve::PhaseGemm> stream;
+  const int early = decode_per_prefill > 0 ? (sessions + 1) / 2 : sessions;
+  for (int s = 0; s < early; ++s) {
+    std::vector<serve::PhaseGemm> pass =
+        serve::prefill_gemms(weights, ramp_seq, rng);
+    for (serve::PhaseGemm& g : pass) stream.push_back(std::move(g));
+  }
+  if (decode_per_prefill <= 0) return stream;
+
+  std::vector<serve::PhaseGemm> decodes;
+  const int steps = sessions * decode_per_prefill;
+  for (int i = 0; i < steps; ++i) {
+    std::vector<serve::PhaseGemm> step = serve::decode_gemms(weights, rng);
+    for (serve::PhaseGemm& g : step) decodes.push_back(std::move(g));
+  }
+  std::vector<serve::PhaseGemm> chunks;
+  for (int s = early; s < sessions; ++s) {
+    for (std::int64_t done = 0; done < followup_seq; done += chunk_seq) {
+      std::vector<serve::PhaseGemm> pass = serve::prefill_gemms(
+          weights, std::min(chunk_seq, followup_seq - done), rng);
+      for (serve::PhaseGemm& g : pass) chunks.push_back(std::move(g));
+    }
+  }
+  const std::size_t gap =
+      chunks.empty() ? decodes.size() + 1
+                     : std::max<std::size_t>(1, decodes.size() / chunks.size());
+  std::size_t ci = 0;
+  for (std::size_t i = 0; i < decodes.size(); ++i) {
+    stream.push_back(std::move(decodes[i]));
+    if ((i + 1) % gap == 0 && ci < chunks.size()) {
+      stream.push_back(std::move(chunks[ci++]));
+    }
+  }
+  while (ci < chunks.size()) stream.push_back(std::move(chunks[ci++]));
+  return stream;
+}
+
+// static_k > 0 pins every request to that mode (policy label is cosmetic);
+// static_k == 0 submits with k = 0 and lets opts.reconfig_policy decide.
+MixPoint run_transformer_mix(const std::string& mix, const std::string& policy,
+                             int static_k, int decode_per_prefill,
+                             int sessions) {
+  serve::ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 8;
+  opts.queue_capacity = 512;
+  opts.backend = "analytic";
+  opts.latency_hist_max_ms = 100.0;
+  // Price reconfiguration like the hardware it models: drain the deep
+  // transparent pipeline AND redistribute the per-column configuration
+  // bits.  The default (rows + cols) is a rounding error next to these
+  // GEMMs; 2048 cycles makes the switch-vs-hold trade a real decision.
+  opts.reconfig_cycles = 2048;
+  if (static_k == 0) {
+    opts.reconfig_policy = policy;
+    opts.reconfig_switch_margin = 4.0;
+  }
+  serve::Server server(arch::ArrayConfig::square(16), opts);
+
+  nn::TransformerConfig tc;
+  tc.d_model = 64;
+  tc.n_heads = 2;
+  tc.d_ff = 256;
+  tc.n_blocks = 1;
+  // Fixed seed: every policy serves the bit-identical stream.
+  Rng rng(4242);
+  const serve::TransformerWeights weights =
+      serve::make_transformer_weights(tc, /*kv_len=*/512, rng);
+  std::vector<serve::PhaseGemm> stream = build_mix_stream(
+      weights, sessions, decode_per_prefill, /*ramp_seq=*/512,
+      /*followup_seq=*/64, /*chunk_seq=*/32, rng);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Bounded in-flight window: deep enough that same-phase decode steps
+  // overlap in the backlog (fusion + batching stay live), shallow enough
+  // that the admission order the policies see is the stream order.
+  constexpr std::size_t kWindow = 16;
+  std::vector<std::future<serve::GemmResult>> in_flight;
+  for (serve::PhaseGemm& g : stream) {
+    in_flight.push_back(server.submit_gemm("mix", std::move(g.a), g.b,
+                                           static_k, /*want_output=*/true));
+    if (in_flight.size() >= kWindow) {
+      in_flight.front().get();
+      in_flight.erase(in_flight.begin());
+    }
+  }
+  for (auto& f : in_flight) f.get();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  AF_CHECK(stats.completed == static_cast<std::int64_t>(stream.size()),
+           "transformer mix point lost requests");
+  MixPoint p;
+  p.mix = mix;
+  p.policy = policy;
+  p.requests = stats.completed;
+  p.wall_s = wall_s;
+  AF_CHECK(stats.tenants.size() == 1, "expected the single mix tenant");
+  p.p99_ms = stats.tenants[0].p99_latency_ms;
+  p.stream_switches = stats.reconfig_stream_switches;
+  p.holds = stats.reconfig_holds;
+  for (const serve::ShardSnapshot& s : stats.shards) {
+    p.busy_ms += s.busy_time_ps * 1e-9;
+    p.reconfig_ms += s.reconfig_time_ps * 1e-9;
+    p.mode_switches += s.mode_switches;
+    p.fused_runs += s.fused_runs;
+  }
+  return p;
+}
+
 // ---- JSON ------------------------------------------------------------------
 
 void append_point(std::ostringstream& json, const Point& p, bool last) {
@@ -669,6 +841,7 @@ void write_json(const std::vector<Point>& closed_loop,
                 double overload_capacity_rps,
                 const std::vector<OverloadPoint>& overload,
                 const std::vector<FleetPoint>& fleet_sweep,
+                const std::vector<MixPoint>& transformer_mix,
                 const std::string& path) {
   std::ostringstream json;
   json << "{\n  \"bench\": \"serving\",\n  \"unit\": \"requests/s\",\n"
@@ -727,6 +900,21 @@ void write_json(const std::vector<Point>& closed_loop,
          << ", \"resolved_ok\": " << p.resolved_ok
          << ", \"resolved_err\": " << p.resolved_err << "}"
          << (i + 1 < fleet_sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"transformer_mix\": [\n";
+  for (std::size_t i = 0; i < transformer_mix.size(); ++i) {
+    const MixPoint& p = transformer_mix[i];
+    json << "    {\"mix\": \"" << p.mix << "\", \"policy\": \"" << p.policy
+         << "\", \"requests\": " << p.requests << ", \"wall_s\": " << p.wall_s
+         << ", \"busy_ms\": " << p.busy_ms
+         << ", \"reconfig_ms\": " << p.reconfig_ms
+         << ", \"sim_requests_per_s\": " << p.sim_requests_per_s()
+         << ", \"mode_switches\": " << p.mode_switches
+         << ", \"fused_runs\": " << p.fused_runs
+         << ", \"stream_switches\": " << p.stream_switches
+         << ", \"holds\": " << p.holds << ", \"p99_ms\": " << p.p99_ms
+         << ", \"lost\": 0}" << (i + 1 < transformer_mix.size() ? "," : "")
+         << "\n";
   }
   json << "  ]\n}\n";
 
@@ -868,7 +1056,62 @@ int main(int argc, char** argv) {
                 static_cast<long long>(p.resolved_ok));
   }
 
+  std::vector<MixPoint> transformer_mix;
+  const int mix_sessions = quick ? 4 : 8;
+  const struct {
+    const char* label;
+    int decode_per_prefill;
+  } mixes[] = {{"1:0", 0}, {"1:8", 8}, {"1:32", 32}};
+  for (const auto& mix : mixes) {
+    for (const int k : {1, 2, 4}) {
+      transformer_mix.push_back(run_transformer_mix(
+          mix.label, "static-k" + std::to_string(k), k,
+          mix.decode_per_prefill, mix_sessions));
+    }
+    for (const std::string policy : serve::reconfig_policy_names()) {
+      transformer_mix.push_back(run_transformer_mix(
+          mix.label, policy, /*static_k=*/0, mix.decode_per_prefill,
+          mix_sessions));
+    }
+  }
+  std::printf(
+      "\ntransformer mix (1 shard 16x16, analytic, reconfig_cycles = 2048, "
+      "%d sessions):\n",
+      mix_sessions);
+  std::printf("%6s %10s %9s %12s %12s %13s %9s %7s %8s %6s\n", "mix", "policy",
+              "requests", "busy ms", "reconfig ms", "sim req/s", "mode_sw",
+              "fused", "held", "p99");
+  for (const MixPoint& p : transformer_mix) {
+    std::printf("%6s %10s %9lld %12.3f %12.3f %13.1f %9lld %7lld %8lld %6.2f\n",
+                p.mix.c_str(), p.policy.c_str(),
+                static_cast<long long>(p.requests), p.busy_ms, p.reconfig_ms,
+                p.sim_requests_per_s(),
+                static_cast<long long>(p.mode_switches),
+                static_cast<long long>(p.fused_runs),
+                static_cast<long long>(p.holds), p.p99_ms);
+  }
+  // The subsystem's acceptance bar: on the decode-heavy mixes the hysteresis
+  // policy must serve more requests per simulated second than the BEST
+  // static mode — reconfiguration has to pay for its drains.
+  for (const auto& mix : mixes) {
+    if (mix.decode_per_prefill < 8) continue;
+    double best_static = 0.0, sticky = 0.0;
+    for (const MixPoint& p : transformer_mix) {
+      if (p.mix != mix.label) continue;
+      if (p.policy.rfind("static-", 0) == 0) {
+        best_static = std::max(best_static, p.sim_requests_per_s());
+      } else if (p.policy == "sticky") {
+        sticky = p.sim_requests_per_s();
+      }
+    }
+    std::printf("  mix %s: sticky %.1f vs best static %.1f sim req/s\n",
+                mix.label, sticky, best_static);
+    AF_CHECK(sticky > best_static,
+             "sticky reconfiguration must beat every static mode on "
+             "decode-heavy transformer mixes");
+  }
+
   write_json(closed_loop, cmp, open_loop, contended, capacity_rps, overload,
-             fleet_sweep, "BENCH_serving.json");
+             fleet_sweep, transformer_mix, "BENCH_serving.json");
   return 0;
 }

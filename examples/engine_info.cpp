@@ -18,6 +18,11 @@
 //   $ ./engine_info --memory       # one MemoryConfig knob per line (CI
 //                                  # drift check against the README's
 //                                  # "Memory hierarchy" table)
+//   $ ./engine_info --reconfig-policies
+//                                  # one reconfiguration-policy key per
+//                                  # line (CI drift check against the
+//                                  # README's "Reconfiguration policies"
+//                                  # table)
 
 #include <iostream>
 #include <string>
@@ -54,6 +59,12 @@ int main(int argc, char** argv) {
   }
   if (flag == "--memory") {
     for (const std::string& name : arch::MemoryConfig::knob_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flag == "--reconfig-policies") {
+    for (const std::string& name : serve::reconfig_policy_names()) {
       std::cout << name << "\n";
     }
     return 0;
@@ -100,6 +111,16 @@ int main(int argc, char** argv) {
     std::cout << "  \"" << name << "\"\n"
               << "    " << serve::overload_policy_description(name) << "\n";
   }
+
+  std::cout << "\nserve reconfiguration policies ("
+            << serve::reconfig_policy_names().size() << " policies)\n\n";
+  for (const std::string& name : serve::reconfig_policy_names()) {
+    std::cout << "  \"" << name << "\"\n"
+              << "    " << serve::reconfig_policy_description(name) << "\n";
+  }
+  std::cout << "\nThe policy stamps each admitted GEMM's pipeline mode k; the\n"
+               "executing shard drains its array only when consecutive\n"
+               "batches disagree (tests/serve_test.cpp pins both policies).\n";
 
   std::cout << "\nfleet::make_router registry ("
             << fleet::registered_routers().size() << " routers)\n\n";

@@ -306,4 +306,12 @@ std::int64_t projected_gemm_bytes(const gemm::GemmShape& shape,
          shape.t * shape.m * acc_b;   // outputs C
 }
 
+std::int64_t projected_fused_rider_bytes(const gemm::GemmShape& shape,
+                                         const arch::ArrayConfig& config) {
+  const std::int64_t in_b = (config.input_bits + 7) / 8;
+  const std::int64_t acc_b = (config.acc_bits + 7) / 8;
+  return shape.t * shape.n * in_b +   // activations A (private rows)
+         shape.t * shape.m * acc_b;   // outputs C (private rows)
+}
+
 }  // namespace af::mem

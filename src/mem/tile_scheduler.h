@@ -85,4 +85,13 @@ class TileScheduler {
 std::int64_t projected_gemm_bytes(const gemm::GemmShape& shape,
                                   const arch::ArrayConfig& config);
 
+// Projected DRAM traffic of a GEMM that RIDES a same-weight fusion: only
+// its private A activations and C outputs move — the shared B panel is
+// streamed once for the whole fused stack and billed to the batch member
+// that brought it in.  The marginal byte cost batch assembly should charge
+// a fused rider (charging projected_gemm_bytes would double-count B per
+// rider and under-fill decode batches).
+std::int64_t projected_fused_rider_bytes(const gemm::GemmShape& shape,
+                                         const arch::ArrayConfig& config);
+
 }  // namespace af::mem

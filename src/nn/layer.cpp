@@ -1,5 +1,7 @@
 #include "nn/layer.h"
 
+#include <limits>
+
 #include "util/status.h"
 
 namespace af::nn {
@@ -12,6 +14,8 @@ const char* layer_kind_name(LayerKind kind) {
       return "dwconv";
     case LayerKind::kLinear:
       return "linear";
+    case LayerKind::kGemm:
+      return "gemm";
   }
   return "?";
 }
@@ -39,6 +43,13 @@ void Layer::validate() const {
   if (kind == LayerKind::kLinear) {
     AF_CHECK(kernel_h == 1 && kernel_w == 1 && in_h == 1 && in_w == 1,
              "layer '" << name << "': linear must be 1x1 spatial");
+  }
+  if (kind == LayerKind::kGemm) {
+    AF_CHECK(kernel_h == 1 && kernel_w == 1 && stride == 1 && padding == 0 &&
+                 in_w == 1,
+             "layer '" << name
+                       << "': gemm carries T in in_h and must keep 1x1 "
+                          "kernel geometry");
   }
 }
 
@@ -95,6 +106,26 @@ Layer Layer::linear(std::string name, int in_features, int out_features) {
   l.kind = LayerKind::kLinear;
   l.in_channels = in_features;
   l.out_channels = out_features;
+  l.validate();
+  return l;
+}
+
+Layer Layer::gemm(std::string name, std::int64_t t, std::int64_t n,
+                  std::int64_t m) {
+  constexpr std::int64_t kMaxDim = std::numeric_limits<int>::max();
+  AF_CHECK(t > 0 && n > 0 && m > 0, "layer '" << name
+                                              << "': gemm dims must be "
+                                                 "positive, got t="
+                                              << t << " n=" << n
+                                              << " m=" << m);
+  AF_CHECK(t <= kMaxDim && n <= kMaxDim && m <= kMaxDim,
+           "layer '" << name << "': gemm dim exceeds int range");
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kGemm;
+  l.in_channels = static_cast<int>(n);
+  l.out_channels = static_cast<int>(m);
+  l.in_h = static_cast<int>(t);
   l.validate();
   return l;
 }

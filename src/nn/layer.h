@@ -15,6 +15,8 @@ enum class LayerKind {
   kConv,           // standard dense convolution
   kDepthwiseConv,  // one filter per channel (MobileNet / ConvNeXt blocks)
   kLinear,         // fully connected
+  kGemm,           // generic activation GEMM with explicit T (transformer
+                   // phases: QKV/score/context/out-proj/MLP — nn/transformer.h)
 };
 
 const char* layer_kind_name(LayerKind kind);
@@ -49,6 +51,12 @@ struct Layer {
   static Layer pointwise(std::string name, int in_ch, int out_ch, int in_h,
                          int in_w);
   static Layer linear(std::string name, int in_features, int out_features);
+  // Generic GEMM layer X(T x M) = A(T x N) x B(N x M): `t` activation rows
+  // against an N x M stationary weight (or KV-cache) matrix.  The row count
+  // rides in_h (in_w stays 1), so out_h()*out_w() == T and the kConv macs
+  // arithmetic holds unchanged.
+  static Layer gemm(std::string name, std::int64_t t, std::int64_t n,
+                    std::int64_t m);
 };
 
 }  // namespace af::nn

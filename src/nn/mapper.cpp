@@ -27,6 +27,13 @@ gemm::GemmShape gemm_shape(const Layer& layer) {
       shape.n = layer.in_channels;
       shape.m = layer.out_channels;
       break;
+    case LayerKind::kGemm:
+      // T rides the spatial size (in_h x 1, kernel 1x1 — see Layer::gemm),
+      // so `pixels` already equals the activation row count.
+      shape.t = pixels;
+      shape.n = layer.in_channels;
+      shape.m = layer.out_channels;
+      break;
   }
   return shape;
 }

@@ -1,0 +1,172 @@
+#include "nn/transformer.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace af::nn {
+namespace {
+
+// The phase tag is sandwiched between "blk<i>." and an optional ".h<head>"
+// suffix; match on substring so totals_by_phase needs no parser.
+std::string phase_of_layer(const std::string& name) {
+  for (const TransformerPhase phase : transformer_phases()) {
+    if (name.find(transformer_phase_name(phase)) != std::string::npos) {
+      return transformer_phase_name(phase);
+    }
+  }
+  return "other";
+}
+
+}  // namespace
+
+const char* transformer_phase_name(TransformerPhase phase) {
+  switch (phase) {
+    case TransformerPhase::kQkvProj:
+      return "qkv_proj";
+    case TransformerPhase::kAttnScore:
+      return "attn_score";
+    case TransformerPhase::kAttnContext:
+      return "attn_context";
+    case TransformerPhase::kOutProj:
+      return "out_proj";
+    case TransformerPhase::kMlpUp:
+      return "mlp_up";
+    case TransformerPhase::kMlpDown:
+      return "mlp_down";
+  }
+  return "?";
+}
+
+std::vector<TransformerPhase> transformer_phases() {
+  return {TransformerPhase::kQkvProj,  TransformerPhase::kAttnScore,
+          TransformerPhase::kAttnContext, TransformerPhase::kOutProj,
+          TransformerPhase::kMlpUp,    TransformerPhase::kMlpDown};
+}
+
+void TransformerConfig::validate() const {
+  AF_CHECK(d_model > 0 && n_heads > 0 && d_ff > 0 && n_blocks > 0,
+           "transformer config dims must be positive, got d_model="
+               << d_model << " n_heads=" << n_heads << " d_ff=" << d_ff
+               << " n_blocks=" << n_blocks);
+  AF_CHECK(d_model % n_heads == 0,
+           "d_model=" << d_model << " must divide evenly into n_heads="
+                      << n_heads << " heads");
+}
+
+gemm::GemmShape transformer_phase_shape(const TransformerConfig& config,
+                                        TransformerPhase phase,
+                                        std::int64_t seq_t,
+                                        std::int64_t kv_len) {
+  config.validate();
+  AF_CHECK(seq_t > 0, "seq_t must be positive, got " << seq_t);
+  AF_CHECK(kv_len > 0, "kv_len must be positive, got " << kv_len);
+  const std::int64_t d = config.d_model;
+  const std::int64_t hd = config.head_dim();
+  const std::int64_t ff = config.d_ff;
+  switch (phase) {
+    case TransformerPhase::kQkvProj:
+      return gemm::GemmShape{3 * d, d, seq_t};
+    case TransformerPhase::kAttnScore:
+      return gemm::GemmShape{kv_len, hd, seq_t};
+    case TransformerPhase::kAttnContext:
+      return gemm::GemmShape{hd, kv_len, seq_t};
+    case TransformerPhase::kOutProj:
+      return gemm::GemmShape{d, d, seq_t};
+    case TransformerPhase::kMlpUp:
+      return gemm::GemmShape{ff, d, seq_t};
+    case TransformerPhase::kMlpDown:
+      return gemm::GemmShape{d, ff, seq_t};
+  }
+  AF_CHECK(false, "unknown transformer phase");
+  return {};
+}
+
+std::vector<Layer> transformer_block_layers(const TransformerConfig& config,
+                                            std::int64_t seq_t,
+                                            std::int64_t kv_len,
+                                            int block_index) {
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<std::size_t>(4 + 2 * config.n_heads));
+  const std::string prefix = "blk" + std::to_string(block_index) + ".";
+  const auto add = [&](TransformerPhase phase, const std::string& suffix) {
+    const gemm::GemmShape s =
+        transformer_phase_shape(config, phase, seq_t, kv_len);
+    layers.push_back(Layer::gemm(
+        prefix + transformer_phase_name(phase) + suffix, s.t, s.n, s.m));
+  };
+  add(TransformerPhase::kQkvProj, "");
+  for (int h = 0; h < config.n_heads; ++h) {
+    add(TransformerPhase::kAttnScore, ".h" + std::to_string(h));
+  }
+  for (int h = 0; h < config.n_heads; ++h) {
+    add(TransformerPhase::kAttnContext, ".h" + std::to_string(h));
+  }
+  add(TransformerPhase::kOutProj, "");
+  add(TransformerPhase::kMlpUp, "");
+  add(TransformerPhase::kMlpDown, "");
+  return layers;
+}
+
+Model transformer_model(const TransformerConfig& config, std::int64_t seq_t,
+                        std::int64_t kv_len, std::string name) {
+  config.validate();
+  Model model;
+  model.name = name.empty()
+                   ? "transformer_d" + std::to_string(config.d_model) + "_h" +
+                         std::to_string(config.n_heads) + "_t" +
+                         std::to_string(seq_t) + "_kv" + std::to_string(kv_len)
+                   : std::move(name);
+  for (int b = 0; b < config.n_blocks; ++b) {
+    std::vector<Layer> block =
+        transformer_block_layers(config, seq_t, kv_len, b);
+    for (Layer& l : block) model.layers.push_back(std::move(l));
+  }
+  return model;
+}
+
+Model prefill_model(const TransformerConfig& config, std::int64_t seq_len) {
+  return transformer_model(config, seq_len, seq_len, "");
+}
+
+Model decode_model(const TransformerConfig& config, std::int64_t kv_len) {
+  return transformer_model(config, 1, kv_len, "");
+}
+
+KvCacheReport kv_cache_report(const TransformerConfig& config,
+                              const arch::ArrayConfig& array,
+                              std::int64_t kv_len) {
+  config.validate();
+  AF_CHECK(kv_len > 0, "kv_len must be positive, got " << kv_len);
+  const std::int64_t in_b = (array.input_bits + 7) / 8;
+  const std::int64_t blocks = config.n_blocks;
+  const std::int64_t d = config.d_model;
+  KvCacheReport out;
+  // K and V each hold kv_len rows of d_model per block (heads partition
+  // d_model, they do not multiply it).
+  out.resident_bytes = 2 * blocks * kv_len * d * in_b;
+  out.bytes_per_token = 2 * blocks * d * in_b;
+  // A decode step streams every head's K^T panel (head_dim x kv_len) for
+  // the score GEMM and V panel (kv_len x head_dim) for the context GEMM —
+  // exactly the B-operand bytes mem::TileScheduler plans for those layers.
+  out.read_bytes_per_step = 2 * blocks * kv_len * d * in_b;
+  out.write_bytes_per_step = out.bytes_per_token;
+  return out;
+}
+
+std::map<std::string, PhaseTotals> totals_by_phase(const ModelReport& report) {
+  std::map<std::string, PhaseTotals> out;
+  for (const LayerReport& lr : report.layers) {
+    PhaseTotals& t = out[phase_of_layer(lr.name)];
+    t.layers += 1;
+    t.macs += lr.shape.t * lr.shape.n * lr.shape.m;
+    t.arrayflex_time_ps += lr.arrayflex.time_ps;
+    t.arrayflex_energy_pj += lr.arrayflex_power.energy_pj;
+    t.dram_bytes += lr.dram_bytes;
+    t.stall_cycles += lr.stall_cycles;
+    t.spad_peak_bytes = std::max(t.spad_peak_bytes, lr.spad_peak_bytes);
+  }
+  return out;
+}
+
+}  // namespace af::nn

@@ -1,0 +1,85 @@
+#include "serve/reconfig.h"
+
+#include "util/status.h"
+
+namespace af::serve {
+
+ReconfigPolicyKind parse_reconfig_policy(const std::string& name) {
+  if (name == "argmin") return ReconfigPolicyKind::kArgmin;
+  if (name == "sticky") return ReconfigPolicyKind::kSticky;
+  AF_CHECK(false, "unknown reconfig policy \""
+                      << name << "\" (registered: \"argmin\", \"sticky\")");
+  return ReconfigPolicyKind::kArgmin;  // unreachable
+}
+
+std::vector<std::string> reconfig_policy_names() {
+  // Sorted, like every other registry — the README's table must list
+  // exactly these rows (CI diffs the two).
+  return {"argmin", "sticky"};
+}
+
+std::string reconfig_policy_description(const std::string& name) {
+  switch (parse_reconfig_policy(name)) {
+    case ReconfigPolicyKind::kArgmin:
+      return "stateless per-request Eq. 6 argmin: optimal mode per GEMM, "
+             "oblivious to the drain a mode switch costs the stream";
+    case ReconfigPolicyKind::kSticky:
+      return "hysteresis: hold the stream's mode until the accumulated "
+             "projected win of a challenger mode exceeds switch_margin x "
+             "drain cost; a request preferring the stream mode resets the "
+             "accumulation";
+  }
+  return {};  // unreachable
+}
+
+void ReconfigPolicy::reset() {
+  stream_k = 0;
+  pending_win_ps = 0.0;
+  switches = 0;
+  holds = 0;
+}
+
+int ReconfigPolicy::decide(const std::vector<arch::ModeSweepEntry>& modes,
+                           double drain_ps) {
+  AF_CHECK(!modes.empty(), "reconfig decide() needs a non-empty mode sweep");
+  AF_CHECK(switch_margin >= 0.0, "switch_margin must be non-negative");
+  const arch::ModeSweepEntry* best = &modes.front();
+  const arch::ModeSweepEntry* current = nullptr;
+  for (const arch::ModeSweepEntry& e : modes) {
+    if (e.decision.time_ps < best->decision.time_ps) best = &e;
+    if (e.decision.k == stream_k) current = &e;
+  }
+  if (kind == ReconfigPolicyKind::kArgmin) {
+    // Stateless per-request optimum; the stream mode just tracks the last
+    // decision (and the switch counter the thrash it implies).
+    if (stream_k != 0 && best->decision.k != stream_k) ++switches;
+    stream_k = best->decision.k;
+    pending_win_ps = 0.0;
+    return stream_k;
+  }
+  // Sticky hysteresis.  No established mode (fresh stream, or the array
+  // left GEMM service for an inference batch): adopt the optimum for free —
+  // the first batch configures the array either way.
+  if (stream_k == 0 || current == nullptr) {
+    stream_k = best->decision.k;
+    pending_win_ps = 0.0;
+    return stream_k;
+  }
+  if (best->decision.k == stream_k) {
+    // The stream mode is (still) this request's own optimum: any pending
+    // challenger run is broken.
+    pending_win_ps = 0.0;
+    return stream_k;
+  }
+  pending_win_ps += current->decision.time_ps - best->decision.time_ps;
+  if (pending_win_ps >= switch_margin * drain_ps) {
+    stream_k = best->decision.k;
+    pending_win_ps = 0.0;
+    ++switches;
+    return stream_k;
+  }
+  ++holds;
+  return stream_k;
+}
+
+}  // namespace af::serve

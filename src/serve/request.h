@@ -125,6 +125,14 @@ struct Request {
   // layer-dependent and accounted in the ModelReport instead).
   std::int64_t drr_bytes = 0;
 
+  // Marginal byte cost when this request RIDES a same-weight fusion (mem::
+  // projected_fused_rider_bytes — private A+C rows only; the shared B panel
+  // is billed to the batch member that brought it in).  Batch assembly
+  // charges this against the byte budget instead of drr_bytes whenever the
+  // rider's weight matrix is already aboard, so decode spam against one
+  // weight set fills a batch instead of double-counting B per rider.
+  std::int64_t drr_rider_bytes = 0;
+
   // Per-request fidelity override (engine::make registry key, e.g.
   // "cycle"): empty serves on the shard's default engine.  Validated at
   // admission against the registry; requests batch only with requests of

@@ -63,11 +63,27 @@ Batch assemble_batch(Request head, RequestQueue& queue, int max_batch,
             ? std::max<std::int64_t>(0, max_batch_bytes -
                                             batch.requests.front().drr_bytes)
             : std::numeric_limits<std::int64_t>::max();
+    // Weight matrices already aboard the batch.  A rider sharing one will
+    // fuse with that member in the executor (the B panel streams ONCE for
+    // the whole stack), so it is charged only its private A+C bytes
+    // (drr_rider_bytes); charging full drr_bytes double-counted the shared
+    // panel per rider and under-filled decode batches.
+    std::vector<const gemm::Mat32*> aboard_bs;
+    if (batch.kind == RequestKind::kGemm &&
+        batch.requests.front().b != nullptr) {
+      aboard_bs.push_back(batch.requests.front().b.get());
+    }
     std::vector<Request> riders = queue.pop_all_if(
         [&](const Request& r) {
           if (!compatible(batch.requests.front(), r)) return false;
-          if (r.drr_bytes > byte_budget) return false;
-          byte_budget -= r.drr_bytes;
+          const bool fuses =
+              r.b != nullptr &&
+              std::find(aboard_bs.begin(), aboard_bs.end(), r.b.get()) !=
+                  aboard_bs.end();
+          const std::int64_t charge = fuses ? r.drr_rider_bytes : r.drr_bytes;
+          if (charge > byte_budget) return false;
+          byte_budget -= charge;
+          if (!fuses && r.b != nullptr) aboard_bs.push_back(r.b.get());
           return true;
         },
         max_batch - 1);

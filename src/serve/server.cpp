@@ -294,6 +294,10 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
   if (options_.reconfig_cycles < 0) {
     options_.reconfig_cycles = shard_config_.rows + shard_config_.cols;
   }
+  AF_CHECK(options_.reconfig_switch_margin >= 0.0,
+           "reconfig_switch_margin must be non-negative");
+  reconfig_.kind = parse_reconfig_policy(options_.reconfig_policy);
+  reconfig_.switch_margin = options_.reconfig_switch_margin;
 
   // One builder wires every engine identically: shard config, the paper's
   // calibrated clock, the server's energy params, the one shared pool.
@@ -593,12 +597,32 @@ std::future<GemmResult> Server::submit_gemm(
   // config) — the byte-budget batching and bandwidth-pressure signal.
   // Well-defined even with the memory hierarchy disabled.
   r.drr_bytes = mem::projected_gemm_bytes(r.shape, shard_config_);
+  // Marginal bytes if this request ends up riding a same-weight fusion
+  // (private A+C only) — batch assembly picks between the two charges.
+  r.drr_rider_bytes = mem::projected_fused_rider_bytes(r.shape, shard_config_);
   if (submit.k != 0) {
     AF_CHECK(shard_config_.supports(submit.k),
              "mode k=" << submit.k << " not supported");
     r.decided_k = submit.k;
-  } else {
+  } else if (reconfig_.kind == ReconfigPolicyKind::kArgmin) {
+    // The stateless default keeps the historical lock-free admission path
+    // (per-request Eq. 6 argmin); the policy counters stay untouched.
     r.decided_k = admission_engine_->optimizer().best_mode(r.shape).k;
+  } else {
+    // Runtime reconfiguration: feed the policy this request's full mode
+    // sweep plus the drain price a switch would bill (prepare_mode charges
+    // reconfig_cycles at the NEW mode's clock — price it at the
+    // challenger's period, i.e. the mode a switch would move to).
+    const std::vector<arch::ModeSweepEntry> sweep =
+        admission_engine_->optimizer().sweep(r.shape);
+    double best_period_ps = sweep.front().decision.period_ps;
+    for (const arch::ModeSweepEntry& e : sweep) {
+      if (e.is_best) best_period_ps = e.decision.period_ps;
+    }
+    const double drain_ps =
+        static_cast<double>(options_.reconfig_cycles) * best_period_ps;
+    std::lock_guard<std::mutex> lock(reconfig_mutex_);
+    r.decided_k = reconfig_.decide(sweep, drain_ps);
   }
   r.a = std::move(a);
   r.b = std::move(b);
@@ -1318,6 +1342,12 @@ ServerStats Server::stats() const {
   out.backlog_macs = dispatcher_->approx_cost();
   out.backlog_bytes = dispatcher_->approx_bytes();
   out.promise_double_sets = promise_double_sets_.load();
+  out.reconfig_policy = options_.reconfig_policy;
+  {
+    std::lock_guard<std::mutex> lock(reconfig_mutex_);
+    out.reconfig_stream_switches = reconfig_.switches;
+    out.reconfig_holds = reconfig_.holds;
+  }
   {
     std::lock_guard<std::mutex> lock(shard_stats_mutex_);
     // live_shards_ is read under the same lock publish_live_set writes it

@@ -75,6 +75,7 @@
 #include "engine/engine.h"
 #include "serve/dispatcher.h"
 #include "serve/queue.h"
+#include "serve/reconfig.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 #include "serve/tenant_stats.h"
@@ -130,6 +131,16 @@ struct ServerOptions {
   // Cycles to drain + reconfigure a shard between pipeline modes; -1 means
   // rows + cols of the shard config (full pipeline flush).
   std::int64_t reconfig_cycles = -1;
+  // Which pipeline mode an optimizer-choice GEMM (SubmitOptions::k == 0) is
+  // stamped with at admission (serve/reconfig.h; engine_info
+  // --reconfig-policies lists the registry): "argmin" is the per-request
+  // Eq. 6 optimum — today's behaviour — while "sticky" holds the served
+  // stream's mode until the accumulated win of switching exceeds
+  // reconfig_switch_margin x the drain cost, amortizing reconfiguration
+  // across prefill/decode-style mode-mixed traffic.  Explicit-k submissions
+  // bypass the policy entirely.
+  std::string reconfig_policy = "argmin";
+  double reconfig_switch_margin = 2.0;
   arch::EnergyParams energy = arch::EnergyParams::generic28nm();
 
   // --- dispatch & autoscaling (see serve/dispatcher.h) ---------------------
@@ -386,6 +397,16 @@ struct ServerStats {
   // lock-free backlog-bytes mirror) — the bandwidth-pressure twin.
   std::int64_t backlog_bytes = 0;
   std::int64_t promise_double_sets = 0;  // broken-promise bugs caught (== 0)
+  // --- runtime reconfiguration (serve/reconfig.h) --------------------------
+  std::string reconfig_policy;   // policy registry key
+  // Stream-mode moves the admission policy decided on (each one costs the
+  // executing shard a drain when its array was configured differently).
+  // Both counters stay 0 under "argmin": the default keeps the historical
+  // lock-free admission path and never consults the policy state machine.
+  std::int64_t reconfig_stream_switches = 0;
+  // Requests held on the stream mode AGAINST their own per-request argmin —
+  // the drains the "sticky" policy declined to pay (always 0 for "argmin").
+  std::int64_t reconfig_holds = 0;
   // One snapshot per SLOT (max_shards entries): retired slots keep their
   // history with live == false.
   std::vector<ShardSnapshot> shards;
@@ -589,6 +610,12 @@ class Server {
   OverloadPolicy overload_policy_ = OverloadPolicy::kBlock;
   OverloadDetector detector_;          // control-thread private state
   std::atomic<bool> overloaded_{false};  // detector's published verdict
+
+  // Admission-time pipeline-mode policy for optimizer-choice GEMMs.  The
+  // mutex serializes concurrent submitters through the policy's stream
+  // state; the "argmin" default never takes it (stateless fast path).
+  ReconfigPolicy reconfig_;
+  mutable std::mutex reconfig_mutex_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::int64_t> submitted_{0};

@@ -1,0 +1,95 @@
+#include "serve/transformer_traffic.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace af::serve {
+namespace {
+
+constexpr std::int32_t kLo = -3;
+constexpr std::int32_t kHi = 3;
+
+std::shared_ptr<const gemm::Mat32> random_shared(af::Rng& rng,
+                                                 std::int64_t rows,
+                                                 std::int64_t cols) {
+  return std::make_shared<const gemm::Mat32>(
+      gemm::random_matrix(rng, rows, cols, kLo, kHi));
+}
+
+// Phase GEMMs of one pass at `seq_t` token rows, against the bundle's
+// frozen-span weights.  Shared by prefill (fat T) and decode (T = 1).
+std::vector<PhaseGemm> pass_gemms(const TransformerWeights& w,
+                                  std::int64_t seq_t, af::Rng& rng) {
+  AF_CHECK(seq_t > 0, "seq_t must be positive, got " << seq_t);
+  const nn::TransformerConfig& cfg = w.config;
+  cfg.validate();
+  AF_CHECK(static_cast<int>(w.qkv.size()) == cfg.n_blocks,
+           "weight bundle has " << w.qkv.size() << " blocks, config wants "
+                                << cfg.n_blocks);
+  std::vector<PhaseGemm> out;
+  out.reserve(static_cast<std::size_t>(cfg.n_blocks) *
+              static_cast<std::size_t>(4 + 2 * cfg.n_heads));
+  const auto add = [&](nn::TransformerPhase phase, int block, int head,
+                       const std::shared_ptr<const gemm::Mat32>& b) {
+    PhaseGemm g;
+    g.phase = phase;
+    g.block = block;
+    g.head = head;
+    g.b = b;
+    g.a = gemm::random_matrix(rng, seq_t, b->rows(), kLo, kHi);
+    out.push_back(std::move(g));
+  };
+  for (int blk = 0; blk < cfg.n_blocks; ++blk) {
+    add(nn::TransformerPhase::kQkvProj, blk, -1, w.qkv[blk]);
+    for (int h = 0; h < cfg.n_heads; ++h) {
+      add(nn::TransformerPhase::kAttnScore, blk, h, w.k_t[blk][h]);
+    }
+    for (int h = 0; h < cfg.n_heads; ++h) {
+      add(nn::TransformerPhase::kAttnContext, blk, h, w.v[blk][h]);
+    }
+    add(nn::TransformerPhase::kOutProj, blk, -1, w.out_proj[blk]);
+    add(nn::TransformerPhase::kMlpUp, blk, -1, w.mlp_up[blk]);
+    add(nn::TransformerPhase::kMlpDown, blk, -1, w.mlp_down[blk]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TransformerWeights make_transformer_weights(const nn::TransformerConfig& config,
+                                            std::int64_t kv_len, af::Rng& rng) {
+  config.validate();
+  AF_CHECK(kv_len > 0, "kv_len must be positive, got " << kv_len);
+  const std::int64_t d = config.d_model;
+  const std::int64_t hd = config.head_dim();
+  const std::int64_t ff = config.d_ff;
+  TransformerWeights w;
+  w.config = config;
+  w.kv_len = kv_len;
+  for (int blk = 0; blk < config.n_blocks; ++blk) {
+    w.qkv.push_back(random_shared(rng, d, 3 * d));
+    w.k_t.emplace_back();
+    w.v.emplace_back();
+    for (int h = 0; h < config.n_heads; ++h) {
+      w.k_t.back().push_back(random_shared(rng, hd, kv_len));
+      w.v.back().push_back(random_shared(rng, kv_len, hd));
+    }
+    w.out_proj.push_back(random_shared(rng, d, d));
+    w.mlp_up.push_back(random_shared(rng, d, ff));
+    w.mlp_down.push_back(random_shared(rng, ff, d));
+  }
+  return w;
+}
+
+std::vector<PhaseGemm> prefill_gemms(const TransformerWeights& weights,
+                                     std::int64_t seq_t, af::Rng& rng) {
+  return pass_gemms(weights, seq_t, rng);
+}
+
+std::vector<PhaseGemm> decode_gemms(const TransformerWeights& weights,
+                                    af::Rng& rng) {
+  return pass_gemms(weights, 1, rng);
+}
+
+}  // namespace af::serve

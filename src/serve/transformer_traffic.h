@@ -1,0 +1,74 @@
+// Transformer phase GEMMs as serving traffic.
+//
+// nn::transformer_model prices a transformer as an nn::Model (closed-form
+// layer reports).  This header generates the same phases as RAW GEMM
+// submissions — real Mat32 activations against shared_ptr weight matrices —
+// which is what serve::Server::submit_gemm batches, fuses and audits.  The
+// shared_ptr identity of each weight matrix is the server's same-weight
+// fusion key: every decode step of a session reuses the SAME TransformerWeights
+// bundle, so its skinny T=1 GEMMs stack along T with other decode steps of
+// the same phase (the decode-path fusion the tests pin down bit-identically).
+//
+// The KV panels (per-head K^T and V) are materialized at a fixed kv_len.
+// That freezes the attention span for every step generated from one bundle —
+// deliberately: serving-side fusion REQUIRES identical B matrices, and a
+// "paged" cache rounded up to a fixed span is exactly how batched decode
+// serving keeps shapes uniform.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gemm/matrix.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace af::serve {
+
+// One transformer stack's weight matrices, shaped for direct use as GEMM B
+// operands (N x M per the phase table in nn/transformer.h).  shared_ptr
+// identity doubles as the server's fusion key.
+struct TransformerWeights {
+  nn::TransformerConfig config;
+  std::int64_t kv_len = 0;
+
+  // Indexed [block]; attention panels [block][head].
+  std::vector<std::shared_ptr<const gemm::Mat32>> qkv;       // d x 3d
+  std::vector<std::vector<std::shared_ptr<const gemm::Mat32>>> k_t;  // hd x kv
+  std::vector<std::vector<std::shared_ptr<const gemm::Mat32>>> v;    // kv x hd
+  std::vector<std::shared_ptr<const gemm::Mat32>> out_proj;  // d x d
+  std::vector<std::shared_ptr<const gemm::Mat32>> mlp_up;    // d x ff
+  std::vector<std::shared_ptr<const gemm::Mat32>> mlp_down;  // ff x d
+};
+
+// Randomized weight bundle for `config` at attention span `kv_len`.
+// Operand values stay in a small range so fused int64 accumulations are
+// nowhere near overflow even with thousands of fused rows.
+TransformerWeights make_transformer_weights(const nn::TransformerConfig& config,
+                                            std::int64_t kv_len, af::Rng& rng);
+
+// One phase GEMM ready for Server::submit_gemm: activations `a` (t x n)
+// against the bundle's shared weight `b` (n x m).
+struct PhaseGemm {
+  nn::TransformerPhase phase = nn::TransformerPhase::kQkvProj;
+  int block = 0;
+  int head = -1;  // -1 for non-attention phases
+  gemm::Mat32 a;
+  std::shared_ptr<const gemm::Mat32> b;
+};
+
+// All phase GEMMs of one prefill pass (`seq_t` prompt rows) in block
+// execution order: qkv, n_heads x score, n_heads x context, out, mlp_up,
+// mlp_down per block.  Activations are randomized per call.
+std::vector<PhaseGemm> prefill_gemms(const TransformerWeights& weights,
+                                     std::int64_t seq_t, af::Rng& rng);
+
+// All phase GEMMs of one decode step (T = 1).  Every call reuses the
+// bundle's shared weights, so two decode steps' same-phase GEMMs carry the
+// identical B pointer — the same-weight fusion key.
+std::vector<PhaseGemm> decode_gemms(const TransformerWeights& weights,
+                                    af::Rng& rng);
+
+}  // namespace af::serve

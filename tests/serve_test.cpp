@@ -14,14 +14,18 @@
 #include <thread>
 #include <vector>
 
+#include "arch/clocking.h"
+#include "arch/optimizer.h"
 #include "gemm/reference.h"
 #include "mem/tile_scheduler.h"
 #include "nn/models.h"
 #include "nn/runner.h"
+#include "nn/transformer.h"
 #include "serve/dispatcher.h"
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
+#include "serve/transformer_traffic.h"
 #include "util/rng.h"
 
 namespace af::serve {
@@ -1580,6 +1584,224 @@ TEST_F(ServeTest, DegradeModeServesOnAShrunkScratchpad) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.degraded, degraded);
   EXPECT_EQ(stats.rejected, 0);  // degrade admits everything
+}
+
+// ---- transformer serving traffic (serve/transformer_traffic.h) ------------
+
+TEST_F(ServeTest, TransformerDecodeStreamFusesBitIdentically) {
+  // Three decode steps of one model stream their phase GEMMs through the
+  // server.  Same phase => same shared weight matrix (the bundle reuses
+  // shared_ptrs), so skinny T=1 rows from DIFFERENT steps fuse along T —
+  // and every request's slice of the fused product must still be
+  // bit-identical to its standalone reference GEMM.
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 64;
+  Server server(shard16(), opts);
+
+  Rng rng(411);
+  // A long k=4 plug occupies the single shard while the decode steps queue
+  // up behind it, so same-weight requests meet inside one batch.
+  auto plug_weights = random_weights(rng, 256, 256);
+  auto plug_future = server.submit_gemm(
+      "plug", gemm::random_matrix(rng, 1024, 256, -4, 4), plug_weights,
+      /*k=*/4);
+
+  nn::TransformerConfig tc;
+  tc.d_model = 8;
+  tc.n_heads = 2;
+  tc.d_ff = 16;
+  tc.n_blocks = 1;
+  const TransformerWeights weights = make_transformer_weights(tc, 6, rng);
+  constexpr int kSteps = 3;
+  std::vector<PhaseGemm> gemms;
+  std::vector<std::future<GemmResult>> futures;
+  for (int step = 0; step < kSteps; ++step) {
+    for (PhaseGemm& g : decode_gemms(weights, rng)) {
+      futures.push_back(server.submit_gemm("decoder", g.a, g.b, /*k=*/1));
+      gemms.push_back(std::move(g));
+    }
+  }
+  plug_future.get();
+  int fused_somewhere = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const GemmResult r = futures[i].get();
+    EXPECT_EQ(r.k, 1);
+    EXPECT_GE(r.fused_rows, 1);
+    EXPECT_LE(r.fused_rows, kSteps);  // at most one row per decode step
+    if (r.fused_rows > 1) ++fused_somewhere;
+    const gemm::Mat64 want = gemm::reference_gemm(gemms[i].a, *gemms[i].b);
+    EXPECT_EQ(gemm::first_mismatch(r.out, want), "")
+        << "phase " << nn::transformer_phase_name(gemms[i].phase) << " step "
+        << i;
+  }
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  // 8 distinct weight matrices per step (qkv, 2x K^T, 2x V, out, up, down):
+  // full coalescing fuses the 24 decode requests into 8 hardware runs
+  // (plus the plug); any schedule split can only add runs, and strictly
+  // fewer runs than requests proves fusion really fired.
+  EXPECT_EQ(stats.shards[0].requests, 1 + kSteps * 8);
+  EXPECT_GE(stats.shards[0].fused_runs, 1 + 8);
+  EXPECT_LT(stats.shards[0].fused_runs, 1 + kSteps * 8);
+  EXPECT_GE(fused_somewhere, 2);
+}
+
+// ---- runtime reconfiguration policy, end to end ---------------------------
+
+TEST_F(ServeTest, ReconfigStickyHoldsStreamModeWhereArgminThrashes) {
+  // An interleaved prefill/decode stream whose two shapes prefer different
+  // modes.  The argmin policy reconfigures the shard at every boundary;
+  // sticky (with a margin the interleave never accumulates past, since
+  // every prefill resets the challenger run) holds the stream mode and
+  // pays ZERO drains.
+  const arch::CalibratedClockModel clock = arch::CalibratedClockModel::date23();
+  const arch::PipelineOptimizer opt(shard16(), clock);
+  const gemm::GemmShape fat{16, 16, 512};
+  const gemm::GemmShape skinny{16, 16, 1};
+  ASSERT_NE(opt.best_mode(fat).k, opt.best_mode(skinny).k)
+      << "shapes must disagree on the optimal mode for this test to bite";
+
+  const auto drive = [&](const std::string& policy, double margin) {
+    ServerOptions opts;
+    opts.num_shards = 1;
+    opts.max_batch = 1;
+    opts.reconfig_policy = policy;
+    opts.reconfig_switch_margin = margin;
+    Server server(shard16(), opts);
+    Rng rng(909);
+    auto weights = random_weights(rng, 16, 16);
+    for (int i = 0; i < 3; ++i) {
+      // Submit-and-wait keeps admission order == service order.
+      server
+          .submit_gemm("t", gemm::random_matrix(rng, 512, 16, -5, 5), weights)
+          .get();
+      server
+          .submit_gemm("t", gemm::random_matrix(rng, 1, 16, -5, 5), weights)
+          .get();
+    }
+    return server.stats();
+  };
+
+  const ServerStats argmin = drive("argmin", 2.0);
+  EXPECT_EQ(argmin.reconfig_policy, "argmin");
+  EXPECT_EQ(argmin.reconfig_holds, 0);
+  // The argmin default keeps the historical LOCK-FREE admission path, so
+  // its policy counters stay at zero; the thrash shows up where it costs —
+  // the shard's mode switches and drain time.
+  EXPECT_EQ(argmin.reconfig_stream_switches, 0);
+  ASSERT_EQ(argmin.shards.size(), 1u);
+  EXPECT_EQ(argmin.shards[0].mode_switches, 5);
+  EXPECT_GT(argmin.shards[0].reconfig_time_ps, 0.0);
+
+  const ServerStats sticky = drive("sticky", 100.0);
+  EXPECT_EQ(sticky.reconfig_policy, "sticky");
+  EXPECT_EQ(sticky.reconfig_stream_switches, 0);
+  EXPECT_EQ(sticky.reconfig_holds, 3);  // every decode held on the stream mode
+  ASSERT_EQ(sticky.shards.size(), 1u);
+  EXPECT_EQ(sticky.shards[0].mode_switches, 0);
+  EXPECT_EQ(sticky.shards[0].reconfig_time_ps, 0.0);
+}
+
+TEST(ReconfigServerOptionsTest, UnknownPolicyRejectedAtConstruction) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.reconfig_policy = "thrash";
+  EXPECT_THROW(Server(arch::ArrayConfig::square(16), opts), Error);
+  ServerOptions neg;
+  neg.num_shards = 1;
+  neg.reconfig_switch_margin = -1.0;
+  EXPECT_THROW(Server(arch::ArrayConfig::square(16), neg), Error);
+}
+
+// ---- fused-rider byte budgeting (the double-charge regression) ------------
+
+TEST(BatchSchedulerTest, FusedRiderBytesChargeOnlyPrivateRows) {
+  // Requests sharing the head's weight matrix will fuse in the executor
+  // (one B stream for the stack), so the byte budget must charge them
+  // their private A+C rows only.  Under the old full-charge accounting
+  // this backlog admitted ONE rider; fused-aware charging admits both
+  // same-weight riders and correctly keeps the foreign-weight one out.
+  auto w = std::make_shared<const gemm::Mat32>(4, 4);
+  auto w2 = std::make_shared<const gemm::Mat32>(4, 4);
+  const auto sized = [](std::uint64_t id,
+                        std::shared_ptr<const gemm::Mat32> b,
+                        std::int64_t full, std::int64_t rider) {
+    Request r = make_gemm_request(id, 1);
+    r.b = std::move(b);
+    r.drr_bytes = full;
+    r.drr_rider_bytes = rider;
+    return r;
+  };
+  RequestQueue q(16);
+  ASSERT_TRUE(q.push(sized(0, w, 1000, 400)));   // head: full charge
+  ASSERT_TRUE(q.push(sized(1, w, 1000, 400)));   // fuses: rider charge
+  ASSERT_TRUE(q.push(sized(2, w, 1000, 400)));   // fuses: rider charge
+  ASSERT_TRUE(q.push(sized(3, w2, 1000, 400)));  // foreign weights: full
+  auto head = q.pop();
+  ASSERT_TRUE(head.has_value());
+  Batch b = assemble_batch(std::move(*head), q, /*max_batch=*/8,
+                           /*max_batch_bytes=*/2000);
+  // 1000 (head) + 400 + 400 fits; the foreign-weight request needs a full
+  // 1000 against the remaining 200 and keeps its queue position.
+  ASSERT_EQ(b.requests.size(), 3u);
+  EXPECT_EQ(b.requests[0].id, 0u);
+  EXPECT_EQ(b.requests[1].id, 1u);
+  EXPECT_EQ(b.requests[2].id, 2u);
+  EXPECT_EQ(q.size(), 1u);
+
+  // A rider admitted at full charge registers ITS weights too: later
+  // same-weight riders in the same sweep pay only their private rows.
+  RequestQueue q2(16);
+  ASSERT_TRUE(q2.push(sized(0, w, 1000, 400)));
+  ASSERT_TRUE(q2.push(sized(1, w2, 1000, 300)));
+  ASSERT_TRUE(q2.push(sized(2, w2, 1000, 300)));
+  head = q2.pop();
+  ASSERT_TRUE(head.has_value());
+  Batch b2 = assemble_batch(std::move(*head), q2, 8,
+                            /*max_batch_bytes=*/2300);
+  // 1000 + 1000 (w2 boards) + 300 (w2 rider) == 2300: all admitted.
+  EXPECT_EQ(b2.requests.size(), 3u);
+  EXPECT_EQ(q2.size(), 0u);
+}
+
+TEST(RequestQueueTest, DeadlineWeightedQuantaChargeFusedRidersOnce) {
+  // Regression: deadline-weighted quanta (pop) composed with the
+  // coalescing sweep (pop_all_if) must charge each rider's own deficit
+  // exactly once — no double MAC charge, and the byte backlog mirror
+  // returns to zero once the tenant drains.
+  constexpr std::int64_t kQuantum = 100;
+  RequestQueue q(16, kQuantum, /*deadline_urgent_ms=*/60'000,
+                 /*deadline_weight_cap=*/4);
+  const auto urgent = [](std::uint64_t id, std::int64_t cost,
+                         std::int64_t bytes) {
+    Request r = make_tenant_request(id, "u", cost);
+    r.deadline = Clock::now() + std::chrono::hours(1000);
+    r.drr_bytes = bytes;
+    return r;
+  };
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(q.push(urgent(id, 60, 250)));
+  }
+  EXPECT_EQ(q.approx_bytes(), 1000);
+
+  ASSERT_TRUE(q.pop().has_value());  // credits a (weighted) quantum, serves
+  const std::int64_t after_pop = q.deficit("u");
+  const std::int64_t bytes_after_pop = q.approx_bytes();
+  EXPECT_EQ(bytes_after_pop, 750);
+
+  auto riders =
+      q.pop_all_if([](const Request& r) { return r.decided_k == 1; }, 2);
+  ASSERT_EQ(riders.size(), 2u);
+  // Each rider charged exactly its own cost, once — against the deficit
+  // the weighted pop left behind.
+  EXPECT_EQ(q.deficit("u"), after_pop - 2 * 60);
+  EXPECT_EQ(q.approx_bytes(), 250);
+
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_EQ(q.approx_bytes(), 0);
+  EXPECT_EQ(q.approx_cost(), 0);
+  EXPECT_EQ(q.deficit("u"), 0);  // drained tenants retire, debts included
 }
 
 }  // namespace
