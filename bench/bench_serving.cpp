@@ -239,6 +239,12 @@ BackendComparison run_backend_comparison(bool quick) {
 struct ContendedPoint {
   std::string dispatcher;
   int producers = 0;
+  // Client batch size.  0 = the legacy scalar submit_gemm path (one future
+  // per request); >= 1 = submit_gemm_batch with that many shapes per call
+  // (batch 1 isolates the per-call overhead of the batched plumbing, 16 and
+  // 256 amortize the queue hop and hit the SoA evaluate_batch kernel).
+  // `requests` always counts SHAPES, so req/s is comparable across rows.
+  int batch = 0;
   std::int64_t requests = 0;
   double wall_s = 0.0;
   double cpu_s = 0.0;  // process CPU time — the single-core scaling proxy
@@ -271,7 +277,7 @@ std::string tenant_for_home(int index, int home, int shards) {
 }
 
 ContendedPoint run_contended_once(const std::string& dispatcher, int producers,
-                                  int total_requests) {
+                                  int total_requests, int batch) {
   serve::ServerOptions opts;
   opts.num_shards = 8;
   opts.max_batch = 32;
@@ -289,6 +295,11 @@ ContendedPoint run_contended_once(const std::string& dispatcher, int producers,
   for (int i = 0; i < 4; ++i) {
     activation_pool.push_back(gemm::random_matrix(act_rng, 4, 32, -40, 40));
   }
+  // Batched producers submit shapes, not operands: a small rotation of
+  // distinct shapes so the cost cache sees the serving steady state (a few
+  // hot shapes answered from memo) rather than one degenerate key.
+  std::vector<gemm::GemmShape> shape_pool;
+  for (std::int64_t t = 1; t <= 8; ++t) shape_pool.push_back({32, 32, t});
 
   const int per_producer = total_requests / producers;
   const std::clock_t cpu0 = std::clock();
@@ -307,6 +318,30 @@ ContendedPoint run_contended_once(const std::string& dispatcher, int producers,
       // study varies submitter-thread count at fixed offered concurrency,
       // so a point's delta is dispatch contention, not a deeper backlog.
       const int kWindow = std::max(1, 256 / producers);
+      if (batch > 0) {
+        // Batched path: one submit_gemm_batch call per `batch` shapes, a
+        // bounded window of outstanding tickets.  The window counts CALLS
+        // (tickets), so total outstanding shapes grows with the batch size
+        // — which is the point: one ticket is one queue hop regardless.
+        std::vector<gemm::GemmShape> shapes(static_cast<std::size_t>(batch));
+        const int calls = per_producer / batch;
+        std::vector<serve::BatchTicket> in_flight;
+        for (int i = 0; i < calls; ++i) {
+          for (int j = 0; j < batch; ++j) {
+            shapes[static_cast<std::size_t>(j)] =
+                shape_pool[static_cast<std::size_t>((c + i + j) % 8)];
+          }
+          serve::SubmitOptions sub;
+          sub.k = 1;
+          in_flight.push_back(server.submit_gemm_batch(tenant, shapes, sub));
+          if (in_flight.size() >= static_cast<std::size_t>(kWindow)) {
+            in_flight.front().get();
+            in_flight.erase(in_flight.begin());
+          }
+        }
+        for (auto& t : in_flight) t.get();
+        return;
+      }
       std::vector<std::future<serve::GemmResult>> in_flight;
       for (int i = 0; i < per_producer; ++i) {
         in_flight.push_back(server.submit_gemm(
@@ -325,7 +360,11 @@ ContendedPoint run_contended_once(const std::string& dispatcher, int producers,
   ContendedPoint p;
   p.dispatcher = dispatcher;
   p.producers = producers;
-  p.requests = static_cast<std::int64_t>(per_producer) * producers;
+  p.batch = batch;
+  const std::int64_t per_producer_shapes =
+      batch > 0 ? static_cast<std::int64_t>(per_producer / batch) * batch
+                : per_producer;
+  p.requests = per_producer_shapes * producers;
   p.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -339,11 +378,11 @@ ContendedPoint run_contended_once(const std::string& dispatcher, int producers,
 // runner make single trials swing with scheduler luck; the best trial is
 // the standard low-noise estimator of what the code can sustain.
 ContendedPoint run_contended(const std::string& dispatcher, int producers,
-                             int total_requests) {
+                             int total_requests, int batch = 0) {
   ContendedPoint best;
   for (int trial = 0; trial < 3; ++trial) {
     ContendedPoint p = run_contended_once(dispatcher, producers,
-                                          total_requests);
+                                          total_requests, batch);
     if (trial == 0 || p.requests_per_s() > best.requests_per_s()) best = p;
   }
   return best;
@@ -353,6 +392,10 @@ ContendedPoint run_contended(const std::string& dispatcher, int producers,
 
 struct OpenLoopPoint {
   double offered_rps = 0.0;
+  // 0 = legacy scalar submit_gemm; >= 1 = submit_gemm_batch with this many
+  // shapes per Poisson arrival (offered_rps still counts SHAPES per second,
+  // so the arrival rate of calls is offered_rps / batch).
+  int batch = 0;
   std::int64_t requests = 0;
   double seconds = 0.0;
   double achieved_rps = 0.0;
@@ -361,7 +404,8 @@ struct OpenLoopPoint {
   double mean_ms = 0.0;
 };
 
-OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
+OpenLoopPoint run_open_loop(double offered_rps, int total_requests,
+                            int batch = 0) {
   serve::ServerOptions opts;
   opts.num_shards = 2;
   opts.max_batch = 8;
@@ -379,20 +423,45 @@ OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
   for (int i = 0; i < 8; ++i) {
     activation_pool.push_back(gemm::random_matrix(rng, 8, 64, -40, 40));
   }
+  // Batched arrivals carry shapes only (cost queries); rotate a few
+  // distinct keys so the memo cache sees steady-state traffic, not one key.
+  std::vector<gemm::GemmShape> shape_pool;
+  for (std::int64_t t = 1; t <= 8; ++t) shape_pool.push_back({48, 64, t});
+
   std::deque<std::future<serve::GemmResult>> in_flight;
+  std::deque<serve::BatchTicket> tickets;
   const auto t0 = std::chrono::steady_clock::now();
   auto next_arrival = t0;
-  for (int i = 0; i < total_requests; ++i) {
-    // Exponential inter-arrival gap: -ln(1 - U) / rate seconds.
-    const double gap_s =
-        -std::log(1.0 - rng.next_double()) / offered_rps;
+  const int arrivals =
+      batch > 0 ? std::max(1, total_requests / batch) : total_requests;
+  std::vector<gemm::GemmShape> shapes(
+      static_cast<std::size_t>(std::max(1, batch)));
+  for (int i = 0; i < arrivals; ++i) {
+    // Exponential inter-arrival gap: -ln(1 - U) / rate seconds.  A batched
+    // arrival delivers `batch` shapes at once, so the call rate is the
+    // offered SHAPE rate divided by the batch size.
+    const double call_rps =
+        batch > 0 ? offered_rps / batch : offered_rps;
+    const double gap_s = -std::log(1.0 - rng.next_double()) / call_rps;
     next_arrival +=
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(gap_s));
     std::this_thread::sleep_until(next_arrival);
     // Open loop: submit without waiting.  (Once the bounded queue fills —
-    // past saturation — submit_gemm itself blocks; that back-pressure IS
-    // the saturation signal and caps the achieved rate.)
+    // past saturation — submit itself blocks; that back-pressure IS the
+    // saturation signal and caps the achieved rate.)
+    if (batch > 0) {
+      for (int j = 0; j < batch; ++j) {
+        shapes[static_cast<std::size_t>(j)] =
+            shape_pool[static_cast<std::size_t>((i + j) % 8)];
+      }
+      tickets.push_back(server.submit_gemm_batch("openloop", shapes));
+      while (!tickets.empty() && tickets.front().ready()) {
+        tickets.front().get();
+        tickets.pop_front();
+      }
+      continue;
+    }
     in_flight.push_back(server.submit_gemm(
         "openloop", activation_pool[static_cast<std::size_t>(i % 8)], weights,
         /*k=*/0, /*want_output=*/false));
@@ -404,6 +473,7 @@ OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
     }
   }
   for (auto& f : in_flight) f.get();
+  for (auto& t : tickets) t.get();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -411,6 +481,7 @@ OpenLoopPoint run_open_loop(double offered_rps, int total_requests) {
   const serve::ServerStats stats = server.stats();
   OpenLoopPoint p;
   p.offered_rps = offered_rps;
+  p.batch = batch;
   p.requests = stats.completed;
   p.seconds = seconds;
   p.achieved_rps =
@@ -858,6 +929,8 @@ void write_json(const std::vector<Point>& closed_loop,
   for (std::size_t i = 0; i < open_loop.size(); ++i) {
     const OpenLoopPoint& p = open_loop[i];
     json << "    {\"offered_rps\": " << p.offered_rps
+         << ", \"api\": \"" << (p.batch > 0 ? "batched" : "scalar")
+         << "\", \"batch\": " << p.batch
          << ", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
          << ", \"achieved_rps\": " << p.achieved_rps
          << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
@@ -869,6 +942,8 @@ void write_json(const std::vector<Point>& closed_loop,
     const ContendedPoint& p = contended[i];
     json << "    {\"dispatcher\": \"" << p.dispatcher
          << "\", \"producers\": " << p.producers
+         << ", \"api\": \"" << (p.batch > 0 ? "batched" : "scalar")
+         << "\", \"batch\": " << p.batch
          << ", \"requests\": " << p.requests << ", \"wall_s\": " << p.wall_s
          << ", \"cpu_s\": " << p.cpu_s
          << ", \"requests_per_s\": " << p.requests_per_s()
@@ -976,11 +1051,23 @@ int main(int argc, char** argv) {
         quick ? 2000 : 8000, std::max(200, static_cast<int>(rate / 4)));
     open_loop.push_back(run_open_loop(rate, total));
   }
+  // Batched open loop: the same Poisson discipline with shapes arriving in
+  // submit_gemm_batch calls.  Higher offered SHAPE rates — the batched path
+  // exists to push the ceiling far past what scalar arrivals saturate at.
+  for (const int batch : {1, 16, 256}) {
+    for (const double rate : {32000.0, 256000.0, 2048000.0}) {
+      const int total = std::min(
+          quick ? 16384 : 65536,
+          std::max(batch * 16, static_cast<int>(rate / 8)));
+      open_loop.push_back(run_open_loop(rate, total, batch));
+    }
+  }
   std::printf("\nopen loop (Poisson arrivals, analytic backend, 2 shards):\n");
-  std::printf("%12s %12s %10s %10s %10s\n", "offered r/s", "achieved r/s",
-              "p50 ms", "p99 ms", "mean ms");
+  std::printf("%12s %7s %12s %10s %10s %10s\n", "offered r/s", "batch",
+              "achieved r/s", "p50 ms", "p99 ms", "mean ms");
   for (const OpenLoopPoint& p : open_loop) {
-    std::printf("%12.0f %12.1f %10.3f %10.3f %10.3f\n", p.offered_rps,
+    std::printf("%12.0f %7s %12.1f %10.3f %10.3f %10.3f\n", p.offered_rps,
+                p.batch > 0 ? std::to_string(p.batch).c_str() : "scalar",
                 p.achieved_rps, p.p50_ms, p.p99_ms, p.mean_ms);
   }
 
@@ -992,15 +1079,31 @@ int main(int argc, char** argv) {
           run_contended(dispatcher, producers, contended_total));
     }
   }
+  // Batched dimension: the same producer pressure through submit_gemm_batch
+  // at batch sizes 1/16/256.  Shape volume scales with the batch so each
+  // point still measures a steady state rather than setup cost; `requests`
+  // counts shapes, so req/s stays comparable with the scalar rows above.
+  for (const std::string dispatcher : {"global", "stealing"}) {
+    for (const int batch : {1, 16, 256}) {
+      const int total =
+          contended_total * (batch == 1 ? 1 : (batch == 16 ? 8 : 64));
+      for (const int producers : {1, 2, 4, 8}) {
+        contended.push_back(
+            run_contended(dispatcher, producers, total, batch));
+      }
+    }
+  }
   std::printf(
       "\ncontended submit (8 shards, analytic cost-only, distinct tenant "
       "per producer):\n");
-  std::printf("%10s %9s %9s %12s %14s\n", "dispatcher", "producers",
-              "requests", "requests/s", "req/cpu-s");
+  std::printf("%10s %9s %7s %10s %12s %14s\n", "dispatcher", "producers",
+              "batch", "requests", "requests/s", "req/cpu-s");
   for (const ContendedPoint& p : contended) {
-    std::printf("%10s %9d %9lld %12.1f %14.1f\n", p.dispatcher.c_str(),
-                p.producers, static_cast<long long>(p.requests),
-                p.requests_per_s(), p.requests_per_cpu_s());
+    std::printf("%10s %9d %7s %10lld %12.1f %14.1f\n", p.dispatcher.c_str(),
+                p.producers,
+                p.batch > 0 ? std::to_string(p.batch).c_str() : "scalar",
+                static_cast<long long>(p.requests), p.requests_per_s(),
+                p.requests_per_cpu_s());
   }
 
   // Capacity baseline for the overload sweep: the same GEMM the sweep

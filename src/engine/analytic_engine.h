@@ -26,6 +26,14 @@ class AnalyticEngine final : public Engine {
 
   RunResult run_gemm(const GemmRequest& request) override;
   CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
+  // Vectorized batch path: the Eq. 3/4 integer closed forms and the Eq. 6
+  // argmin run over contiguous SoA arrays (one branch-free inner loop per
+  // mode, no per-element virtual dispatch); only cache misses pay the full
+  // per-element finalization.  Element i is EXACTLY equal to
+  // evaluate(shapes[i], k) — the SoA loops execute the same integer and
+  // double arithmetic as arch::total_latency_cycles / absolute_time_ps.
+  std::vector<CostEstimate> evaluate_batch(
+      std::span<const gemm::GemmShape> shapes, int k = 0) override;
   CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
   CostEstimate evaluate_sparse(const gemm::GemmShape& shape, int k,
                                const arch::TileOccupancy& occupancy) override;

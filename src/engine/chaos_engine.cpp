@@ -77,6 +77,13 @@ CostEstimate ChaosEngine::evaluate(const gemm::GemmShape& shape, int k) {
   return inner_->evaluate(shape, k);
 }
 
+std::vector<CostEstimate> ChaosEngine::evaluate_batch(
+    std::span<const gemm::GemmShape> shapes, int k) {
+  // Planning forwards untouched, like evaluate: faults hit execution only
+  // (and the inner engine keeps its vectorized path and its cache).
+  return inner_->evaluate_batch(shapes, k);
+}
+
 CostEstimate ChaosEngine::evaluate_tile_asym(std::int64_t t, int k_v,
                                              int k_h) {
   return inner_->evaluate_tile_asym(t, k_v, k_h);

@@ -36,6 +36,8 @@ class ChaosEngine final : public Engine {
 
   RunResult run_gemm(const GemmRequest& request) override;
   CostEstimate evaluate(const gemm::GemmShape& shape, int k = 0) override;
+  std::vector<CostEstimate> evaluate_batch(
+      std::span<const gemm::GemmShape> shapes, int k = 0) override;
   CostEstimate evaluate_tile_asym(std::int64_t t, int k_v, int k_h) override;
   CostEstimate evaluate_sparse(const gemm::GemmShape& shape, int k,
                                const arch::TileOccupancy& occupancy) override;

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <bit>
 #include <limits>
 #include <map>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "arch/sparse.h"
 #include "engine/analytic_engine.h"
 #include "engine/chaos_engine.h"
+#include "engine/cost_cache.h"
 #include "engine/cycle_engine.h"
 #include "gemm/tiling.h"
 #include "mem/tile_scheduler.h"
@@ -16,6 +18,62 @@
 #include "util/thread_pool.h"
 
 namespace af::engine {
+namespace {
+
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 over the running hash — cheap, and every input bit reaches
+  // every output bit, so near-identical configs never collide in practice.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t h, double v) {
+  // Hash the exact bit pattern: cost equality is exact double equality, so
+  // the invalidation key must distinguish exactly what the arithmetic does.
+  return fingerprint_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// Structural identity of an engine's cost arithmetic — see
+// Engine::cost_fingerprint().  Computed once at construction.
+std::uint64_t compute_cost_fingerprint(const arch::ArrayConfig& config,
+                                       const arch::ClockModel& clock,
+                                       const arch::EnergyParams& energy) {
+  std::uint64_t h = 0x636f7374ULL;  // "cost"
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.rows));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.cols));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.input_bits));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.acc_bits));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.supported_k.size()));
+  for (const int k : config.supported_k) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(k));
+    h = fingerprint_mix(h, clock.period_ps(k));
+  }
+  h = fingerprint_mix(h, clock.conventional_period_ps());
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.mem.enabled));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.mem.spad_bytes));
+  h = fingerprint_mix(h,
+                      static_cast<std::uint64_t>(config.mem.dram_bytes_per_cycle));
+  h = fingerprint_mix(h,
+                      static_cast<std::uint64_t>(config.mem.dram_latency_cycles));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(config.mem.reuse));
+  h = fingerprint_mix(h, energy.e_mult_fj);
+  h = fingerprint_mix(h, energy.e_csa_fj);
+  h = fingerprint_mix(h, energy.e_bypass_mux_fj);
+  h = fingerprint_mix(h, energy.e_cpa_fj);
+  h = fingerprint_mix(h, energy.e_reg_bit_fj);
+  h = fingerprint_mix(h, energy.e_acc_fj);
+  h = fingerprint_mix(h, energy.e_clk_bit_fj);
+  h = fingerprint_mix(h, energy.clock_trunk_fraction);
+  h = fingerprint_mix(h, energy.clock_gate_efficiency);
+  h = fingerprint_mix(h, energy.glitch_per_stage);
+  h = fingerprint_mix(h, energy.leak_mw_per_pe);
+  h = fingerprint_mix(h, energy.e_dram_byte_fj);
+  return h;
+}
+
+}  // namespace
 
 bool exactly_equal(const arch::ActivityCounters& a,
                    const arch::ActivityCounters& b) {
@@ -54,6 +112,15 @@ Engine::Engine(const arch::ArrayConfig& config,
     if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
   }
   optimizer_.set_thread_pool(pool());
+  // Private memoization store by default; the factory swaps in the
+  // builder's shared cache right after construction (set_cost_cache).
+  cache_ = std::make_shared<CostCache>();
+  fingerprint_ = compute_cost_fingerprint(config_, *clock_, energy_);
+}
+
+void Engine::set_cost_cache(std::shared_ptr<CostCache> cache) {
+  AF_CHECK(cache != nullptr, "set_cost_cache requires a cache");
+  cache_ = std::move(cache);
 }
 
 Engine::~Engine() = default;
@@ -63,7 +130,10 @@ util::ThreadPool* Engine::pool() const {
 }
 
 int Engine::resolve_mode(const gemm::GemmShape& shape, int k) const {
-  if (k == 0) return optimizer_.best_mode(shape).k;
+  // The Eq. 6 argmin goes through the cached optimizer sweep: one
+  // projection per distinct shape instead of one per call — the fix for
+  // the per-admission argmin re-deriving every mode per request.
+  if (k == 0) return best_mode_cached(shape).k;
   AF_CHECK(config_.supports(k), "mode k=" << k << " not supported by "
                                           << config_.to_string());
   return k;
@@ -188,13 +258,77 @@ CostEstimate Engine::finalized(const gemm::GemmShape& shape, int k,
   return est;
 }
 
+std::vector<CostEstimate> Engine::evaluate_batch(
+    std::span<const gemm::GemmShape> shapes, int k) {
+  // Generic fallback: one memoized evaluate per element.  Still batched
+  // from the caller's point of view (one call, one result vector) and
+  // still exactly equal to the scalar path; the analytic backend replaces
+  // the loop with a vectorized SoA sweep of the closed forms.
+  std::vector<CostEstimate> out;
+  out.reserve(shapes.size());
+  for (const gemm::GemmShape& shape : shapes) {
+    out.push_back(evaluate_cached(shape, k));
+  }
+  return out;
+}
+
+CostEstimate Engine::evaluate_cached(const gemm::GemmShape& shape, int k) {
+  const int mode = resolve_mode(shape, k);
+  if (std::optional<CostEstimate> hit =
+          cache_->find(fingerprint_, shape, mode, CostCache::kDenseOccupancy)) {
+    return *std::move(hit);
+  }
+  CostEstimate est = evaluate(shape, mode);
+  cache_->insert(fingerprint_, shape, mode, CostCache::kDenseOccupancy, est);
+  return est;
+}
+
+CostEstimate Engine::evaluate_sparse_cached(
+    const gemm::GemmShape& shape, int k,
+    const arch::TileOccupancy& occupancy) {
+  if (config_.mem.enabled) {
+    // The DMA plan walks the occupied tiles in order — two occupancies
+    // with equal nnz can cost differently, so there is no sound key.
+    return evaluate_sparse(shape, k, occupancy);
+  }
+  const int mode = resolve_mode(shape, k);
+  const std::int64_t token = occupancy.nonzero_tiles();
+  if (std::optional<CostEstimate> hit =
+          cache_->find(fingerprint_, shape, mode, token)) {
+    return *std::move(hit);
+  }
+  CostEstimate est = evaluate_sparse(shape, mode, occupancy);
+  cache_->insert(fingerprint_, shape, mode, token, est);
+  return est;
+}
+
+std::shared_ptr<const std::vector<arch::ModeSweepEntry>> Engine::sweep_cached(
+    const gemm::GemmShape& shape) const {
+  if (auto hit = cache_->find_sweep(fingerprint_, shape)) return hit;
+  auto sweep = std::make_shared<const std::vector<arch::ModeSweepEntry>>(
+      optimizer_.sweep(shape));
+  // First-writer-wins under a racing miss: both computed identical values.
+  cache_->insert_sweep(fingerprint_, shape, sweep);
+  return sweep;
+}
+
+arch::ModeDecision Engine::best_mode_cached(
+    const gemm::GemmShape& shape) const {
+  const auto sweep = sweep_cached(shape);
+  for (const arch::ModeSweepEntry& entry : *sweep) {
+    if (entry.is_best) return entry.decision;
+  }
+  // Unreachable (sweep always flags a winner); kept for defensiveness.
+  return optimizer_.best_mode(shape);
+}
+
 CostEstimate Engine::best(const gemm::GemmShape& shape) {
   CostEstimate winner;
   winner.time_ps = std::numeric_limits<double>::infinity();
   // Same iteration order and strict-< tie-break as
   // PipelineOptimizer::best_mode, so best(shape).k == best_mode(shape).k.
   for (const int k : config_.supported_k) {
-    CostEstimate est = evaluate(shape, k);
+    CostEstimate est = evaluate_cached(shape, k);
     if (est.time_ps < winner.time_ps) winner = std::move(est);
   }
   return winner;
@@ -248,6 +382,12 @@ EngineBuilder& EngineBuilder::shared_pool(util::ThreadPool* pool) {
 
 EngineBuilder& EngineBuilder::chaos(const ChaosOptions& options) {
   chaos_ = options;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::cost_cache(std::shared_ptr<CostCache> cache) {
+  AF_CHECK(cache != nullptr, "EngineBuilder::cost_cache requires a cache");
+  cost_cache_ = std::move(cache);
   return *this;
 }
 
@@ -308,7 +448,14 @@ std::shared_ptr<Engine> make(const std::string& backend,
                         << backend << "\" (registered: "
                         << registered_backend_list() << ")");
   }
-  return it->second.create(builder);
+  std::shared_ptr<Engine> engine = it->second.create(builder);
+  // Swap in the builder's shared memoization store before the engine is
+  // published (the chaos creator's recursive make() gives the inner engine
+  // the same cache, so wrapper and wrapped share entries).
+  if (builder.peek_cost_cache() != nullptr) {
+    engine->set_cost_cache(builder.peek_cost_cache());
+  }
+  return engine;
 }
 
 std::vector<std::string> registered_backends() {

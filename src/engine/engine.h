@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,9 @@ class TileScheduler;
 }
 
 namespace af::engine {
+
+class CostCache;
+class EngineBuilder;
 
 // One GEMM to execute: X(T x M) = A(T x N) x B(N x M).  Non-owning views;
 // both matrices must outlive the run_gemm call.
@@ -183,8 +187,56 @@ class Engine {
                                        const arch::TileOccupancy& occupancy)
       = 0;
 
-  // Eq. 6 argmin over the supported modes, via this backend's evaluate().
+  // Cost of MANY shapes in one call — the serving hot path's batched
+  // entry point (one virtual dispatch, one cache pass, no per-element
+  // promise/queue machinery above it).  Element i is EXACTLY equal to
+  // evaluate(shapes[i], k) — pinned by tests/cost_path_test.cpp on every
+  // backend.  The base implementation loops evaluate() through the cost
+  // cache; the analytic backend overrides it with a vectorized SoA sweep
+  // of the closed forms (engine/analytic_engine.cpp).
+  virtual std::vector<CostEstimate> evaluate_batch(
+      std::span<const gemm::GemmShape> shapes, int k = 0);
+
+  // Memoized evaluate(): answers from the cost cache keyed by
+  // (cost_fingerprint, shape, k) and falls back to the virtual evaluate()
+  // on a miss — so the cached result is exactly the uncached one by
+  // construction, on the cycle backend as on the analytic one.  k = 0
+  // resolves the Eq. 6 argmin through the cached optimizer sweep first.
+  CostEstimate evaluate_cached(const gemm::GemmShape& shape, int k = 0);
+
+  // Memoized evaluate_sparse(): with magic memory a block-sparse cost is a
+  // pure function of (shape, k, nnz) — L(k) * nnz cycles, per-tile
+  // counters * nnz — so the cache keys on the occupancy's non-zero tile
+  // count.  With the memory hierarchy enabled the DMA plan depends on
+  // WHICH tiles are occupied, so the call bypasses the cache entirely.
+  CostEstimate evaluate_sparse_cached(const gemm::GemmShape& shape, int k,
+                                      const arch::TileOccupancy& occupancy);
+
+  // Memoized compute-only mode projections (PipelineOptimizer::sweep /
+  // best_mode): ONE optimizer pass per distinct shape instead of one per
+  // admission.  The admission argmin, the sticky reconfig policy and the
+  // inference runner all share these entries.  Thread-safe (the cache is
+  // internally synchronized); the returned sweep is immutable and shared.
+  std::shared_ptr<const std::vector<arch::ModeSweepEntry>> sweep_cached(
+      const gemm::GemmShape& shape) const;
+  arch::ModeDecision best_mode_cached(const gemm::GemmShape& shape) const;
+
+  // Eq. 6 argmin over the supported modes, via this backend's evaluate()
+  // (memoized through the cost cache).
   CostEstimate best(const gemm::GemmShape& shape);
+
+  // 64-bit structural key of everything a CostEstimate depends on: array
+  // geometry, bit widths, supported modes, memory knobs, per-mode clock
+  // periods and all EnergyParams.  Two engines agree on a fingerprint iff
+  // their cost arithmetic is identical — which is what lets them share one
+  // CostCache with no epoch-based invalidation (see engine/cost_cache.h).
+  std::uint64_t cost_fingerprint() const { return fingerprint_; }
+
+  // The memoization store behind evaluate_cached / sweep_cached /
+  // evaluate_batch.  Private per engine by default; inject a shared one
+  // via EngineBuilder::cost_cache (the serve::Server path: admission,
+  // reconfig and every shard engine of a backend share entries).
+  const std::shared_ptr<CostCache>& cost_cache() const { return cache_; }
 
   // --- the wiring the engine owns (previously duplicated per call site) ---
   const arch::ArrayConfig& config() const { return config_; }
@@ -242,6 +294,14 @@ class Engine {
   int resolve_mode(const gemm::GemmShape& shape, int k) const;
 
  private:
+  friend std::shared_ptr<Engine> make(const std::string&,
+                                      const EngineBuilder&);
+
+  // Swap in a (typically shared) memoization store.  Called by the factory
+  // right after construction, before the engine is published to other
+  // threads — not safe once cost queries are in flight.
+  void set_cost_cache(std::shared_ptr<CostCache> cache);
+
   arch::ArrayConfig config_;
   std::shared_ptr<const arch::ClockModel> clock_;  // owned: no dangling refs
   arch::EnergyParams energy_;
@@ -251,6 +311,8 @@ class Engine {
   std::unique_ptr<mem::TileScheduler> tiles_;
   std::unique_ptr<util::ThreadPool> pool_;  // private, when threads requested
   util::ThreadPool* external_pool_ = nullptr;
+  std::shared_ptr<CostCache> cache_;  // never null past construction
+  std::uint64_t fingerprint_ = 0;
 };
 
 // Fault-injection knobs of the "chaos" backend (engine/chaos_engine.h), a
@@ -300,6 +362,11 @@ class EngineBuilder {
   // Fault-injection knobs consumed only by build("chaos"); other backends
   // ignore them.
   EngineBuilder& chaos(const ChaosOptions& options);
+  // Inject ONE CostCache shared across engines instead of a private cache
+  // per engine — the serve::Server path: admission, reconfig and every
+  // shard engine of a backend hit the same entries.  Safe across engines
+  // with DIFFERENT wiring too (keys carry each engine's cost fingerprint).
+  EngineBuilder& cost_cache(std::shared_ptr<CostCache> cache);
 
   // Construct the backend registered under `backend` ("analytic", "cycle").
   // Throws af::Error for unknown names, listing the registry.
@@ -314,6 +381,9 @@ class EngineBuilder {
   const arch::EnergyParams& peek_energy() const { return energy_; }
   util::ThreadPool* peek_shared_pool() const { return shared_pool_; }
   const ChaosOptions& peek_chaos() const { return chaos_; }
+  const std::shared_ptr<CostCache>& peek_cost_cache() const {
+    return cost_cache_;
+  }
 
  private:
   arch::ArrayConfig config_;
@@ -321,6 +391,7 @@ class EngineBuilder {
   arch::EnergyParams energy_;
   util::ThreadPool* shared_pool_ = nullptr;
   ChaosOptions chaos_;
+  std::shared_ptr<CostCache> cost_cache_;
 };
 
 // String-keyed factory — the one place backend names resolve.  The names

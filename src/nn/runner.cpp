@@ -80,7 +80,10 @@ LayerReport InferenceRunner::evaluate_layer(const Layer& layer) const {
   report.kind = layer.kind;
   report.shape = gemm_shape(layer);
   report.k_hat = optimizer.continuous_k_hat(report.shape);
-  report.arrayflex = optimizer.best_mode(report.shape);
+  // Memoized through the engine's shared cost cache: repeated layers (and
+  // repeated inferences of the same model, the serving steady state) pay
+  // the Eq. 6 sweep once and answer every repeat from the sweep store.
+  report.arrayflex = engine_->best_mode_cached(report.shape);
   report.conventional = optimizer.conventional(report.shape);
   report.arrayflex_power = power.arrayflex(report.shape, report.arrayflex.k);
   report.conventional_power = power.conventional(report.shape);

@@ -496,7 +496,9 @@ const std::map<std::string, DispatcherEntry>& registry() {
 Dispatcher::~Dispatcher() = default;
 
 std::size_t affinity_hash(const Request& r) {
-  if (r.kind == RequestKind::kGemm) {
+  if (r.kind == RequestKind::kGemm || r.kind == RequestKind::kGemmBatch) {
+    // Batched cost queries share the GEMM rule: a tenant's stream lands in
+    // one deque, where same-backend batch requests coalesce locally.
     return std::hash<std::string>{}(r.tenant);
   }
   const std::size_t model_hash =

@@ -28,7 +28,12 @@ namespace af::serve {
 
 using Clock = std::chrono::steady_clock;
 
-enum class RequestKind { kGemm, kInferSlice };
+// Pooled completion slot of the batched cost path (serve/batch_slot.h);
+// forward-declared so this header stays light — only the server and the
+// executors need the full type.
+class BatchSlot;
+
+enum class RequestKind { kGemm, kInferSlice, kGemmBatch };
 
 // Response to a submit_gemm: the product plus the simulated cost of the
 // (possibly fused) hardware run that produced it.
@@ -157,6 +162,15 @@ struct Request {
   std::size_t layer_count = 0;
   std::size_t slice_index = 0;
   std::shared_ptr<InferJoin> join;
+
+  // --- kGemmBatch ------------------------------------------------------------
+  // One queued record for a whole submit_gemm_batch call: the shapes ride
+  // in the pooled slot (filled before enqueue, read after the queue
+  // handoff), the CostEstimates come back through it, and the client waits
+  // on a BatchTicket instead of a future — no per-shape promise, no
+  // per-shape queue hop.  decided_k carries the caller's mode (0 = the
+  // engine's per-shape argmin, resolved inside evaluate_batch).
+  std::shared_ptr<BatchSlot> slot;
 };
 
 }  // namespace af::serve

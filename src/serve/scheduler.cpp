@@ -20,6 +20,13 @@ bool compatible(const Request& head, const Request& r) {
     return head.decided_k == r.decided_k && head.backend == r.backend &&
            head.degraded == r.degraded;
   }
+  if (head.kind == RequestKind::kGemmBatch) {
+    // Batched cost queries never configure the array (the executor skips
+    // prepare_mode entirely; each request's decided_k is resolved inside
+    // evaluate_batch), so mode equality is irrelevant — only the backend
+    // override must match, because one engine answers the whole dispatch.
+    return head.backend == r.backend;
+  }
   // Inference slices coalesce only when they are the same analytic work:
   // identical model (by identity) and identical layer range.
   return head.model == r.model && head.layer_begin == r.layer_begin &&

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "engine/cost_cache.h"
 #include "mem/tile_scheduler.h"
 #include "nn/runner.h"
 #include "util/status.h"
@@ -301,14 +302,23 @@ Server::Server(const arch::ArrayConfig& shard_config, ServerOptions options)
 
   // One builder wires every engine identically: shard config, the paper's
   // calibrated clock, the server's energy params, the one shared pool.
-  // Scale-ups and per-request overrides acquire through it too.
+  // Scale-ups and per-request overrides acquire through it too.  The
+  // server-wide cost cache rides in the builder, so every engine the
+  // server ever constructs (shards, audits, overrides, degrade engines,
+  // quarantine probes) memoizes into ONE map — keyed per engine by the
+  // config/energy fingerprint, so differently-wired engines never share
+  // entries, only the map.
+  cost_cache_ = std::make_shared<engine::CostCache>();
   engine_builder_.config(shard_config_)
       .energy(options_.energy)
       .shared_pool(sim_pool_.get())
-      .chaos(options_.chaos);
-  admission_engine_ =
-      engine::EngineBuilder().config(shard_config_).energy(options_.energy)
-          .build("analytic");
+      .chaos(options_.chaos)
+      .cost_cache(cost_cache_);
+  admission_engine_ = engine::EngineBuilder()
+                          .config(shard_config_)
+                          .energy(options_.energy)
+                          .cost_cache(cost_cache_)
+                          .build("analytic");
 
   DispatcherOptions dispatch;
   dispatch.queue_capacity = options_.queue_capacity;
@@ -605,24 +615,28 @@ std::future<GemmResult> Server::submit_gemm(
              "mode k=" << submit.k << " not supported");
     r.decided_k = submit.k;
   } else if (reconfig_.kind == ReconfigPolicyKind::kArgmin) {
-    // The stateless default keeps the historical lock-free admission path
-    // (per-request Eq. 6 argmin); the policy counters stay untouched.
-    r.decided_k = admission_engine_->optimizer().best_mode(r.shape).k;
+    // The stateless default keeps the historical lock-free admission path,
+    // now memoized: the first request of a shape pays the Eq. 6 argmin,
+    // every repeat answers from the shared cost cache's sweep store.
+    r.decided_k = admission_engine_->best_mode_cached(r.shape).k;
   } else {
     // Runtime reconfiguration: feed the policy this request's full mode
     // sweep plus the drain price a switch would bill (prepare_mode charges
     // reconfig_cycles at the NEW mode's clock — price it at the
-    // challenger's period, i.e. the mode a switch would move to).
-    const std::vector<arch::ModeSweepEntry> sweep =
-        admission_engine_->optimizer().sweep(r.shape);
-    double best_period_ps = sweep.front().decision.period_ps;
-    for (const arch::ModeSweepEntry& e : sweep) {
+    // challenger's period, i.e. the mode a switch would move to).  The
+    // sweep itself is memoized in the shared cache (policies re-project
+    // the same shapes every request; re-deriving every mode per admission
+    // was the hot path's single biggest line item).
+    const std::shared_ptr<const std::vector<arch::ModeSweepEntry>> sweep =
+        admission_engine_->sweep_cached(r.shape);
+    double best_period_ps = sweep->front().decision.period_ps;
+    for (const arch::ModeSweepEntry& e : *sweep) {
       if (e.is_best) best_period_ps = e.decision.period_ps;
     }
     const double drain_ps =
         static_cast<double>(options_.reconfig_cycles) * best_period_ps;
     std::lock_guard<std::mutex> lock(reconfig_mutex_);
-    r.decided_k = reconfig_.decide(sweep, drain_ps);
+    r.decided_k = reconfig_.decide(*sweep, drain_ps);
   }
   r.a = std::move(a);
   r.b = std::move(b);
@@ -667,6 +681,91 @@ std::future<GemmResult> Server::submit_gemm(
       break;
   }
   submitted_.fetch_sub(1);
+  throw Error("server shut down while enqueueing", ErrorCode::kShutdown);
+}
+
+BatchTicket Server::submit_gemm_batch(const std::string& tenant,
+                                      std::span<const gemm::GemmShape> shapes,
+                                      const SubmitOptions& submit) {
+  if (shut_down_.load()) {
+    throw Error("submit_gemm_batch on a shut-down server",
+                ErrorCode::kShutdown);
+  }
+  AF_CHECK(!shapes.empty(), "submit_gemm_batch needs at least one shape");
+  AF_CHECK(submit.deadline_ms >= 0.0, "deadline_ms must be non-negative");
+  if (submit.k != 0) {
+    AF_CHECK(shard_config_.supports(submit.k),
+             "mode k=" << submit.k << " not supported");
+  }
+  if (!submit.backend.empty()) {
+    AF_CHECK(engine::is_registered(submit.backend),
+             "unknown per-request backend \""
+                 << submit.backend << "\" (registered: "
+                 << engine::registered_backend_list() << ")");
+  }
+  const std::int64_t count = static_cast<std::int64_t>(shapes.size());
+  // One overload check for the whole batch — N shapes cost the client ONE
+  // atomic read and one depth estimate, not N.  Rejection counts every
+  // shape (each is a logical request, like the books below).
+  if (overload_policy_ == OverloadPolicy::kReject && under_pressure()) {
+    rejected_.fetch_add(count);
+    tenants_.record_error(tenant, ErrorCode::kOverloaded);
+    throw Error("overloaded: admission rejected under the \"reject\" policy",
+                ErrorCode::kOverloaded);
+  }
+  // Shape validation up front (the engine would reject them too, but at
+  // admission the CLIENT gets the throw instead of a failed ticket), and
+  // the DRR charge: cost queries run no hardware, so they are billed by
+  // query count — a tenant spamming estimates shares the planning lane
+  // fairly without starving anyone's real GEMM MACs.
+  Request r;
+  r.kind = RequestKind::kGemmBatch;
+  r.id = next_id_.fetch_add(1);
+  r.tenant = tenant;
+  r.backend = submit.backend;
+  r.decided_k = submit.k;  // 0 = per-shape argmin inside evaluate_batch
+  r.want_output = false;   // the batched path is cost-only by construction
+  r.drr_cost = count;
+  r.drr_bytes = 0;         // no operands, no projected DRAM traffic
+  r.drr_rider_bytes = 0;
+  std::shared_ptr<BatchSlot> slot = slot_pool_.acquire();
+  std::vector<gemm::GemmShape>& slot_shapes = slot->shapes();
+  slot_shapes.reserve(shapes.size());
+  for (const gemm::GemmShape& s : shapes) {
+    AF_CHECK(s.m > 0 && s.n > 0 && s.t > 0,
+             "submit_gemm_batch shape dims must be positive, got m="
+                 << s.m << " n=" << s.n << " t=" << s.t);
+    slot_shapes.push_back(s);
+  }
+  r.slot = slot;
+  r.max_retries =
+      submit.max_retries >= 0 ? submit.max_retries : options_.max_retries;
+  r.enqueue_time = Clock::now();
+  if (submit.deadline_ms > 0.0) {
+    r.deadline = r.enqueue_time +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         submit.deadline_ms));
+  }
+  // Every shape is one logical request in the books: submitted_ moves by
+  // the batch size here, completed_ moves by the same on delivery or
+  // failure, so submitted == completed still balances (the lifecycle
+  // invariant the tests pin).
+  submitted_.fetch_add(count);
+  switch (dispatcher_->submit_for(
+      r, admission_timeout(submit.admission_timeout_ms))) {
+    case SubmitResult::kAccepted:
+      return BatchTicket(std::move(slot), &slot_pool_);
+    case SubmitResult::kWouldBlock:
+      submitted_.fetch_sub(count);
+      rejected_.fetch_add(count);
+      tenants_.record_error(tenant, ErrorCode::kOverloaded);
+      throw Error("overloaded: queue still full after admission timeout",
+                  ErrorCode::kOverloaded);
+    case SubmitResult::kClosed:
+      break;
+  }
+  submitted_.fetch_sub(count);
   throw Error("server shut down while enqueueing", ErrorCode::kShutdown);
 }
 
@@ -789,6 +888,8 @@ void Server::shard_loop(Shard& shard) {
     try {
       if (batch->kind == RequestKind::kGemm) {
         execute_gemm_batch(shard, *batch);
+      } else if (batch->kind == RequestKind::kGemmBatch) {
+        execute_cost_batch(shard, *batch);
       } else {
         execute_infer_batch(shard, *batch);
       }
@@ -827,6 +928,18 @@ void Server::fail_requests(std::vector<Request>& requests,
         promise_double_sets_.fetch_add(1);
         AF_ASSERT(false, "GEMM promise settled twice (request " << r.id
                                                                 << ")");
+      }
+    } else if (r.kind == RequestKind::kGemmBatch) {
+      // One slot failure settles every shape in the batch; the books move
+      // by the batch size (each shape was counted at submission).
+      const std::int64_t count = static_cast<std::int64_t>(r.slot->count());
+      tenants_.record_error(r.tenant, code);
+      completed_.fetch_add(count);
+      if (!r.slot->fail(error)) {
+        completed_.fetch_sub(count);
+        promise_double_sets_.fetch_add(1);
+        AF_ASSERT(false,
+                  "batch slot settled twice (request " << r.id << ")");
       }
     } else if (r.join != nullptr) {
       {
@@ -979,8 +1092,8 @@ bool Server::probe_quarantined(Shard& shard) {
     engine::GemmRequest probe;
     probe.a = &a;
     probe.b = &b;
-    probe.k = admission_engine_->optimizer()
-                  .best_mode(gemm::GemmShape{1, shard_config_.rows, 1})
+    probe.k = admission_engine_
+                  ->best_mode_cached(gemm::GemmShape{1, shard_config_.rows, 1})
                   .k;
     probe.want_output = false;
     fresh->run_gemm(probe);
@@ -1237,6 +1350,48 @@ void Server::execute_gemm_batch(Shard& shard, Batch& batch) {
   }
 }
 
+void Server::execute_cost_batch(Shard& shard, Batch& batch) {
+  const Clock::time_point dispatch_time = Clock::now();
+  // No prepare_mode: a cost query is pure planning — it never configures
+  // the array, so it neither pays nor bills a reconfiguration drain, and
+  // it leaves the shard's published mode (the steal-locality signal)
+  // untouched.  All batch members share one backend override
+  // (serve::compatible), so one engine answers the whole dispatch.
+  engine::Engine* engine = engine_for(shard, batch);
+
+  std::int64_t answered = 0;
+  for (Request& r : batch.requests) {
+    // The slot is read/settled through a local reference; the shared_ptr
+    // stays on the request so a double-settle (if the request were ever
+    // replayed) still hits the guard instead of a dead slot.
+    BatchSlot& slot = *r.slot;
+    std::vector<engine::CostEstimate> results =
+        engine->evaluate_batch(slot.shapes(), r.decided_k);
+    const std::int64_t count = static_cast<std::int64_t>(results.size());
+    const double queue_ms = ms_between(r.enqueue_time, dispatch_time);
+    if (control_enabled_) wait_window_.sample(queue_ms);
+    // Cost queries perform no simulated hardware work: the tenant books
+    // record the serving latency and the query volume (drr_cost = shape
+    // count), but zero energy and zero sim time — summing tenants'
+    // sim_time must keep reproducing the shards' busy time, and these
+    // batches never made an array busy.
+    tenants_.record(r.tenant, /*is_inference=*/false,
+                    ms_between(r.enqueue_time, Clock::now()), queue_ms,
+                    /*energy_pj=*/0.0, /*sim_time_ps=*/0.0, r.drr_cost);
+    answered += count;
+    completed_.fetch_add(count);
+    if (!slot.complete(std::move(results))) {
+      completed_.fetch_sub(count);
+      promise_double_sets_.fetch_add(1);
+      AF_ASSERT(false, "batch slot settled twice (request " << r.id << ")");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(shard_stats_mutex_);
+  shard.stats.batches += 1;
+  shard.stats.requests += answered;
+}
+
 void Server::execute_infer_batch(Shard& shard, Batch& batch) {
   // Slices whose join already failed (a sibling slice errored, or shutdown
   // interrupted their submission) must neither execute nor bill.
@@ -1342,6 +1497,8 @@ ServerStats Server::stats() const {
   out.backlog_macs = dispatcher_->approx_cost();
   out.backlog_bytes = dispatcher_->approx_bytes();
   out.promise_double_sets = promise_double_sets_.load();
+  out.cost_cache_hits = cost_cache_->hits();
+  out.cost_cache_misses = cost_cache_->misses();
   out.reconfig_policy = options_.reconfig_policy;
   {
     std::lock_guard<std::mutex> lock(reconfig_mutex_);

@@ -66,6 +66,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +74,7 @@
 #include "arch/config.h"
 #include "arch/power_model.h"
 #include "engine/engine.h"
+#include "serve/batch_slot.h"
 #include "serve/dispatcher.h"
 #include "serve/queue.h"
 #include "serve/reconfig.h"
@@ -397,6 +399,13 @@ struct ServerStats {
   // lock-free backlog-bytes mirror) — the bandwidth-pressure twin.
   std::int64_t backlog_bytes = 0;
   std::int64_t promise_double_sets = 0;  // broken-promise bugs caught (== 0)
+  // --- cost memoization (engine/cost_cache.h) -------------------------------
+  // Hits and misses of the server-wide CostEstimate cache, shared by the
+  // admission argmin/sweep, every shard engine's evaluate paths, and the
+  // batched cost API.  A hit answers from the sharded map; a miss pays the
+  // full closed-form finalization once and publishes it.
+  std::int64_t cost_cache_hits = 0;
+  std::int64_t cost_cache_misses = 0;
   // --- runtime reconfiguration (serve/reconfig.h) --------------------------
   std::string reconfig_policy;   // policy registry key
   // Stream-mode moves the admission policy decided on (each one costs the
@@ -453,6 +462,24 @@ class Server {
                                       gemm::Mat32 a,
                                       std::shared_ptr<const gemm::Mat32> b,
                                       const SubmitOptions& submit);
+
+  // Batched cost queries: prices every shape in one call — one admission
+  // check, one queue hop, one pooled completion slot for the whole batch —
+  // and the shard answers through Engine::evaluate_batch (vectorized
+  // closed forms + the shared CostEstimate cache).  Results are EXACTLY
+  // equal to submit_gemm(want_output=false) per shape, in submission
+  // order; submit.k = 0 resolves each shape's mode by the Eq. 6 argmin.
+  // Each shape counts as one logical request in ServerStats (submitted/
+  // completed move by shapes.size()).  SubmitOptions::want_output is
+  // ignored (the batched path is cost-only by construction); deadline,
+  // admission timeout, retries and the backend override apply to the
+  // batch as a unit.  Throws like submit_gemm (kOverloaded under the
+  // reject policy or admission timeout, kShutdown after shutdown);
+  // BatchTicket::get() blocks for the estimates and rethrows a serving-
+  // side failure.
+  BatchTicket submit_gemm_batch(const std::string& tenant,
+                                std::span<const gemm::GemmShape> shapes,
+                                const SubmitOptions& submit = {});
 
   // Whole-model inference, sharded: the model's layers are split into up to
   // live_shards contiguous slices evaluated on different shards; the merged
@@ -525,6 +552,11 @@ class Server {
   void shard_loop(Shard& shard);
   void execute_gemm_batch(Shard& shard, Batch& batch);
   void execute_infer_batch(Shard& shard, Batch& batch);
+  // Batched cost queries: answers each request's shapes through the
+  // engine's vectorized evaluate_batch and completes its pooled slot.
+  // Never touches the array configuration (no prepare_mode, no drain) —
+  // planning traffic must not stall execution.
+  void execute_cost_batch(Shard& shard, Batch& batch);
   // Delivers `error` to every still-pending client of the batch (promise
   // set_exception; inference joins are marked failed so sibling slices
   // stand down) — a bad request fails its own futures, not the server.
@@ -593,6 +625,15 @@ class Server {
   // Serial analytic engine used at admission for per-request mode choice
   // (mode planning is closed-form on every backend).
   std::shared_ptr<engine::Engine> admission_engine_;
+  // The server-wide CostEstimate memoization cache (engine/cost_cache.h),
+  // injected into the admission engine and — through engine_builder_ —
+  // every shard, audit, override and degrade engine: one shape priced
+  // anywhere is priced everywhere.  Keys carry the config/energy
+  // fingerprint, so engines with DIFFERENT wiring (the shrunk-scratchpad
+  // degrade engine) share the map without ever sharing entries.
+  std::shared_ptr<engine::CostCache> cost_cache_;
+  // Freelist of batched-path completion slots (see serve/batch_slot.h).
+  SlotPool slot_pool_;
   std::unique_ptr<Dispatcher> dispatcher_;
   TenantAccountant tenants_;
   LatencyWindow wait_window_;  // autoscaler pressure signal

@@ -1,0 +1,268 @@
+// The batched/memoized cost path's contract: every fast path — SoA
+// evaluate_batch, the sharded CostCache behind evaluate_cached /
+// evaluate_sparse_cached, and the pooled submit_gemm_batch serving path —
+// returns estimates EXACTLY equal to the scalar virtual evaluate() it
+// replaces, on every backend; the cache never serves a stale entry across
+// a config or energy-parameter change; and the batched serving path keeps
+// the server's books balanced under multi-producer pressure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/sparse.h"
+#include "engine/cost_cache.h"
+#include "engine/engine.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace af::engine {
+namespace {
+
+arch::ArrayConfig config_for(int rows, int cols) {
+  arch::ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.supported_k = {1};
+  for (const int k : {2, 4}) {
+    if (rows % k == 0 && cols % k == 0) cfg.supported_k.push_back(k);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::vector<gemm::GemmShape> random_shapes(int count, std::int64_t max_dim,
+                                           std::int64_t max_t, Rng& rng) {
+  std::vector<gemm::GemmShape> shapes;
+  for (int i = 0; i < count; ++i) {
+    shapes.push_back({rng.next_in(1, max_dim), rng.next_in(1, max_dim),
+                      rng.next_in(1, max_t)});
+  }
+  return shapes;
+}
+
+// --- exact equality: batched and cached vs the scalar virtual evaluate -----
+
+TEST(CostPathTest, EvaluateBatchMatchesScalarOnEveryBackend) {
+  Rng rng(101);
+  for (const std::string& backend : {"analytic", "cycle"}) {
+    // The cycle backend MEASURES (full simulation per mode probed), so its
+    // sweep stays small; the analytic one gets a broader randomized set.
+    const bool cheap = backend == "analytic";
+    const auto shapes = random_shapes(cheap ? 48 : 4, cheap ? 96 : 20,
+                                      cheap ? 64 : 12, rng);
+    auto engine = EngineBuilder().config(config_for(8, 8)).build(backend);
+    auto reference = EngineBuilder().config(config_for(8, 8)).build(backend);
+    for (const int k : {0, 1, 2, 4}) {
+      const std::vector<CostEstimate> batched =
+          engine->evaluate_batch(shapes, k);
+      ASSERT_EQ(batched.size(), shapes.size());
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        EXPECT_TRUE(exactly_equal(batched[i], reference->evaluate(shapes[i], k)))
+            << backend << " shape " << i << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(CostPathTest, CachedEvaluateMatchesUncachedAndCounts) {
+  Rng rng(202);
+  for (const std::string& backend : {"analytic", "cycle"}) {
+    const bool cheap = backend == "analytic";
+    const auto shapes = random_shapes(cheap ? 32 : 3, cheap ? 80 : 16,
+                                      cheap ? 48 : 8, rng);
+    auto engine = EngineBuilder().config(config_for(8, 8)).build(backend);
+    const std::int64_t miss0 = engine->cost_cache()->misses();
+    for (const int k : {0, 2}) {
+      for (const gemm::GemmShape& s : shapes) {
+        const CostEstimate uncached = engine->evaluate(s, k);
+        EXPECT_TRUE(exactly_equal(engine->evaluate_cached(s, k), uncached))
+            << backend << " first (miss) call, k=" << k;
+        EXPECT_TRUE(exactly_equal(engine->evaluate_cached(s, k), uncached))
+            << backend << " second (hit) call, k=" << k;
+      }
+    }
+    EXPECT_GT(engine->cost_cache()->misses(), miss0) << backend;
+    EXPECT_GT(engine->cost_cache()->hits(), 0) << backend;
+  }
+}
+
+TEST(CostPathTest, SparseCachedMatchesUncached) {
+  Rng rng(303);
+  auto engine = EngineBuilder().config(config_for(8, 8)).build("analytic");
+  for (int i = 0; i < 16; ++i) {
+    const gemm::GemmShape shape{rng.next_in(8, 64), rng.next_in(8, 64),
+                                rng.next_in(1, 32)};
+    const double density = 0.1 + 0.8 * rng.next_double();
+    const arch::TileOccupancy occupancy =
+        arch::TileOccupancy::synthetic(shape, 8, 8, density, rng);
+    if (occupancy.nonzero_tiles() == 0) continue;
+    for (const int k : {0, 1, 2}) {
+      const CostEstimate uncached = engine->evaluate_sparse(shape, k,
+                                                            occupancy);
+      EXPECT_TRUE(exactly_equal(
+          engine->evaluate_sparse_cached(shape, k, occupancy), uncached))
+          << "sparse miss, k=" << k;
+      EXPECT_TRUE(exactly_equal(
+          engine->evaluate_sparse_cached(shape, k, occupancy), uncached))
+          << "sparse hit, k=" << k;
+    }
+  }
+}
+
+// --- invalidation: a shared cache never crosses config/energy fingerprints -
+
+TEST(CostPathTest, SharedCacheKeysOnConfigAndEnergy) {
+  auto cache = std::make_shared<CostCache>();
+  const gemm::GemmShape shape{24, 24, 12};
+
+  auto base = EngineBuilder().config(config_for(8, 8)).cost_cache(cache)
+                  .build("analytic");
+  const CostEstimate first = base->evaluate_cached(shape, 2);
+  EXPECT_TRUE(exactly_equal(first, base->evaluate(shape, 2)));
+  const std::int64_t misses_after_base = cache->misses();
+  EXPECT_GT(misses_after_base, 0);
+
+  // Same geometry, same energy, new engine: same fingerprint — the second
+  // engine answers from the first engine's entry (a hit, not a miss).
+  auto twin = EngineBuilder().config(config_for(8, 8)).cost_cache(cache)
+                  .build("analytic");
+  EXPECT_EQ(twin->cost_fingerprint(), base->cost_fingerprint());
+  const std::int64_t hits_before = cache->hits();
+  EXPECT_TRUE(exactly_equal(twin->evaluate_cached(shape, 2), first));
+  EXPECT_GT(cache->hits(), hits_before);
+  EXPECT_EQ(cache->misses(), misses_after_base);
+
+  // Different geometry: different fingerprint, so the same (shape, k) key
+  // misses and the answer matches THAT engine's scalar evaluate — never the
+  // 8x8 entry.
+  auto wider = EngineBuilder().config(config_for(16, 16)).cost_cache(cache)
+                   .build("analytic");
+  EXPECT_NE(wider->cost_fingerprint(), base->cost_fingerprint());
+  const CostEstimate wide = wider->evaluate_cached(shape, 2);
+  EXPECT_TRUE(exactly_equal(wide, wider->evaluate(shape, 2)));
+  EXPECT_GT(cache->misses(), misses_after_base);
+  EXPECT_FALSE(exactly_equal(wide, first));
+
+  // Different energy parameters on the base geometry: energy_pj changes, so
+  // the fingerprint must change with it.
+  arch::EnergyParams hot;
+  hot.e_mult_fj *= 2.0;
+  auto pricier = EngineBuilder().config(config_for(8, 8)).energy(hot)
+                     .cost_cache(cache).build("analytic");
+  EXPECT_NE(pricier->cost_fingerprint(), base->cost_fingerprint());
+  const CostEstimate priced = pricier->evaluate_cached(shape, 2);
+  EXPECT_TRUE(exactly_equal(priced, pricier->evaluate(shape, 2)));
+  EXPECT_NE(priced.energy_pj, first.energy_pj);
+}
+
+}  // namespace
+}  // namespace af::engine
+
+namespace af::serve {
+namespace {
+
+// --- the batched serving path under multi-producer pressure ----------------
+
+TEST(CostPathTest, BatchedSubmitStressBooksBalance) {
+  Rng shape_rng(404);
+  std::vector<gemm::GemmShape> pool;
+  for (int i = 0; i < 32; ++i) {
+    pool.push_back({shape_rng.next_in(1, 64), shape_rng.next_in(1, 64),
+                    shape_rng.next_in(1, 32)});
+  }
+
+  for (const std::string& dispatcher : {"global", "stealing"}) {
+    ServerOptions opts;
+    opts.num_shards = 4;
+    opts.max_batch = 8;
+    opts.queue_capacity = 256;
+    opts.backend = "analytic";
+    opts.dispatcher = dispatcher;
+    Server server(arch::ArrayConfig::square(8), opts);
+
+    // The answers every producer must observe: a private reference engine
+    // with the server's geometry (defaults for clock/energy match too).
+    auto reference =
+        engine::EngineBuilder().square(8).build("analytic");
+
+    constexpr int kProducers = 4;
+    constexpr int kBatches = 24;
+    constexpr int kBatchSize = 16;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kProducers; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(1000 + c);
+        std::vector<gemm::GemmShape> shapes(kBatchSize);
+        for (int b = 0; b < kBatches; ++b) {
+          for (int j = 0; j < kBatchSize; ++j) {
+            shapes[static_cast<std::size_t>(j)] =
+                pool[rng.next_below(pool.size())];
+          }
+          SubmitOptions sub;
+          sub.k = (b % 3 == 0) ? 0 : 1;  // mix argmin and fixed-mode batches
+          BatchTicket ticket = server.submit_gemm_batch(
+              "tenant-" + std::to_string(c), shapes, sub);
+          const std::vector<engine::CostEstimate> results = ticket.get();
+          if (results.size() != shapes.size()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (int j = 0; j < kBatchSize; ++j) {
+            const engine::CostEstimate want = reference->evaluate(
+                shapes[static_cast<std::size_t>(j)], sub.k);
+            if (!engine::exactly_equal(
+                    results[static_cast<std::size_t>(j)], want)) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(mismatches.load(), 0) << dispatcher;
+    const ServerStats stats = server.stats();
+    const std::int64_t total =
+        static_cast<std::int64_t>(kProducers) * kBatches * kBatchSize;
+    // Every shape is one logical request; nothing lost, nothing duplicated.
+    EXPECT_EQ(stats.submitted, total) << dispatcher;
+    EXPECT_EQ(stats.completed, total) << dispatcher;
+    EXPECT_EQ(stats.rejected, 0) << dispatcher;
+    EXPECT_EQ(stats.promise_double_sets, 0) << dispatcher;
+    // The whole point: repeated shapes answer from the shared memo.
+    EXPECT_GT(stats.cost_cache_hits, 0) << dispatcher;
+  }
+}
+
+TEST(CostPathTest, BatchedSubmitValidatesInput) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.backend = "analytic";
+  Server server(arch::ArrayConfig::square(8), opts);
+
+  const std::vector<gemm::GemmShape> good{{8, 8, 4}};
+  EXPECT_THROW(server.submit_gemm_batch("t", std::span<const gemm::GemmShape>{}),
+               Error);
+  const std::vector<gemm::GemmShape> bad{{8, 0, 4}};
+  EXPECT_THROW(server.submit_gemm_batch("t", bad), Error);
+  SubmitOptions sub;
+  sub.k = 3;  // unsupported mode on a {1,2,4} array
+  EXPECT_THROW(server.submit_gemm_batch("t", good, sub), Error);
+
+  // And the happy path still answers after the rejects.
+  std::vector<engine::CostEstimate> results =
+      server.submit_gemm_batch("t", good).get();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].cycles, 0);
+}
+
+}  // namespace
+}  // namespace af::serve
